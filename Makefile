@@ -1,0 +1,21 @@
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+bench:
+	dune exec bench/main.exe
+
+examples:
+	for e in quickstart figure5_walkthrough retail_warehouse \
+	         concurrent_anomaly algorithm_comparison star_schema; do \
+	  echo "== $$e =="; dune exec examples/$$e.exe; echo; done
+
+clean:
+	dune clean
