@@ -1,0 +1,160 @@
+(* Benchmark / experiment driver.
+
+   With no arguments it regenerates every table and figure of the paper
+   (T1, F5, F2, E1–E6; see DESIGN.md §4) and then runs the Bechamel
+   micro-benchmarks of the hot paths. A single argument selects one
+   experiment ("t1", "f5", "f2", "e1".."e6", "micro"). *)
+
+open Repro_relational
+open Repro_sim
+open Repro_workload
+open Repro_harness
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Rng.create 2024L in
+  let view3 = Chain.view ~n:3 () in
+  let rels = Chain.populate view3 ~size:1000 ~domain:64 rng in
+  let delta = Delta.insertion (Chain.tuple ~key:10_000 ~a:7 ~b:9) in
+  let bench_hash_join =
+    Test.make ~name:"hash join 1k x 1k"
+      (Staged.stage (fun () ->
+           let left = Partial.of_relation view3 0 rels.(0) in
+           let right = Partial.of_relation view3 1 rels.(1) in
+           ignore (Algebra.join view3 left right)))
+  in
+  let bench_sweep_step =
+    Test.make ~name:"sweep step (dR join R, 1k tuples)"
+      (Staged.stage (fun () ->
+           let p = Partial.of_source_delta view3 1 delta in
+           ignore (Algebra.extend view3 p ~with_relation:(0, rels.(0)))))
+  in
+  let bench_compensate =
+    let temp = Partial.of_source_delta view3 1 delta in
+    let answer = Algebra.extend view3 temp ~with_relation:(0, rels.(0)) in
+    Test.make ~name:"local compensation"
+      (Staged.stage (fun () ->
+           ignore
+             (Algebra.compensate view3 ~answer
+                ~interfering:(Delta.deletion (Chain.tuple ~key:0 ~a:1 ~b:1))
+                ~temp)))
+  in
+  let bench_full_eval =
+    Test.make ~name:"full view recompute (3 x 1k)"
+      (Staged.stage (fun () -> ignore (Algebra.eval view3 (fun i -> rels.(i)))))
+  in
+  let bench_delta_apply =
+    Test.make ~name:"delta apply to 1k-tuple bag"
+      (Staged.stage (fun () ->
+           let b = Bag.copy (Relation.as_bag rels.(2)) in
+           Bag.merge_into ~into:b delta))
+  in
+  let bench_sim_round =
+    Test.make ~name:"simulated SWEEP run (3 sources, 10 updates)"
+      (Staged.stage (fun () ->
+           let sc =
+             { Scenario.default with
+               init_size = 30;
+               stream =
+                 { Update_gen.default with n_updates = 10; mean_gap = 0.5 } }
+           in
+           ignore
+             (Experiment.run ~check:false sc
+                (module Repro_warehouse.Sweep : Repro_warehouse.Algorithm.S))))
+  in
+  let bench_indexed_probe =
+    (* the source-side fast path: probe a persistent index instead of
+       building a hash table over the whole relation per query *)
+    let tbl =
+      Repro_source.Base_table.create ~source:0 ~indexes:[ 2 ] rels.(0)
+    in
+    Test.make ~name:"sweep step via persistent index (1k tuples)"
+      (Staged.stage (fun () ->
+           let p = Partial.of_source_delta view3 1 delta in
+           ignore
+             (Algebra.extend_with_probe view3 p ~source:0
+                ~probe:(fun ~col ~value ->
+                  Repro_source.Base_table.probe tbl ~col ~value))))
+  in
+  let bench_parser =
+    Test.make ~name:"parse SQL view definition"
+      (Staged.stage (fun () ->
+           ignore
+             (View_parser.parse_exn
+                "SELECT R2.D, R3.F FROM R1(A int, B int), R2(C int, D int), \
+                 R3(E int, F int) WHERE R1.B = R2.C AND R2.D = R3.E")))
+  in
+  [ bench_hash_join; bench_sweep_step; bench_indexed_probe; bench_compensate;
+    bench_full_eval; bench_delta_apply; bench_parser; bench_sim_round ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let tests = micro_tests () in
+  print_endline
+    "MICRO. Bechamel micro-benchmarks of the hot paths (monotonic clock).";
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols (List.hd instances) results in
+        Hashtbl.fold
+          (fun name ols acc ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.sprintf "%.0f" est
+              | _ -> "n/a"
+            in
+            [ name; ns ] :: acc)
+          analyzed []
+        |> List.sort compare)
+      tests
+  in
+  print_string
+    (Report.table ~title:"" ~headers:[ "benchmark"; "ns/run" ] ~rows ())
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let known = [ "t1"; "f5"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "a1"; "a2"; "a3"; "micro" ]
+
+let run_one id =
+  match id with
+  | "micro" -> run_micro ()
+  | _ -> (
+      match Paper_experiments.by_id id with
+      | Some f -> print_string (f ())
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", " known);
+          exit 2)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+      print_endline
+        "Reproduction benchmarks: Efficient View Maintenance at Data \
+         Warehouses (SIGMOD'97)";
+      print_endline
+        "===========================================================================";
+      List.iter
+        (fun id ->
+          print_newline ();
+          run_one id;
+          print_newline ())
+        known
+  | [ _; id ] -> run_one id
+  | _ ->
+      Printf.eprintf "usage: main.exe [%s]\n" (String.concat "|" known);
+      exit 2

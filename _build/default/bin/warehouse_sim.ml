@@ -1,0 +1,143 @@
+(* warehouse_sim — run any maintenance algorithm over a configurable
+   scenario and report metrics and the verified consistency level.
+
+   Examples:
+     dune exec bin/warehouse_sim.exe -- --preset concurrent
+     dune exec bin/warehouse_sim.exe -- -a nested-sweep -n 6 -u 200 --gap 0.4
+     dune exec bin/warehouse_sim.exe -- -a eca --centralized --trace *)
+
+open Cmdliner
+open Repro_sim
+open Repro_workload
+open Repro_harness
+
+let run_cmd algorithm preset n updates gap p_insert txn_size placement init
+    domain seed latency centralized no_check show_trace explain_sql =
+  (match explain_sql with
+  | Some query ->
+      (match Repro_relational.View_parser.parse query with
+      | Ok view ->
+          Format.printf "%a@." Repro_relational.View_def.pp view;
+          exit 0
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1)
+  | None -> ());
+  let base =
+    match preset with
+    | Some p -> (
+        match Scenario.find_preset p with
+        | Some s -> s
+        | None ->
+            Printf.eprintf "unknown preset %S; have: %s\n" p
+              (String.concat ", " (List.map fst Scenario.presets));
+            exit 2)
+    | None -> Scenario.default
+  in
+  let placement =
+    match placement with
+    | "uniform" -> Update_gen.Uniform
+    | "zipf" -> Update_gen.Zipf 1.1
+    | "alternating" -> Update_gen.Alternating (0, n - 1)
+    | other ->
+        Printf.eprintf "unknown placement %S (uniform|zipf|alternating)\n"
+          other;
+        exit 2
+  in
+  let scenario =
+    { Scenario.name = Option.value preset ~default:"cli";
+      n_sources = n;
+      init_size = init;
+      domain = (if domain = 0 then init else domain);
+      stream =
+        { base.Scenario.stream with
+          Update_gen.n_updates = updates; mean_gap = gap; p_insert;
+          txn_size; placement };
+      latency = Latency.Uniform (latency /. 2., latency *. 1.5);
+      topology =
+        (if centralized then Scenario.Centralized else base.Scenario.topology);
+      seed = Int64.of_int seed }
+  in
+  let alg =
+    match Experiment.algorithm_by_name algorithm with
+    | Some a -> a
+    | None ->
+        Printf.eprintf
+          "unknown algorithm %S \
+           (sweep|nested-sweep|strobe|c-strobe|eca|naive|recompute)\n"
+          algorithm;
+        exit 2
+  in
+  if algorithm = "eca" && scenario.Scenario.topology <> Scenario.Centralized
+  then begin
+    Printf.eprintf "eca requires --centralized (single-site architecture)\n";
+    exit 2
+  end;
+  let trace = Trace.create ~enabled:show_trace () in
+  let result =
+    Experiment.run ~check:(not no_check) ~trace ~max_events:2_000_000 scenario
+      alg
+  in
+  if show_trace then
+    List.iter
+      (fun l ->
+        Format.printf "[%8.3f] %-10s %s@." l.Trace.time l.Trace.who
+          l.Trace.text)
+      (Trace.lines trace);
+  Format.printf "%a@." Experiment.pp_result result;
+  if not result.Experiment.completed then
+    Format.printf
+      "NOTE: run was cut off at 2M events with work still queued (the \
+       algorithm diverges on this workload).@."
+
+let algorithm =
+  Arg.(
+    value & opt string "sweep"
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "Maintenance algorithm: sweep, nested-sweep, strobe, c-strobe, \
+           eca, naive or recompute.")
+
+let preset =
+  Arg.(
+    value & opt (some string) None
+    & info [ "preset" ] ~docv:"NAME"
+        ~doc:
+          "Start from a named scenario (sequential, concurrent, bursty, \
+           adversarial, centralized); other flags override it.")
+
+let n = Arg.(value & opt int 4 & info [ "n"; "sources" ] ~doc:"Number of data sources.")
+let updates = Arg.(value & opt int 100 & info [ "u"; "updates" ] ~doc:"Update transactions to generate.")
+let gap = Arg.(value & opt float 1.0 & info [ "gap" ] ~doc:"Mean inter-update gap (sim time units).")
+let p_insert = Arg.(value & opt float 0.6 & info [ "p-insert" ] ~doc:"Probability an update is an insert.")
+let txn_size = Arg.(value & opt int 1 & info [ "txn-size" ] ~doc:"Updates per source-local transaction.")
+let placement = Arg.(value & opt string "uniform" & info [ "placement" ] ~doc:"Source placement: uniform, zipf or alternating.")
+let init = Arg.(value & opt int 40 & info [ "init" ] ~doc:"Initial tuples per base relation.")
+let domain = Arg.(value & opt int 0 & info [ "domain" ] ~doc:"Join-attribute domain (0 = same as --init).")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs are deterministic per seed).")
+let latency = Arg.(value & opt float 1.0 & info [ "latency" ] ~doc:"Mean channel latency.")
+let centralized = Arg.(value & flag & info [ "centralized" ] ~doc:"Host all base relations at one site (ECA's architecture).")
+let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
+let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
+
+let explain_sql =
+  Arg.(
+    value & opt (some string) None
+    & info [ "explain-sql" ] ~docv:"QUERY"
+        ~doc:
+          "Parse a SQL-like view definition (see Repro_relational.View_parser), \
+           print the compiled view and exit.")
+
+let cmd =
+  let doc =
+    "simulate incremental view maintenance at a data warehouse (SWEEP, \
+     SIGMOD'97 reproduction)"
+  in
+  Cmd.v
+    (Cmd.info "warehouse_sim" ~version:"1.0" ~doc)
+    Term.(
+      const run_cmd $ algorithm $ preset $ n $ updates $ gap $ p_insert
+      $ txn_size $ placement $ init $ domain $ seed $ latency $ centralized
+      $ no_check $ show_trace $ explain_sql)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/algorithm_comparison.ml: Array Checker Experiment Format List Metrics Printf Report Repro_consistency Repro_harness Repro_warehouse Scenario String Sys

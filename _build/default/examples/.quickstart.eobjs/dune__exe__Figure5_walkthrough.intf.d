@@ -1,0 +1,1 @@
+examples/figure5_walkthrough.mli:

@@ -1,0 +1,1 @@
+lib/consistency/checker.ml: Algebra Array Bag Format Hashtbl Int List Message Partial Printf Relation Repro_protocol Repro_relational View_def

@@ -1,0 +1,1 @@
+lib/consistency/checker.mli: Bag Format Message Relation Repro_protocol Repro_relational View_def

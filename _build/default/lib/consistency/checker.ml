@@ -1,0 +1,209 @@
+open Repro_relational
+open Repro_protocol
+
+type verdict = Complete | Strong | Convergent | Inconsistent
+
+let verdict_to_string = function
+  | Complete -> "complete"
+  | Strong -> "strong"
+  | Convergent -> "convergent"
+  | Inconsistent -> "INCONSISTENT"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+let rank = function
+  | Complete -> 0
+  | Strong -> 1
+  | Convergent -> 2
+  | Inconsistent -> 3
+
+let compare_verdict a b = Int.compare (rank a) (rank b)
+
+type observation = {
+  initial_sources : Relation.t array;
+  deliveries : Message.update list;
+  installs : (Message.txn_id list * Bag.t) list;
+  final_view : Bag.t;
+}
+
+type result = { verdict : verdict; detail : string; states_checked : int }
+
+(* Apply one update to the replayed database, maintaining the expected view
+   incrementally: ΔV = R0 ⋈ … ⋈ ΔRi ⋈ … ⋈ R(n-1) evaluated on the current
+   state, then ΔRi is applied to Ri. *)
+let apply_txn view rels expected (u : Message.update) =
+  let i = u.Message.txn.source in
+  let n = View_def.n_sources view in
+  let partial = ref (Partial.of_source_delta view i u.Message.delta) in
+  for j = i - 1 downto 0 do
+    partial := Algebra.extend view !partial ~with_relation:(j, rels.(j))
+  done;
+  for j = i + 1 to n - 1 do
+    partial := Algebra.extend view !partial ~with_relation:(j, rels.(j))
+  done;
+  Bag.merge_into ~into:expected (Algebra.select_project view !partial);
+  match Relation.apply rels.(i) u.Message.delta with
+  | Ok () -> ()
+  | Error _ ->
+      invalid_arg "Checker: delivery log contains a delete of absent tuples"
+
+let initial_expected view initial =
+  Bag.copy (Relation.as_bag (Algebra.eval view (fun i -> initial.(i))))
+
+let expected_states view ~initial ~deliveries =
+  let rels = Array.map Relation.copy initial in
+  let expected = initial_expected view initial in
+  let states = Array.make (List.length deliveries + 1) expected in
+  states.(0) <- Bag.copy expected;
+  List.iteri
+    (fun k u ->
+      apply_txn view rels expected u;
+      states.(k + 1) <- Bag.copy expected)
+    deliveries;
+  states
+
+(* Complete consistency: installs mirror deliveries one to one, in order,
+   with exact contents. Returns an error description on failure. *)
+let check_complete view obs =
+  let rels = Array.map Relation.copy obs.initial_sources in
+  let expected = initial_expected view obs.initial_sources in
+  let rec go deliveries installs k =
+    match (deliveries, installs) with
+    | [], [] -> Ok ()
+    | u :: _, [] ->
+        Error
+          (Format.asprintf "update %a was never installed on its own"
+             Message.pp_txn_id u.Message.txn)
+    | [], (_, _) :: _ -> Error "more installs than deliveries"
+    | u :: ds, (txns, snap) :: is -> (
+        match txns with
+        | [ txn ] when Message.compare_txn_id txn u.Message.txn = 0 ->
+            apply_txn view rels expected u;
+            if Bag.equal expected snap then go ds is (k + 1)
+            else
+              Error
+                (Format.asprintf
+                   "install %d (for %a) deviates from the expected state" k
+                   Message.pp_txn_id txn)
+        | _ ->
+            Error
+              (Format.asprintf
+                 "install %d incorporates %d update(s); complete consistency \
+                  requires exactly the next delivered update"
+                 k (List.length txns)))
+  in
+  go obs.deliveries obs.installs 0
+
+(* Strong consistency: batch installs allowed, provided each cumulative set
+   is a per-source prefix of that source's update sequence and contents
+   match the corresponding database state; all deliveries must eventually
+   be incorporated. *)
+let check_strong view obs =
+  let n = View_def.n_sources view in
+  let by_txn = Hashtbl.create 64 in
+  List.iteri
+    (fun k u -> Hashtbl.replace by_txn u.Message.txn (k, u))
+    obs.deliveries;
+  let rels = Array.map Relation.copy obs.initial_sources in
+  let expected = initial_expected view obs.initial_sources in
+  let next_seq = Array.make n 0 in
+  let incorporated = ref 0 in
+  let rec go installs k =
+    match installs with
+    | [] ->
+        if !incorporated = List.length obs.deliveries then Ok ()
+        else
+          Error
+            (Printf.sprintf "only %d of %d updates were ever incorporated"
+               !incorporated
+               (List.length obs.deliveries))
+    | (txns, snap) :: rest -> (
+        (* Resolve the batch against the delivery log. *)
+        let resolved =
+          List.map
+            (fun txn ->
+              match Hashtbl.find_opt by_txn txn with
+              | Some ku -> Ok ku
+              | None ->
+                  Error
+                    (Format.asprintf "install %d claims unknown txn %a" k
+                       Message.pp_txn_id txn))
+            txns
+        in
+        match
+          List.fold_left
+            (fun acc r ->
+              match (acc, r) with
+              | Error e, _ -> Error e
+              | Ok l, Ok ku -> Ok (ku :: l)
+              | Ok _, Error e -> Error e)
+            (Ok []) resolved
+        with
+        | Error e -> Error e
+        | Ok batch ->
+            (* Per-source prefix condition. *)
+            let by_source = Array.make n [] in
+            List.iter
+              (fun (_, u) ->
+                let s = u.Message.txn.Message.source in
+                by_source.(s) <- u.Message.txn.Message.seq :: by_source.(s))
+              batch;
+            let prefix_ok = ref true in
+            Array.iteri
+              (fun s seqs ->
+                let seqs = List.sort Int.compare seqs in
+                List.iter
+                  (fun seq ->
+                    if seq <> next_seq.(s) then prefix_ok := false
+                    else next_seq.(s) <- next_seq.(s) + 1)
+                  seqs)
+              by_source;
+            if not !prefix_ok then
+              Error
+                (Printf.sprintf
+                   "install %d skips over an earlier update of some source" k)
+            else begin
+              (* Replay the batch in delivery order (the final state of a
+                 batch is interleaving-independent). *)
+              let batch =
+                List.sort (fun (a, _) (b, _) -> Int.compare a b) batch
+              in
+              List.iter (fun (_, u) -> apply_txn view rels expected u) batch;
+              incorporated := !incorporated + List.length batch;
+              if Bag.equal expected snap then go rest (k + 1)
+              else
+                Error
+                  (Printf.sprintf
+                     "install %d deviates from its batch's database state" k)
+            end)
+  in
+  go obs.installs 0
+
+let check_convergent view obs =
+  let states =
+    expected_states view ~initial:obs.initial_sources
+      ~deliveries:obs.deliveries
+  in
+  let final = states.(Array.length states - 1) in
+  if Bag.equal final obs.final_view then Ok ()
+  else Error "final view differs from the fully-updated database state"
+
+let check view obs =
+  let states_checked = List.length obs.installs + 1 in
+  match check_complete view obs with
+  | Ok () -> { verdict = Complete; detail = "every update installed in delivery order with exact contents"; states_checked }
+  | Error complete_err -> (
+      match check_strong view obs with
+      | Ok () ->
+          { verdict = Strong;
+            detail = "not complete (" ^ complete_err ^ ") but all batches \
+                      order-preserving and exact";
+            states_checked }
+      | Error strong_err -> (
+          match check_convergent view obs with
+          | Ok () ->
+              { verdict = Convergent;
+                detail = "not strong (" ^ strong_err ^ ") but converged";
+                states_checked }
+          | Error conv_err ->
+              { verdict = Inconsistent; detail = conv_err; states_checked }))

@@ -1,0 +1,58 @@
+(** Post-hoc verification of the consistency level a run achieved
+    (paper §2's hierarchy: complete ⊃ strong ⊃ convergence).
+
+    The warehouse serializes source updates in delivery order (paper §5).
+    Replaying that serialization over the initial database gives the
+    expected view after every prefix; the observed install history is then
+    classified:
+
+    - {b Complete}: one install per update, in delivery order, each
+      matching the expected prefix state exactly — every source state is a
+      distinct warehouse state.
+    - {b Strong}: installs may batch several updates, but each batch keeps
+      every source's updates in order (cumulative sets are per-source
+      prefixes — sources are autonomous, so any interleaving respecting
+      per-source order is a legal serialization) and the resulting content
+      matches the corresponding database state.
+    - {b Convergent}: intermediate installs stray from every legal state,
+      but the final view is correct once the run drains.
+    - {b Inconsistent}: the final view is wrong (or was driven negative).
+
+    Commercial systems of the era ensured only convergence (paper §2 cites
+    Red Brick); SWEEP must test as Complete, Nested SWEEP and Strobe as
+    Strong — the test suite asserts exactly that on randomized runs. *)
+
+open Repro_relational
+open Repro_protocol
+
+type verdict = Complete | Strong | Convergent | Inconsistent
+
+val verdict_to_string : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Verdict ordering: [Complete] strongest. *)
+val compare_verdict : verdict -> verdict -> int
+
+type observation = {
+  initial_sources : Relation.t array;  (** source contents before any update *)
+  deliveries : Message.update list;  (** warehouse delivery order *)
+  installs : (Message.txn_id list * Bag.t) list;
+      (** per install: incorporated txns and view snapshot *)
+  final_view : Bag.t;
+}
+
+type result = {
+  verdict : verdict;
+  detail : string;  (** human explanation of the strongest failed level *)
+  states_checked : int;
+}
+
+val check : View_def.t -> observation -> result
+
+(** [expected_states view ~initial ~deliveries] — the ground-truth view
+    after each delivery prefix (element 0 = initial view), computed by
+    in-memory incremental maintenance. Exposed for tests and for the
+    Figure 5 walkthrough. *)
+val expected_states :
+  View_def.t -> initial:Relation.t array -> deliveries:Message.update list ->
+  Bag.t array

@@ -1,0 +1,1 @@
+lib/harness/analytic.ml: Float Latency Repro_sim Repro_workload Scenario

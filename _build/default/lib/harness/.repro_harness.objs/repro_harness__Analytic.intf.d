@@ -1,0 +1,1 @@
+lib/harness/analytic.mli: Scenario

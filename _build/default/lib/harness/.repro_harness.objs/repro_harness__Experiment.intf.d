@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Algorithm Checker Engine Format Metrics Node Repro_consistency Repro_relational Repro_sim Repro_warehouse Scenario Trace

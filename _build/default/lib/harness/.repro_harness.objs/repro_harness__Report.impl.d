@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Char List Printf String

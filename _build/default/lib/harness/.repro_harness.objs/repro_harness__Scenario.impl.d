@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Format Latency List Repro_sim Repro_workload Update_gen

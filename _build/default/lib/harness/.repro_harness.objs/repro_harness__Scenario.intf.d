@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Format Latency Repro_sim Repro_workload Update_gen

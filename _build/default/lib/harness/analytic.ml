@@ -1,0 +1,81 @@
+open Repro_sim
+
+type inputs = {
+  n : int;
+  mean_latency : float;
+  var_latency : float;
+  gap : float;
+  n_updates : int;
+}
+
+type prediction = {
+  service_time : float;
+  utilization : float;
+  stable : bool;
+  mean_staleness : float;
+  compensations_per_update : float;
+}
+
+let latency_var = function
+  | Latency.Fixed _ -> 0.
+  | Latency.Uniform (lo, hi) -> (hi -. lo) ** 2. /. 12.
+  | Latency.Exponential m -> m *. m
+
+let inputs_of_scenario (s : Scenario.t) =
+  { n = s.Scenario.n_sources;
+    mean_latency = Latency.mean s.Scenario.latency;
+    var_latency = latency_var s.Scenario.latency;
+    gap = s.Scenario.stream.Repro_workload.Update_gen.mean_gap;
+    n_updates = s.Scenario.stream.Repro_workload.Update_gen.n_updates }
+
+(* Shared skeleton: given an effective service time (already divided by
+   the pipeline width), produce staleness and compensation estimates. *)
+let predict ~hops ~effective_service i =
+  let lambda = 1. /. i.gap in
+  let s = effective_service in
+  let rho = lambda *. s in
+  let stable = rho < 1. in
+  let mean_staleness =
+    if stable then begin
+      (* M/G/1 Pollaczek–Khinchine sojourn: W = S + ρS(1+cv²)/(2(1−ρ)).
+         The service is a sum of [2·hops] independent latency samples, so
+         cv² = (2·hops·Var) / S². *)
+      let var_s = 2. *. float_of_int hops *. i.var_latency in
+      let cv2 = if s = 0. then 0. else var_s /. (s *. s) in
+      s +. (rho *. s *. (1. +. cv2) /. (2. *. (1. -. rho)))
+    end
+    else begin
+      (* Fluid overload: backlog grows at λ − 1/S over the stream's span
+         T = n_updates·gap; the average update waits about half the final
+         backlog drain time plus its own service. *)
+      let t = float_of_int i.n_updates *. i.gap in
+      let growth = lambda -. (1. /. s) in
+      s +. (growth *. t /. 2. *. s)
+    end
+  in
+  (* Compensation probability at the k-th answer: at least one pending
+     update from that source. Per-source arrival rate λ/n; exposure is the
+     standing backlog (Little: Q = λ·W_q) plus the 2kL the sweep has been
+     running. *)
+  let wq = Float.max 0. (mean_staleness -. s) in
+  let q = lambda *. wq in
+  let comp =
+    let acc = ref 0. in
+    for k = 1 to hops do
+      let exposure = q +. (lambda *. 2. *. float_of_int k *. i.mean_latency) in
+      acc := !acc +. (1. -. exp (-.exposure /. float_of_int i.n))
+    done;
+    !acc
+  in
+  { service_time = s; utilization = rho; stable; mean_staleness;
+    compensations_per_update = comp }
+
+let sweep i =
+  let hops = i.n - 1 in
+  let s = 2. *. float_of_int hops *. i.mean_latency in
+  predict ~hops ~effective_service:s i
+
+let sweep_pipelined ~w i =
+  let hops = i.n - 1 in
+  let s = 2. *. float_of_int hops *. i.mean_latency in
+  predict ~hops ~effective_service:(s /. float_of_int w) i

@@ -1,0 +1,48 @@
+(** An analytical performance model of SWEEP, validated against the
+    simulator (experiment E8).
+
+    The paper's §6.2 mentions an analytical model characterizing
+    performance, deferred to the thesis [Yur97]. This module derives the
+    first-order model from the protocol's structure:
+
+    - a ViewChange's service time is [n−1] sequential round trips:
+      [S = 2(n−1)·E\[lat\]], with variance [2(n−1)·Var(lat)];
+    - the warehouse is a single server fed at rate [λ = 1/gap], so
+      utilization is [ρ = λS]; when [ρ < 1] mean staleness follows the
+      Pollaczek–Khinchine M/G/1 sojourn time, and when [ρ ≥ 1] a fluid
+      (overload) model predicts staleness growing linearly over the
+      stream;
+    - an answer from source [j] needs compensation when at least one
+      update from [j] is pending at its receipt; with per-source Poisson
+      arrivals [λ/n], queue backlog [Q] (Little's law), and the k-th
+      answer received [2kL] after the sweep starts, that probability is
+      [1 − exp(−(Q + λ·2kL)/n)] — summed over the n−1 hops.
+
+    The model also predicts pipelined SWEEP (width W) by dividing the
+    effective utilization by [min W (⌈ρ⌉)]. *)
+
+type inputs = {
+  n : int;  (** number of sources *)
+  mean_latency : float;  (** per-hop one-way mean *)
+  var_latency : float;  (** per-hop one-way variance *)
+  gap : float;  (** mean update inter-arrival time *)
+  n_updates : int;  (** stream length (for the overload fluid model) *)
+}
+
+type prediction = {
+  service_time : float;  (** S, mean sweep duration *)
+  utilization : float;  (** ρ = S / gap *)
+  stable : bool;  (** ρ < 1 *)
+  mean_staleness : float;
+  compensations_per_update : float;
+}
+
+(** Predict plain SWEEP. *)
+val sweep : inputs -> prediction
+
+(** Predict pipelined SWEEP with window [w]. *)
+val sweep_pipelined : w:int -> inputs -> prediction
+
+(** Inputs matching a {!Scenario.t} (uses its latency model's mean and
+    variance). *)
+val inputs_of_scenario : Scenario.t -> inputs

@@ -1,0 +1,219 @@
+open Repro_relational
+open Repro_sim
+open Repro_source
+open Repro_warehouse
+open Repro_consistency
+open Repro_workload
+
+type result = {
+  scenario : Scenario.t;
+  algorithm : string;
+  metrics : Metrics.t;
+  verdict : Checker.result;
+  sim_time : float;
+  wall_seconds : float;
+  final_view_tuples : int;
+  events : int;
+  completed : bool;
+}
+
+let algorithm_by_name = function
+  | "sweep" -> Some (module Sweep : Algorithm.S)
+  | "sweep-parallel" -> Some (module Sweep_parallel : Algorithm.S)
+  | "sweep-pipelined" -> Some (module Sweep_pipelined : Algorithm.S)
+  | "sweep-global" -> Some (module Sweep_global : Algorithm.S)
+  | "nested-sweep" -> Some (module Nested_sweep : Algorithm.S)
+  | "strobe" -> Some (module Strobe : Algorithm.S)
+  | "c-strobe" -> Some (module C_strobe : Algorithm.S)
+  | "eca" -> Some (module Eca : Algorithm.S)
+  | "naive" -> Some (module Naive : Algorithm.S)
+  | "recompute" -> Some (module Recompute : Algorithm.S)
+  | _ -> None
+
+let algorithms_for (s : Scenario.t) =
+  let base =
+    [ ("sweep", (module Sweep : Algorithm.S));
+      ("sweep-parallel", (module Sweep_parallel : Algorithm.S));
+      ("sweep-pipelined", (module Sweep_pipelined : Algorithm.S));
+      ("nested-sweep", (module Nested_sweep : Algorithm.S));
+      ("strobe", (module Strobe : Algorithm.S));
+      ("c-strobe", (module C_strobe : Algorithm.S));
+      ("naive", (module Naive : Algorithm.S));
+      ("recompute", (module Recompute : Algorithm.S)) ]
+  in
+  match s.topology with
+  | Scenario.Distributed -> base
+  | Scenario.Centralized -> base @ [ ("eca", (module Eca : Algorithm.S)) ]
+
+let run ?(check = true) ?(trace = Trace.create ()) ?max_events
+    (scenario : Scenario.t) (algorithm : (module Algorithm.S)) =
+  let wall_start = Unix.gettimeofday () in
+  let engine = Engine.create ~seed:scenario.seed () in
+  let rng = Engine.rng engine in
+  let view = Chain.view ~n:scenario.n_sources () in
+  let data_rng = Rng.split rng in
+  let initial =
+    Chain.populate view ~size:scenario.init_size ~domain:scenario.domain
+      data_rng
+  in
+  let initial_copy = Array.map Relation.copy initial in
+  let initial_view = Algebra.eval view (fun i -> initial.(i)) in
+  let node = ref None in
+  let deliver msg =
+    match !node with
+    | Some n -> Node.deliver n msg
+    | None -> invalid_arg "Experiment.run: message before wiring complete"
+  in
+  let n = scenario.n_sources in
+  (* apply: how the workload performs an update at "source i". *)
+  let send_to, apply =
+    match scenario.topology with
+    | Scenario.Distributed ->
+        let up_channels =
+          Array.init n (fun _ ->
+              Channel.create engine ~latency:scenario.latency
+                ~rng:(Rng.split rng) ~deliver)
+        in
+        let sources =
+          Array.init n (fun i ->
+              Source_node.create engine ~view ~id:i ~init:initial.(i)
+                ~send:(fun m -> Channel.send up_channels.(i) m)
+                ~trace)
+        in
+        let down_channels =
+          Array.init n (fun i ->
+              Channel.create engine ~latency:scenario.latency
+                ~rng:(Rng.split rng)
+                ~deliver:(fun m -> Source_node.handle sources.(i) m))
+        in
+        ( (fun i msg -> Channel.send down_channels.(i) msg),
+          fun ~source ~global delta ->
+            let global =
+              Option.map
+                (fun (gid, parts) -> { Repro_protocol.Message.gid; parts })
+                global
+            in
+            ignore (Source_node.local_update ?global sources.(source) delta) )
+    | Scenario.Centralized ->
+        let up =
+          Channel.create engine ~latency:scenario.latency ~rng:(Rng.split rng)
+            ~deliver
+        in
+        let site =
+          Eca_site.create engine ~view ~inits:initial
+            ~send:(fun m -> Channel.send up m)
+            ~trace
+        in
+        let down =
+          Channel.create engine ~latency:scenario.latency ~rng:(Rng.split rng)
+            ~deliver:(fun m -> Eca_site.handle site m)
+        in
+        ( (fun _i msg -> Channel.send down msg),
+          fun ~source ~global:_ delta ->
+            (* the centralized site applies type-3 parts as local updates *)
+            ignore (Eca_site.local_update site ~source delta) )
+  in
+  let warehouse =
+    Node.create engine ~view ~algorithm ~send:send_to ~init:initial_view
+      ~record_history:check ~trace ()
+  in
+  node := Some warehouse;
+  Update_gen.drive engine (Rng.split rng) scenario.stream ~view
+    ~initial:initial_copy ~apply ();
+  let completed =
+    match Engine.run ?max_events engine with
+    | `Drained -> true
+    | `Max_events -> false
+    | `Until -> assert false
+  in
+  if completed && not (Node.idle warehouse) then
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run: %s did not quiesce after the event queue drained"
+         (Node.algorithm_name warehouse));
+  let verdict =
+    if check && completed then
+      Checker.check view
+        { Checker.initial_sources = initial_copy;
+          deliveries = Node.deliveries warehouse;
+          installs =
+            List.map
+              (fun (r : Node.install_record) -> (r.txns, r.view_after))
+              (Node.installs warehouse);
+          final_view = Node.view_contents warehouse }
+    else
+      { Checker.verdict = Checker.Convergent; detail = "not checked";
+        states_checked = 0 }
+  in
+  { scenario; algorithm = Node.algorithm_name warehouse;
+    metrics = Node.metrics warehouse; verdict; sim_time = Engine.now engine;
+    wall_seconds = Unix.gettimeofday () -. wall_start;
+    final_view_tuples = Bag.total (Node.view_contents warehouse);
+    events = Engine.executed engine; completed }
+
+type scripted_outcome = {
+  node : Node.t;
+  view : Repro_relational.View_def.t;
+  initial_sources : Repro_relational.Relation.t array;
+  trace : Trace.t;
+  engine : Engine.t;
+}
+
+let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
+    ~algorithm ~view ~initial ~updates () =
+  let open Repro_relational in
+  let engine = Engine.create ~seed () in
+  let rng = Engine.rng engine in
+  let trace = Trace.create ~enabled:trace_enabled () in
+  let initial_copy = Array.map Relation.copy initial in
+  let initial_view = Algebra.eval view (fun i -> initial.(i)) in
+  let node = ref None in
+  let deliver msg = Node.deliver (Option.get !node) msg in
+  let n = View_def.n_sources view in
+  let up =
+    Array.init n (fun _ ->
+        Channel.create engine ~latency:(Latency.Fixed latency)
+          ~rng:(Rng.split rng) ~deliver)
+  in
+  let sources =
+    Array.init n (fun i ->
+        Source_node.create engine ~view ~id:i ~init:initial.(i)
+          ~send:(fun m -> Channel.send up.(i) m)
+          ~trace)
+  in
+  let down =
+    Array.init n (fun i ->
+        Channel.create engine ~latency:(Latency.Fixed latency)
+          ~rng:(Rng.split rng)
+          ~deliver:(fun m -> Source_node.handle sources.(i) m))
+  in
+  let warehouse =
+    Node.create engine ~view ~algorithm
+      ~send:(fun i msg -> Channel.send down.(i) msg)
+      ~init:initial_view ~trace ()
+  in
+  node := Some warehouse;
+  List.iter
+    (fun (time, source, delta) ->
+      Engine.at engine ~time (fun () ->
+          ignore (Source_node.local_update sources.(source) delta)))
+    updates;
+  (match Engine.run engine with `Drained -> () | _ -> assert false);
+  { node = warehouse; view; initial_sources = initial_copy; trace; engine }
+
+let check_scripted outcome =
+  Checker.check outcome.view
+    { Checker.initial_sources = outcome.initial_sources;
+      deliveries = Node.deliveries outcome.node;
+      installs =
+        List.map
+          (fun (r : Node.install_record) -> (r.txns, r.view_after))
+          (Node.installs outcome.node);
+      final_view = Node.view_contents outcome.node }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s on %s:@,  %a@,  verdict: %a (%s)@,  sim time %.1f, %d events, %.3fs wall@]"
+    r.algorithm r.scenario.Scenario.name Metrics.pp r.metrics
+    Checker.pp_verdict r.verdict.Checker.verdict r.verdict.Checker.detail
+    r.sim_time r.events r.wall_seconds

@@ -1,0 +1,78 @@
+(** Executes a scenario under one maintenance algorithm and verifies the
+    outcome.
+
+    Wiring (paper Fig. 1): one FIFO channel from the warehouse to each
+    source and one back. Update notices and query answers from a source
+    share the same upstream channel — SWEEP's interference detection
+    depends on that ordering. In the centralized topology a single
+    {!Repro_source.Eca_site} stands in for all sources and every message
+    is routed to it. The run drains completely (the update stream is
+    finite), then the consistency checker classifies the install
+    history. *)
+
+open Repro_sim
+open Repro_warehouse
+open Repro_consistency
+
+type result = {
+  scenario : Scenario.t;
+  algorithm : string;
+  metrics : Metrics.t;
+  verdict : Checker.result;
+  sim_time : float;  (** sim time at drain *)
+  wall_seconds : float;  (** host time the run took *)
+  final_view_tuples : int;
+  events : int;  (** simulator events executed *)
+  completed : bool;
+      (** false when the run was cut off by [max_events] — how the harness
+          reports C-strobe's divergence without hanging *)
+}
+
+(** Outcome of a {!run_scripted} run, exposing everything needed for
+    assertions and walkthroughs. *)
+type scripted_outcome = {
+  node : Node.t;
+  view : Repro_relational.View_def.t;
+  initial_sources : Repro_relational.Relation.t array;
+  trace : Trace.t;
+  engine : Engine.t;
+}
+
+(** [run_scripted ~algorithm ~view ~initial ~updates ()] runs an explicit
+    update schedule [(time, source, delta), …] over the distributed
+    topology with a fixed per-hop latency (default 1.0) — deterministic
+    interleavings for tests, walkthroughs and figure regeneration. *)
+val run_scripted :
+  ?latency:float ->
+  ?seed:int64 ->
+  ?trace_enabled:bool ->
+  algorithm:(module Repro_warehouse.Algorithm.S) ->
+  view:Repro_relational.View_def.t ->
+  initial:Repro_relational.Relation.t array ->
+  updates:(float * int * Repro_relational.Delta.t) list ->
+  unit ->
+  scripted_outcome
+
+(** Consistency verdict for a scripted run. *)
+val check_scripted : scripted_outcome -> Checker.result
+
+(** [run scenario algorithm] executes to quiescence.
+    [check] (default true) runs the consistency checker (it needs
+    per-install snapshots; disable for very long runs).
+    [trace] collects a simulation trace when provided.
+    [max_events] bounds the simulation; a run cut off by it has
+    [completed = false] and skips the checker. *)
+val run :
+  ?check:bool -> ?trace:Trace.t -> ?max_events:int -> Scenario.t ->
+  (module Algorithm.S) -> result
+
+(** All algorithms applicable to a scenario (ECA only in the centralized
+    topology; every algorithm is available there). *)
+val algorithms_for : Scenario.t -> (string * (module Algorithm.S)) list
+
+(** Look an algorithm up by name (["sweep"], ["sweep-parallel"],
+    ["nested-sweep"], ["strobe"], ["c-strobe"], ["eca"], ["naive"],
+    ["recompute"]). *)
+val algorithm_by_name : string -> (module Algorithm.S) option
+
+val pp_result : Format.formatter -> result -> unit

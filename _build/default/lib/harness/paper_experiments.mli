@@ -1,0 +1,69 @@
+(** Regeneration of every table and figure in the paper, plus the
+    quantitative claims its prose makes (see DESIGN.md §4 for the
+    experiment index). Each function runs its experiment(s) and returns a
+    printable report; [all] is what [bench/main.exe] emits. *)
+
+(** Table 1 — algorithm comparison with *measured* consistency and
+    message cost. *)
+val t1 : unit -> string
+
+(** Figure 2 — on-line incremental view computation: the hop-by-hop trace
+    of one sweep. *)
+val f2 : unit -> string
+
+(** Figure 5 / §5.2 — the worked example replayed through the simulator,
+    printing the state table and the warehouse's narration. *)
+val f5 : unit -> string
+
+(** E1 — message cost: per-update messages vs number of sources, plus the
+    scripted K-interference blow-up of C-strobe vs SWEEP's constant
+    cost. *)
+val e1 : unit -> string
+
+(** E2 — ECA's compensating-query size growth with update overlap. *)
+val e2 : unit -> string
+
+(** E3 — view staleness vs update rate: Strobe's quiescence requirement
+    vs SWEEP/Nested SWEEP. *)
+val e3 : unit -> string
+
+(** E4 — Nested SWEEP's message amortization and batching vs SWEEP. *)
+val e4 : unit -> string
+
+(** E5 — adversarial alternating interference: Nested SWEEP recursion
+    depth and the forced-termination fallback. *)
+val e5 : unit -> string
+
+(** E6 — on-line error correction: compensation counts track
+    interference; the naive baseline's divergence rate. *)
+val e6 : unit -> string
+
+(** E7 — payload sizes vs join selectivity: the shipping-vs-querying
+    trade-off of §1, sweep vs recompute. *)
+val e7 : unit -> string
+
+(** E8 — the analytical performance model (cf. §6.2's [Yur97] reference)
+    validated against the simulator. *)
+val e8 : unit -> string
+
+(** E9 — latency-distribution sensitivity: the P–K variance factor in
+    practice (same mean, different distributions). *)
+val e9 : unit -> string
+
+(** A1 — ablation: the §5.3 parallel-sweep optimization (same messages,
+    same consistency, shorter critical path / lower staleness). *)
+val a1 : unit -> string
+
+(** A2 — ablation: the §5.3 pipelining optimization (overlapping sweeps,
+    in-order installs; staleness vs pipeline width). *)
+val a2 : unit -> string
+
+(** A3 — extension: type-3 global transactions via Global SWEEP
+    (transaction-atomic installs). *)
+val a3 : unit -> string
+
+(** Every experiment, in presentation order, as (id, report). *)
+val all : unit -> (string * string) list
+
+(** Look up one experiment by id ("t1", "f2", "f5", "e1".."e9", "a1".."a3"). *)
+val by_id : string -> (unit -> string) option

@@ -1,0 +1,17 @@
+(** ASCII table / CSV rendering for experiment output. *)
+
+type align = L | R
+
+(** [table ~title ~headers ~rows] renders a boxed ASCII table. [aligns]
+    defaults to left for the first column and right for the rest. *)
+val table :
+  ?aligns:align list -> title:string -> headers:string list ->
+  rows:string list list -> unit -> string
+
+val csv : headers:string list -> rows:string list list -> string
+
+(** Format helpers. *)
+val f1 : float -> string
+
+val f2 : float -> string
+val f3 : float -> string

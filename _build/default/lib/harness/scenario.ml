@@ -1,0 +1,71 @@
+open Repro_sim
+open Repro_workload
+
+type topology = Distributed | Centralized
+
+type t = {
+  name : string;
+  n_sources : int;
+  init_size : int;
+  domain : int;
+  stream : Update_gen.config;
+  latency : Latency.t;
+  topology : topology;
+  seed : int64;
+}
+
+let default =
+  { name = "default"; n_sources = 3; init_size = 40; domain = 16;
+    stream = Update_gen.default; latency = Latency.Uniform (0.5, 1.5);
+    topology = Distributed; seed = 42L }
+
+let presets =
+  [ (* updates spaced far apart: no concurrency, every algorithm should be
+       exact *)
+    ( "sequential",
+      { default with
+        name = "sequential";
+        stream =
+          { Update_gen.default with
+            n_updates = 60; mean_gap = 50.; fixed_gap = true } } );
+    (* heavy interleaving: the regime the paper is about *)
+    ( "concurrent",
+      { default with
+        name = "concurrent"; n_sources = 4;
+        stream =
+          { Update_gen.default with n_updates = 120; mean_gap = 0.7 } } );
+    (* bursts of near-simultaneous updates *)
+    ( "bursty",
+      { default with
+        name = "bursty"; n_sources = 4;
+        stream =
+          { Update_gen.default with
+            n_updates = 120; mean_gap = 0.2; txn_size = 2 } } );
+    (* alternating interference between the chain's endpoints: Nested
+       SWEEP's worst case (paper §6.2) *)
+    ( "adversarial",
+      { default with
+        name = "adversarial"; n_sources = 4;
+        stream =
+          { Update_gen.default with
+            n_updates = 80; mean_gap = 0.3;
+            placement = Update_gen.Alternating (0, 3) } } );
+    (* everything on one site: ECA's home turf *)
+    ( "centralized",
+      { default with
+        name = "centralized"; topology = Centralized;
+        stream = { Update_gen.default with n_updates = 80; mean_gap = 0.7 } }
+    ) ]
+
+let find_preset name = List.assoc_opt name presets
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: n=%d init=%d domain=%d updates=%d gap=%g p_ins=%g lat=%a %s seed=%Ld"
+    t.name t.n_sources t.init_size t.domain t.stream.Update_gen.n_updates
+    t.stream.Update_gen.mean_gap t.stream.Update_gen.p_insert Latency.pp
+    t.latency
+    (match t.topology with
+    | Distributed -> "distributed"
+    | Centralized -> "centralized")
+    t.seed

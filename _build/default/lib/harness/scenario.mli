@@ -1,0 +1,32 @@
+(** A complete experiment configuration: view shape, initial data, update
+    stream, network, and topology (distributed sources vs the centralized
+    ECA site). Scenarios are pure descriptions; {!Experiment.run} executes
+    them. *)
+
+open Repro_sim
+open Repro_workload
+
+type topology =
+  | Distributed  (** one site per source (paper Fig. 1) *)
+  | Centralized  (** one site holding all base relations (ECA's model) *)
+
+type t = {
+  name : string;
+  n_sources : int;
+  init_size : int;  (** tuples per base relation at t=0 *)
+  domain : int;  (** join-attribute domain (selectivity knob) *)
+  stream : Update_gen.config;
+  latency : Latency.t;
+  topology : topology;
+  seed : int64;
+}
+
+val default : t
+
+(** [quick_presets] — a few named scenarios used by examples, tests and
+    the CLI ([sequential], [concurrent], [bursty], [adversarial],
+    [centralized]). *)
+val presets : (string * t) list
+
+val find_preset : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/protocol/message.ml: Delta Format Int List Partial Relation Repro_relational

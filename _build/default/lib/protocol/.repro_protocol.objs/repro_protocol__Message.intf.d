@@ -1,0 +1,1 @@
+lib/protocol/message.mli: Delta Format Partial Relation Repro_relational

@@ -1,0 +1,64 @@
+open Repro_relational
+
+type txn_id = { source : int; seq : int }
+
+let pp_txn_id ppf t = Format.fprintf ppf "u%d.%d" t.source t.seq
+
+let compare_txn_id a b =
+  match Int.compare a.source b.source with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+type global_tag = { gid : int; parts : int }
+
+type update = {
+  txn : txn_id;
+  delta : Delta.t;
+  occurred_at : float;
+  global : global_tag option;
+}
+type eca_term = (int * Delta.t) list
+
+type to_source =
+  | Sweep_query of { qid : int; target : int; partial : Partial.t }
+  | Fetch of { qid : int; target : int }
+  | Eca_query of { qid : int; terms : eca_term list }
+
+type to_warehouse =
+  | Update_notice of update
+  | Answer of { qid : int; source : int; partial : Partial.t }
+  | Snapshot of { qid : int; source : int; relation : Relation.t }
+  | Eca_answer of { qid : int; partial : Partial.t }
+
+let weight_to_source = function
+  | Sweep_query { partial; _ } -> Partial.weight partial
+  | Fetch _ -> 1
+  | Eca_query { terms; _ } ->
+      List.fold_left
+        (fun acc term ->
+          List.fold_left (fun acc (_, d) -> acc + Delta.weight d) (acc + 1) term)
+        0 terms
+
+let weight_to_warehouse = function
+  | Update_notice { delta; _ } -> Delta.weight delta
+  | Answer { partial; _ } -> Partial.weight partial
+  | Snapshot { relation; _ } -> Relation.total relation
+  | Eca_answer { partial; _ } -> Partial.weight partial
+
+let pp_to_source ppf = function
+  | Sweep_query { qid; target; partial } ->
+      Format.fprintf ppf "sweep_query#%d to %d %a" qid target Partial.pp partial
+  | Fetch { qid; target } -> Format.fprintf ppf "fetch#%d of %d" qid target
+  | Eca_query { qid; terms } ->
+      Format.fprintf ppf "eca_query#%d (%d terms)" qid (List.length terms)
+
+let pp_to_warehouse ppf = function
+  | Update_notice { txn; delta; _ } ->
+      Format.fprintf ppf "update %a %a" pp_txn_id txn Delta.pp delta
+  | Answer { qid; source; partial } ->
+      Format.fprintf ppf "answer#%d from %d %a" qid source Partial.pp partial
+  | Snapshot { qid; source; relation } ->
+      Format.fprintf ppf "snapshot#%d from %d (%d tuples)" qid source
+        (Relation.total relation)
+  | Eca_answer { qid; partial } ->
+      Format.fprintf ppf "eca_answer#%d %a" qid Partial.pp partial

@@ -1,0 +1,62 @@
+(** Wire messages between data sources and the warehouse.
+
+    Three traffic classes (paper Figs. 1–4): update notifications flowing
+    up from the sources, incremental queries flowing down from the
+    warehouse, and answers flowing back up. The ECA baseline additionally
+    ships multi-term compensating query *expressions* (its message size is
+    the quantity the paper calls quadratic). *)
+
+open Repro_relational
+
+(** Identity of a source-local transaction: [seq] is the per-source
+    application sequence number. *)
+type txn_id = { source : int; seq : int }
+
+val pp_txn_id : Format.formatter -> txn_id -> unit
+val compare_txn_id : txn_id -> txn_id -> int
+
+(** Identity of a *global* (type-3) transaction spanning several sources
+    (paper §2 defers these to the Strobe paper's technique): [gid] names
+    the transaction, [parts] says how many per-source parts it has. *)
+type global_tag = { gid : int; parts : int }
+
+(** One atomic source update as shipped to the warehouse: a single update
+    transaction or a source-local multi-update transaction collapses into
+    one signed delta (paper §2). [occurred_at] is the sim time it was
+    applied at the source. [global] tags the part of a type-3 transaction
+    it belongs to, if any. *)
+type update = {
+  txn : txn_id;
+  delta : Delta.t;
+  occurred_at : float;
+  global : global_tag option;
+}
+
+(** A query term for the ECA site: positions in [pins] are replaced by the
+    pinned delta; unpinned positions read the site's current base
+    relation. *)
+type eca_term = (int * Delta.t) list
+
+type to_source =
+  | Sweep_query of { qid : int; target : int; partial : Partial.t }
+      (** "Join your relation with this ΔV and send it back" (Fig. 3). The
+          receiving source extends the partial on whichever side it is
+          adjacent to. *)
+  | Fetch of { qid : int; target : int }
+      (** Ship a full snapshot of your relation (recompute baseline). *)
+  | Eca_query of { qid : int; terms : eca_term list }
+      (** Evaluate [Σ_t (⋈ over all positions, pinned or current)] — the
+          ECA compensating query expression. *)
+
+type to_warehouse =
+  | Update_notice of update
+  | Answer of { qid : int; source : int; partial : Partial.t }
+  | Snapshot of { qid : int; source : int; relation : Relation.t }
+  | Eca_answer of { qid : int; partial : Partial.t }
+
+(** Payload sizes in tuple units — the paper's "message size" axis. *)
+val weight_to_source : to_source -> int
+
+val weight_to_warehouse : to_warehouse -> int
+val pp_to_source : Format.formatter -> to_source -> unit
+val pp_to_warehouse : Format.formatter -> to_warehouse -> unit

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Delta Hashtbl Join_spec List Partial Predicate Printf Relation Tuple View_def

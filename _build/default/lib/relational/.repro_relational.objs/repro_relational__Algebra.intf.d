@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Delta Partial Relation Tuple Value View_def

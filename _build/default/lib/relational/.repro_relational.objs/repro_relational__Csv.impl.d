@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Format List Printf Relation Result Schema String Value

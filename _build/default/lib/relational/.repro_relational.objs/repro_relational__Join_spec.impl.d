@@ -1,0 +1,1 @@
+lib/relational/join_spec.ml: Format List Predicate

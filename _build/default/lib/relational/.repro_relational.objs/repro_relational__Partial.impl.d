@@ -1,0 +1,1 @@
+lib/relational/partial.ml: Array Bag Delta Format Printf View_def

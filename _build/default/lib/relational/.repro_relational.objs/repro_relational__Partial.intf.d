@@ -1,0 +1,1 @@
+lib/relational/partial.mli: Delta Format Relation Tuple Value View_def

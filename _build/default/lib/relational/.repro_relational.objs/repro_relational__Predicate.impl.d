@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Format Int List Value

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Bag List Printf Tuple

@@ -1,0 +1,1 @@
+lib/relational/view_def.ml: Array Format Join_spec List Predicate Printf Schema String

@@ -1,0 +1,1 @@
+lib/relational/view_def.mli: Format Join_spec Predicate Schema

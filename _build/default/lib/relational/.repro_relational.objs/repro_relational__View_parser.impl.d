@@ -1,0 +1,1 @@
+lib/relational/view_parser.ml: Array Buffer Join_spec List Predicate Printf Result Schema String Value View_def

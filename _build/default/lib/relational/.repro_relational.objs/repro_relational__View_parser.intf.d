@@ -1,0 +1,1 @@
+lib/relational/view_parser.mli: View_def

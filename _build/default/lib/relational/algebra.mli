@@ -1,0 +1,63 @@
+(** Join / select / project with counting semantics.
+
+    These operations implement both sides of the protocol: a data source
+    computing [ComputeJoin(ΔV, R)] (Fig. 3) and the warehouse computing the
+    local compensation [ΔRj ⋈ TempView] (Fig. 4) use the same signed hash
+    join. Counts multiply across a join and accumulate under projection
+    (GMS93). *)
+
+(** [join view left right] joins two adjacent partials
+    ([left.hi + 1 = right.lo]) using the chain's join condition between
+    them. Counts multiply, so deletions (negative counts) propagate with
+    the correct sign. Raises [Invalid_argument] when the partials are not
+    adjacent. *)
+val join : View_def.t -> Partial.t -> Partial.t -> Partial.t
+
+(** [extend view p ~with_relation:(j, r)] joins [p] with relation [r] of
+    source [j], which must be adjacent to [p] on either side. This is the
+    source-side step of the sweep. *)
+val extend : View_def.t -> Partial.t -> with_relation:int * Relation.t -> Partial.t
+
+(** [compensate view ~answer ~interfering ~temp] removes the error term
+    from a sweep answer (paper §4): [answer − interfering ⋈ temp], where
+    [interfering] is the (merged) concurrent ΔRj and [temp] the partial ΔV
+    that was sent to source [j]. The join side is inferred from the
+    ranges. *)
+val compensate :
+  View_def.t -> answer:Partial.t -> interfering:Delta.t -> temp:Partial.t ->
+  Partial.t
+
+(** [extend_with_probe view p ~source ~probe] is {!extend} served by a
+    persistent per-column index instead of an ad-hoc hash build: when the
+    join connecting [p] to [source] is a single attribute equality with no
+    residual predicate, each partial tuple probes the source's index
+    ([probe ~col ~value] returns the matching source tuples with
+    multiplicities, [col] being source-local). Returns [None] when the
+    join shape does not qualify — the caller falls back to {!extend}.
+    Results are always identical to {!extend}'s (asserted by the test
+    suite). *)
+val extend_with_probe :
+  View_def.t -> Partial.t -> source:int ->
+  probe:(col:int -> value:Value.t -> (Tuple.t * int) list) ->
+  Partial.t option
+
+(** [merge_overlap view ~at ~left ~right] glues two partials that both end
+    at source [at] ([left.hi = at = right.lo]): tuples whose [at]-slices
+    are equal are concatenated (the duplicate slice kept once) and their
+    counts multiplied. This is the ΔV_left ⋈ ΔV_right merge of the
+    parallel-sweep optimization the paper sketches in §5.3 — the right
+    sweep must have started from a unit-count copy of ΔR so multiplicities
+    and signs are not double-counted. Raises [Invalid_argument] when the
+    ranges do not overlap exactly at [at]. *)
+val merge_overlap :
+  View_def.t -> at:int -> left:Partial.t -> right:Partial.t -> Partial.t
+
+(** [select_project view full] applies the view's selection and projection
+    to a full-width delta, producing a delta over *view* tuples. Raises
+    [Invalid_argument] when [full] does not span all sources. *)
+val select_project : View_def.t -> Partial.t -> Delta.t
+
+(** [eval view fetch] recomputes the view from scratch: [fetch i] must
+    return source [i]'s current relation. Ground truth for tests and the
+    recompute baseline. *)
+val eval : View_def.t -> (int -> Relation.t) -> Relation.t

@@ -1,0 +1,46 @@
+type t = (Tuple.t, int) Hashtbl.t
+
+let create ?(initial_size = 16) () : t = Hashtbl.create initial_size
+
+let copy : t -> t = Hashtbl.copy
+
+let add b tup n =
+  if n <> 0 then
+    match Hashtbl.find_opt b tup with
+    | None -> Hashtbl.replace b tup n
+    | Some c ->
+        let c' = c + n in
+        if c' = 0 then Hashtbl.remove b tup else Hashtbl.replace b tup c'
+
+let count b tup = Option.value ~default:0 (Hashtbl.find_opt b tup)
+let mem b tup = Hashtbl.mem b tup
+let is_empty b = Hashtbl.length b = 0
+let cardinal b = Hashtbl.length b
+let total b = Hashtbl.fold (fun _ c acc -> acc + c) b 0
+let weight b = Hashtbl.fold (fun _ c acc -> acc + abs c) b 0
+let has_negative b = Hashtbl.fold (fun _ c acc -> acc || c < 0) b false
+let iter f b = Hashtbl.iter f b
+let fold f b init = Hashtbl.fold f b init
+let merge_into ~into src = iter (fun tup c -> add into tup c) src
+let diff_into ~into src = iter (fun tup c -> add into tup (-c)) src
+
+let to_sorted_list b =
+  let l = fold (fun tup c acc -> (tup, c) :: acc) b [] in
+  List.sort (fun (a, _) (b, _) -> Tuple.compare a b) l
+
+let of_list l =
+  let b = create ~initial_size:(List.length l * 2) () in
+  List.iter (fun (tup, c) -> add b tup c) l;
+  b
+
+let equal a b =
+  cardinal a = cardinal b && fold (fun tup c ok -> ok && count b tup = c) a true
+
+let pp ppf b =
+  Format.pp_print_char ppf '{';
+  List.iteri
+    (fun i (tup, c) ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Format.fprintf ppf "%a[%d]" Tuple.pp tup c)
+    (to_sorted_list b);
+  Format.pp_print_char ppf '}'

@@ -1,0 +1,54 @@
+(** Counted multisets of tuples.
+
+    This is the shared representation behind {!Relation} (counts kept
+    strictly positive) and {!Delta} (signed counts). The paper maintains
+    tuple multiplicities with a count control field (GMS93 counting
+    semantics, §2), which is what makes SWEEP correct without the
+    unique-key assumption the Strobe family needs.
+
+    A bag never stores a zero count: inserting an opposite count removes
+    the entry. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+val copy : t -> t
+
+(** [add b tup n] adds [n] (possibly negative) to the multiplicity of
+    [tup]. Adding zero is a no-op. *)
+val add : t -> Tuple.t -> int -> unit
+
+(** [count b tup] is the multiplicity of [tup] (0 when absent). *)
+val count : t -> Tuple.t -> int
+
+val mem : t -> Tuple.t -> bool
+val is_empty : t -> bool
+
+(** Number of distinct tuples. *)
+val cardinal : t -> int
+
+(** Sum of multiplicities (signed). *)
+val total : t -> int
+
+(** Sum of absolute multiplicities — the "size" of a bag when used as a
+    message payload. *)
+val weight : t -> int
+
+(** [has_negative b] holds when some multiplicity is negative. *)
+val has_negative : t -> bool
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [merge_into ~into src] adds every entry of [src] into [into]. *)
+val merge_into : into:t -> t -> unit
+
+(** [diff_into ~into src] subtracts every entry of [src] from [into]. *)
+val diff_into : into:t -> t -> unit
+
+(** Entries sorted by tuple — canonical, deterministic order. *)
+val to_sorted_list : t -> (Tuple.t * int) list
+
+val of_list : (Tuple.t * int) list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,151 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+
+(* Split one CSV record, honouring double-quoted fields. *)
+let split_record line_no line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let rec field i =
+    if i >= n then finish i
+    else
+      match line.[i] with
+      | ',' ->
+          fields := Buffer.contents buf :: !fields;
+          Buffer.clear buf;
+          field (i + 1)
+      | '"' -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          field (i + 1)
+  and quoted i =
+    if i >= n then fail line_no "unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> field (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  and finish _ = List.rev (Buffer.contents buf :: !fields)
+  in
+  field 0
+
+let parse_value line_no ty raw =
+  let raw = String.trim raw in
+  if raw = "" then Value.Null
+  else
+    match ty with
+    | Value.T_int -> (
+        match int_of_string_opt raw with
+        | Some i -> Value.int i
+        | None -> fail line_no "expected an integer, got %S" raw)
+    | Value.T_float -> (
+        match float_of_string_opt raw with
+        | Some f -> Value.float f
+        | None -> fail line_no "expected a float, got %S" raw)
+    | Value.T_bool -> (
+        match String.lowercase_ascii raw with
+        | "true" -> Value.bool true
+        | "false" -> Value.bool false
+        | _ -> fail line_no "expected true/false, got %S" raw)
+    | Value.T_str -> Value.str raw
+
+let parse schema text =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Result.Error { line = 0; message = "empty input" }
+  | header :: rows -> (
+      try
+        let cols = List.map String.trim (split_record 1 header) in
+        let attrs = Schema.attrs schema in
+        let expected =
+          Array.to_list (Array.map (fun a -> a.Schema.name) attrs)
+        in
+        let with_count =
+          match cols with
+          | _ when cols = expected -> false
+          | _ when cols = expected @ [ "#count" ] -> true
+          | _ ->
+              fail 1 "header %s does not match schema %s"
+                (String.concat "," cols)
+                (String.concat "," expected)
+        in
+        let rel = Relation.create () in
+        List.iteri
+          (fun k row ->
+            let line_no = k + 2 in
+            let fields = split_record line_no row in
+            let arity = Array.length attrs in
+            let want = if with_count then arity + 1 else arity in
+            if List.length fields <> want then
+              fail line_no "expected %d field(s), got %d" want
+                (List.length fields);
+            let values = Array.make arity Value.Null in
+            List.iteri
+              (fun i f ->
+                if i < arity then
+                  values.(i) <- parse_value line_no attrs.(i).Schema.ty f)
+              fields;
+            let count =
+              if with_count then
+                match int_of_string_opt (String.trim (List.nth fields arity)) with
+                | Some c when c >= 1 -> c
+                | _ -> fail line_no "invalid #count"
+              else 1
+            in
+            Relation.insert rel values count)
+          rows;
+        Ok rel
+      with Fail e -> Result.Error e)
+
+let parse_exn schema text =
+  match parse schema text with
+  | Ok rel -> rel
+  | Error e -> invalid_arg (Format.asprintf "Csv.parse: %a" pp_error e)
+
+let render_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.Str s ->
+      if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+      else s
+
+let render schema rel =
+  let attrs = Schema.attrs schema in
+  let entries = Relation.to_sorted_list rel in
+  let with_count = List.exists (fun (_, c) -> c > 1) entries in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf a.Schema.name)
+    attrs;
+  if with_count then Buffer.add_string buf ",#count";
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (tup, c) ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (render_value v))
+        tup;
+      if with_count then Buffer.add_string buf ("," ^ string_of_int c);
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf

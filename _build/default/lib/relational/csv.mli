@@ -1,0 +1,22 @@
+(** CSV import/export for relations.
+
+    A pragmatic loader for feeding example data into base relations and
+    dumping views for inspection. Values are parsed against the schema's
+    attribute types: [int] and [float] literals, [true]/[false] for
+    booleans, the empty field for NULL, anything else as a string
+    (quoting with ["…"], doubled quotes inside). An optional trailing
+    integer column (header [#count]) carries multiplicities. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [parse schema text] — [text] has a header line naming the schema's
+    attributes in order (validated), then one row per tuple. *)
+val parse : Schema.t -> string -> (Relation.t, error) result
+
+val parse_exn : Schema.t -> string -> Relation.t
+
+(** [render schema rel] — canonical (sorted) CSV with a [#count] column
+    when some multiplicity exceeds 1. *)
+val render : Schema.t -> Relation.t -> string

@@ -1,0 +1,55 @@
+(** Signed deltas: the ΔR / ΔV of the paper.
+
+    An insert carries a positive sign and a delete a negative sign (§3); a
+    modify is modeled as a delete followed by an insert (§2). A delta is a
+    bag with signed counts. *)
+
+type t = Bag.t
+
+val empty : unit -> t
+val copy : t -> t
+
+(** [insertion tup] is ΔR = {+tup}. *)
+val insertion : Tuple.t -> t
+
+(** [deletion tup] is ΔR = {−tup}. *)
+val deletion : Tuple.t -> t
+
+val of_list : (Tuple.t * int) list -> t
+
+(** [of_relation ?sign r] views a whole relation as a delta (used when a
+    source ships a snapshot, and by the recompute baseline).
+    [sign] defaults to [1]. *)
+val of_relation : ?sign:int -> Relation.t -> t
+
+(** [sum ds] is the pointwise sum — merging several concurrent updates
+    from the same source into a single ΔR (paper §5.1). *)
+val sum : t list -> t
+
+(** [negate d] flips every sign (fresh delta). *)
+val negate : t -> t
+
+val add : t -> Tuple.t -> int -> unit
+val count : t -> Tuple.t -> int
+val is_empty : t -> bool
+val cardinal : t -> int
+
+(** Sum of absolute counts — payload size of the delta on the wire. *)
+val weight : t -> int
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_sorted_list : t -> (Tuple.t * int) list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [distinct d] keeps each tuple of [d] once with count [+1], dropping
+    multiplicities and signs. The parallel-sweep merge (§5.3) seeds its
+    right sweep with this so the overlap join does not double-count. *)
+val distinct : t -> t
+
+(** Insertions only ([count > 0]), as a delta. *)
+val positive_part : t -> t
+
+(** Deletions only, with counts negated to be positive. *)
+val negative_part : t -> t

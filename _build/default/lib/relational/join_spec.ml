@@ -1,0 +1,16 @@
+type t = { equalities : (int * int) list; residual : Predicate.t option }
+
+let make ?residual equalities = { equalities; residual }
+let natural ~left_attr ~right_attr = make [ (left_attr, right_attr) ]
+
+let pp ppf t =
+  List.iteri
+    (fun i (l, r) ->
+      if i > 0 then Format.pp_print_string ppf " and ";
+      Format.fprintf ppf "#%d = #%d" l r)
+    t.equalities;
+  match t.residual with
+  | None -> if t.equalities = [] then Format.pp_print_string ppf "cross"
+  | Some p ->
+      if t.equalities <> [] then Format.pp_print_string ppf " and ";
+      Predicate.pp ppf p

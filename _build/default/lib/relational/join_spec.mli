@@ -1,0 +1,22 @@
+(** Join condition between two *adjacent* relations of the view's chain.
+
+    The view is a chain join [R0 ⋈ R1 ⋈ … ⋈ R(n-1)] (paper §2); the
+    condition connecting [Ri] and [R(i+1)] is a conjunction of attribute
+    equalities (driving the hash join) plus an optional residual predicate,
+    all in global attribute indices. *)
+
+type t = {
+  equalities : (int * int) list;
+      (** [(lg, rg)] pairs: global attr [lg] of the left relation equals
+          global attr [rg] of the right relation. Empty means cross
+          product (filtered by [residual] if present). *)
+  residual : Predicate.t option;
+}
+
+val make : ?residual:Predicate.t -> (int * int) list -> t
+
+(** [natural ~left_attr ~right_attr] is the single-equality join used by
+    most scenarios. *)
+val natural : left_attr:int -> right_attr:int -> t
+
+val pp : Format.formatter -> t -> unit

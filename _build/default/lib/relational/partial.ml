@@ -1,0 +1,50 @@
+type t = { lo : int; hi : int; data : Delta.t }
+
+let of_source_delta _view i d = { lo = i; hi = i; data = Delta.copy d }
+let of_relation _view i r = { lo = i; hi = i; data = Delta.of_relation r }
+
+let arity view ~lo ~hi =
+  let a = ref 0 in
+  for i = lo to hi do
+    a := !a + View_def.width view i
+  done;
+  !a
+
+let covers_all view p = p.lo = 0 && p.hi = View_def.n_sources view - 1
+
+let lookup view p tup g =
+  let base = View_def.offset view p.lo in
+  let limit = View_def.offset view p.hi + View_def.width view p.hi in
+  if g < base || g >= limit then
+    invalid_arg
+      (Printf.sprintf "Partial.lookup: attr %d outside range [%d..%d]" g p.lo
+         p.hi);
+  tup.(g - base)
+
+let is_empty p = Delta.is_empty p.data
+let cardinal p = Delta.cardinal p.data
+let weight p = Delta.weight p.data
+let copy p = { p with data = Delta.copy p.data }
+
+let same_range a b =
+  if a.lo <> b.lo || a.hi <> b.hi then
+    invalid_arg
+      (Printf.sprintf "Partial: range mismatch [%d..%d] vs [%d..%d]" a.lo a.hi
+         b.lo b.hi)
+
+let add a b =
+  same_range a b;
+  let data = Delta.copy a.data in
+  Bag.merge_into ~into:data b.data;
+  { a with data }
+
+let sub a b =
+  same_range a b;
+  let data = Delta.copy a.data in
+  Bag.diff_into ~into:data b.data;
+  { a with data }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi && Delta.equal a.data b.data
+
+let pp ppf p =
+  Format.fprintf ppf "ΔV[%d..%d]%a" p.lo p.hi Delta.pp p.data

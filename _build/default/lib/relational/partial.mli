@@ -1,0 +1,50 @@
+(** Partially-evaluated view deltas.
+
+    During a sweep, ΔV covers a contiguous range of sources [lo..hi]; each
+    tuple is the concatenation of one tuple from each covered relation,
+    with a signed count. This is the payload carried by sweep queries and
+    answers (paper Fig. 2). *)
+
+type t = {
+  lo : int;  (** first covered source (inclusive) *)
+  hi : int;  (** last covered source (inclusive) *)
+  data : Delta.t;
+}
+
+(** [of_source_delta view i d] is the one-source partial ΔV = ΔRi. *)
+val of_source_delta : View_def.t -> int -> Delta.t -> t
+
+(** [of_relation view i r] views source [i]'s relation as an all-positive
+    partial. *)
+val of_relation : View_def.t -> int -> Relation.t -> t
+
+(** Expected tuple arity for a partial covering [lo..hi]. *)
+val arity : View_def.t -> lo:int -> hi:int -> int
+
+(** [covers_all view p] holds when [p] spans every source. *)
+val covers_all : View_def.t -> t -> bool
+
+(** [lookup view p tup g] is the value of global attribute [g] inside
+    [tup], a tuple of partial [p]. Raises [Invalid_argument] when [g] lies
+    outside [p]'s range. *)
+val lookup : View_def.t -> t -> Tuple.t -> int -> Value.t
+
+val is_empty : t -> bool
+
+(** Number of distinct tuples carried. *)
+val cardinal : t -> int
+
+(** Payload weight (sum of |count|) — wire-size proxy. *)
+val weight : t -> int
+
+val copy : t -> t
+
+(** Pointwise sum; ranges must agree. Raises [Invalid_argument]
+    otherwise. *)
+val add : t -> t -> t
+
+(** Pointwise difference; ranges must agree. *)
+val sub : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type expr = Const of Value.t | Attr of int
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eval_expr lookup = function Const v -> v | Attr g -> lookup g
+
+let eval_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval ~lookup = function
+  | True -> true
+  | False -> false
+  | Cmp (op, e1, e2) -> eval_cmp op (eval_expr lookup e1) (eval_expr lookup e2)
+  | And (p, q) -> eval ~lookup p && eval ~lookup q
+  | Or (p, q) -> eval ~lookup p || eval ~lookup q
+  | Not p -> not (eval ~lookup p)
+
+let attrs_used p =
+  let rec go acc = function
+    | True | False -> acc
+    | Cmp (_, e1, e2) ->
+        let add acc = function Attr g -> g :: acc | Const _ -> acc in
+        add (add acc e1) e2
+    | And (p, q) | Or (p, q) -> go (go acc p) q
+    | Not p -> go acc p
+  in
+  List.sort_uniq Int.compare (go [] p)
+
+let conj ps =
+  List.fold_left (fun acc p -> if acc = True then p else And (acc, p)) True ps
+
+let eq_attr a b = Cmp (Eq, Attr a, Attr b)
+let cmp_const op a v = Cmp (op, Attr a, Const v)
+
+let pp_cmp ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "="
+    | Ne -> "<>"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Attr g -> Format.fprintf ppf "#%d" g
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (op, e1, e2) ->
+      Format.fprintf ppf "%a %a %a" pp_expr e1 pp_cmp op pp_expr e2
+  | And (p, q) -> Format.fprintf ppf "(%a and %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a or %a)" pp p pp q
+  | Not p -> Format.fprintf ppf "(not %a)" pp p

@@ -1,0 +1,39 @@
+(** Selection predicates over attributes addressed by *global index*.
+
+    The view definition concatenates the attributes of all base relations
+    into one global attribute space (R1's attributes first, then R2's, …);
+    predicates reference attributes by their global position. Evaluation is
+    against a lookup function so the same predicate works on full-width
+    tuples and on partial join results. *)
+
+type expr =
+  | Const of Value.t
+  | Attr of int  (** global attribute index *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** [eval ~lookup p]: [lookup g] must return the value of global
+    attribute [g]. *)
+val eval : lookup:(int -> Value.t) -> t -> bool
+
+(** Global indices mentioned by the predicate (sorted, no duplicates). *)
+val attrs_used : t -> int list
+
+(** [conj ps] is the conjunction of [ps] ([True] when empty). *)
+val conj : t list -> t
+
+(** Convenience: [eq_attr a b] compares two global attributes for
+    equality; [cmp_const op a v] compares attribute [a] to constant
+    [v]. *)
+val eq_attr : int -> int -> t
+
+val cmp_const : cmp -> int -> Value.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type attribute = { name : string; ty : Value.ty; key : bool }
+type t = { rel_name : string; attributes : attribute array }
+
+let make rel_name attr_list =
+  if attr_list = [] then invalid_arg "Schema.make: empty attribute list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a.name then
+        invalid_arg ("Schema.make: duplicate attribute " ^ a.name);
+      Hashtbl.add seen a.name ())
+    attr_list;
+  { rel_name; attributes = Array.of_list attr_list }
+
+let attr ?(key = false) name ty = { name; ty; key }
+let name s = s.rel_name
+let attrs s = s.attributes
+let arity s = Array.length s.attributes
+
+let index_of s n =
+  let rec find i =
+    if i >= Array.length s.attributes then raise Not_found
+    else if String.equal s.attributes.(i).name n then i
+    else find (i + 1)
+  in
+  find 0
+
+let key_indices s =
+  let acc = ref [] in
+  for i = Array.length s.attributes - 1 downto 0 do
+    if s.attributes.(i).key then acc := i :: !acc
+  done;
+  !acc
+
+let conforms s tup =
+  Array.length tup = arity s
+  && Array.for_all2 (fun v a -> Value.conforms v a.ty) tup s.attributes
+
+let pp ppf s =
+  Format.fprintf ppf "%s(" s.rel_name;
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Format.fprintf ppf "%s%s:%a" a.name
+        (if a.key then "*" else "")
+        Value.pp_ty a.ty)
+    s.attributes;
+  Format.pp_print_string ppf ")"

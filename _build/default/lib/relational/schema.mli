@@ -1,0 +1,35 @@
+(** Relation schemas.
+
+    A schema names a base relation and describes its attributes. Attributes
+    marked [key] form the relation's unique key; SWEEP itself never relies
+    on keys, but the Strobe-family baselines do (the paper's §3 discusses
+    this restriction), so the schema records them. *)
+
+type attribute = { name : string; ty : Value.ty; key : bool }
+
+type t
+
+(** [make name attrs] builds a schema. Raises [Invalid_argument] on
+    duplicate attribute names or an empty attribute list. *)
+val make : string -> attribute list -> t
+
+(** [attr ?key name ty] is a convenience attribute constructor
+    ([key] defaults to [false]). *)
+val attr : ?key:bool -> string -> Value.ty -> attribute
+
+val name : t -> string
+val attrs : t -> attribute array
+val arity : t -> int
+
+(** [index_of s n] is the position of attribute [n].
+    Raises [Not_found] when absent. *)
+val index_of : t -> string -> int
+
+(** Positions of the key attributes, in declaration order. *)
+val key_indices : t -> int list
+
+(** [conforms s tup] holds when [tup] has the right arity and each value
+    conforms to its attribute type. *)
+val conforms : t -> Value.t array -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = Value.t array
+
+let of_list = Array.of_list
+let ints l = Array.of_list (List.map Value.int l)
+let arity = Array.length
+let get t i = t.(i)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let concat = Array.append
+let project t indices = Array.map (fun i -> t.(i)) indices
+let slice = Array.sub
+
+let pp ppf t =
+  Format.pp_print_char ppf '(';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Value.pp ppf v)
+    t;
+  Format.pp_print_char ppf ')'
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,39 @@
+(** A small SQL-like surface syntax for view definitions.
+
+    The paper writes its views as SQL (§5.2):
+
+    {v
+      SELECT R2.D, R3.F
+      FROM   R1(A int, B int key),
+             R2(C int, D int),
+             R3(E int, F int)
+      WHERE  R1.B = R2.C AND R2.D = R3.E
+    v}
+
+    Grammar (case-insensitive keywords):
+    - [FROM] lists the base relations *in chain order*, each with an
+      inline schema: [name(attr type [key], …)]; types are [int], [float],
+      [str], [bool].
+    - [WHERE] is a conjunction/disjunction of comparisons between
+      qualified attributes ([Rel.attr]) and literals (integers, floats,
+      single-quoted strings, [true]/[false]). Equality conjuncts that link
+      two *adjacent* relations become hash-join conditions; every other
+      conjunct of a top-level conjunction becomes residual selection.
+      [<>], [<], [<=], [>], [>=] are supported.
+    - [SELECT] lists qualified attributes, or [*] for all.
+
+    [parse] returns the corresponding {!View_def.t} or a descriptive
+    error with position information. *)
+
+val parse : string -> (View_def.t, string) result
+
+(** [parse_exn] raises [Invalid_argument] on error. *)
+val parse_exn : string -> View_def.t
+
+(** [to_sql view] renders a view definition back into the surface syntax,
+    such that [parse (to_sql v)] accepts it and compiles to an equivalent
+    view (same schemas, joins, selection semantics and projection — the
+    test suite asserts the round trip). Raises [Invalid_argument] for
+    selections containing [Null] constants, which the grammar cannot
+    express. *)
+val to_sql : View_def.t -> string

@@ -1,0 +1,29 @@
+type 'a t = {
+  engine : Engine.t;
+  latency : Latency.t;
+  rng : Rng.t;
+  drop : float;
+  deliver : 'a -> unit;
+  mutable last_delivery : float;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(drop = 0.) engine ~latency ~rng ~deliver =
+  if drop < 0. || drop >= 1. then invalid_arg "Channel.create: drop ∉ [0,1)";
+  { engine; latency; rng; drop; deliver; last_delivery = 0.; sent = 0;
+    dropped = 0 }
+
+let send ch msg =
+  ch.sent <- ch.sent + 1;
+  if ch.drop > 0. && Rng.bool ch.rng ch.drop then
+    ch.dropped <- ch.dropped + 1
+  else begin
+    let sample = Latency.sample ch.latency ch.rng in
+    let t = Float.max (Engine.now ch.engine +. sample) ch.last_delivery in
+    ch.last_delivery <- t;
+    Engine.at ch.engine ~time:t (fun () -> ch.deliver msg)
+  end
+
+let sent ch = ch.sent
+let dropped ch = ch.dropped

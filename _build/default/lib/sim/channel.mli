@@ -1,0 +1,26 @@
+(** Reliable FIFO point-to-point channels (paper §2).
+
+    Messages are never lost and are delivered in send order: a sampled
+    delivery time earlier than the previous message's is clamped forward.
+    SWEEP's exact interference detection (§4, footnote 2) depends on this
+    property, and the tests assert it. *)
+
+type 'a t
+
+(** [create engine ~latency ~rng ~deliver] builds a channel whose receive
+    endpoint is the [deliver] callback. [drop] (default 0) is a message
+    loss probability — strictly a violation of the paper's reliability
+    assumption, provided so tests can demonstrate that the assumption is
+    load-bearing (a lossy channel wedges the protocol). *)
+val create :
+  ?drop:float -> Engine.t -> latency:Latency.t -> rng:Rng.t ->
+  deliver:('a -> unit) -> 'a t
+
+(** Messages lost so far (always 0 with [drop = 0]). *)
+val dropped : 'a t -> int
+
+(** [send ch msg] enqueues [msg] for FIFO delivery. *)
+val send : 'a t -> 'a -> unit
+
+(** Messages sent over this channel so far. *)
+val sent : 'a t -> int

@@ -1,0 +1,74 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0) unused when size = 0 *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Only called once the heap array is non-empty (push seeds it), so
+   [q.heap.(0)] is a valid filler. *)
+let grow q =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let nheap = Array.make (cap * 2) q.heap.(0) in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let push q ~time payload =
+  let e = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  (if Array.length q.heap = 0 then q.heap <- Array.make 16 e);
+  grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  (* sift up *)
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before q.heap.(!i) q.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.heap.(!i) in
+    q.heap.(!i) <- q.heap.(parent);
+    q.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time

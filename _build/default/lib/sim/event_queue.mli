@@ -1,0 +1,19 @@
+(** Binary-heap event queue.
+
+    Events are ordered by (time, insertion sequence): ties in time are
+    broken by insertion order, which makes simulation runs deterministic
+    given a fixed seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [push q ~time payload] schedules [payload]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Earliest event, or [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,17 @@
+type t = Fixed of float | Uniform of float * float | Exponential of float
+
+let sample t rng =
+  match t with
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Rng.uniform rng ~lo ~hi
+  | Exponential mean -> Rng.exponential rng ~mean
+
+let mean = function
+  | Fixed d -> d
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+  | Exponential m -> m
+
+let pp ppf = function
+  | Fixed d -> Format.fprintf ppf "fixed(%g)" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%g,%g)" lo hi
+  | Exponential m -> Format.fprintf ppf "exp(%g)" m

@@ -1,0 +1,17 @@
+(** Channel latency models.
+
+    The paper only assumes channels are reliable and FIFO; latency
+    variability is what creates the concurrent-update interleavings the
+    algorithms must survive, so experiments sweep over these models. *)
+
+type t =
+  | Fixed of float
+  | Uniform of float * float  (** [lo, hi) *)
+  | Exponential of float  (** mean *)
+
+val sample : t -> Rng.t -> float
+
+(** Mean of the model (used for sizing experiment horizons). *)
+val mean : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/source/base_table.ml: Delta Hashtbl Int List Message Option Printf Relation Repro_protocol Repro_relational String Tuple Value

@@ -1,0 +1,1 @@
+lib/source/base_table.mli: Delta Message Relation Repro_protocol Repro_relational Tuple Value

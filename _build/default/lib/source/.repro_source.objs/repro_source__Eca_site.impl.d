@@ -1,0 +1,1 @@
+lib/source/eca_site.ml: Algebra Array Base_table Delta Engine List Message Partial Relation Repro_protocol Repro_relational Repro_sim Trace View_def

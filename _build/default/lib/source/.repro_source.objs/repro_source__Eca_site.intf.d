@@ -1,0 +1,1 @@
+lib/source/eca_site.mli: Base_table Delta Engine Message Partial Relation Repro_protocol Repro_relational Repro_sim Trace View_def

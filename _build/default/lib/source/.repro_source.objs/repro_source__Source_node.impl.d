@@ -1,0 +1,1 @@
+lib/source/source_node.ml: Algebra Base_table Delta Engine Join_spec List Message Partial Printf Relation Repro_protocol Repro_relational Repro_sim Trace View_def

@@ -1,0 +1,1 @@
+lib/source/source_node.mli: Base_table Delta Engine Message Relation Repro_protocol Repro_relational Repro_sim Trace View_def

@@ -1,0 +1,38 @@
+(** A base relation plus its local transaction log.
+
+    Updates are applied atomically and sequence-numbered; the log is the
+    per-source ground truth the consistency checker replays. *)
+
+open Repro_relational
+open Repro_protocol
+
+type t
+
+(** [create ~source ?indexes rel] — [indexes] lists local columns to keep
+    persistent hash indexes on (typically the relation's join columns);
+    indexes are maintained incrementally by {!apply} and served by
+    {!probe}. *)
+val create : source:int -> ?indexes:int list -> Relation.t -> t
+
+val source : t -> int
+
+(** Columns with a live index. *)
+val indexed_columns : t -> int list
+
+(** [probe t ~col ~value] — all tuples whose [col] equals [value], with
+    multiplicities. Raises [Not_found] when [col] is not indexed. *)
+val probe : t -> col:int -> value:Value.t -> (Tuple.t * int) list
+
+(** The live relation (mutated by {!apply}); treat as read-only. *)
+val relation : t -> Relation.t
+
+(** Atomically apply one update transaction (single update or
+    source-local multi-update, paper §2) and log it. Raises
+    [Invalid_argument] when a delete refers to absent tuples. *)
+val apply : t -> Delta.t -> Message.txn_id
+
+(** Applied transactions, oldest first. *)
+val log : t -> (Message.txn_id * Delta.t) list
+
+(** Number of transactions applied. *)
+val applied : t -> int

@@ -1,0 +1,80 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+type t = {
+  engine : Engine.t;
+  view : View_def.t;
+  node_id : int;
+  tbl : Base_table.t;
+  send : Message.to_warehouse -> unit;
+  trace : Trace.t;
+}
+
+(* The local columns of source [id] named by the chain's join conditions:
+   those get persistent hash indexes so sweep queries probe instead of
+   scanning. *)
+let join_columns view id =
+  let ofs = View_def.offset view id in
+  let of_joins i pick =
+    if i < 0 || i >= View_def.n_sources view - 1 then []
+    else
+      List.map
+        (fun eq -> pick eq - ofs)
+        (View_def.join_between view i).Join_spec.equalities
+  in
+  of_joins (id - 1) snd @ of_joins id fst
+
+let create engine ~view ~id ~init ~send ~trace =
+  if id < 0 || id >= View_def.n_sources view then
+    invalid_arg "Source_node.create: id out of range";
+  { engine; view; node_id = id;
+    tbl = Base_table.create ~source:id ~indexes:(join_columns view id) init;
+    send; trace }
+
+let id t = t.node_id
+let table t = t.tbl
+
+let who t = Printf.sprintf "source%d" t.node_id
+
+let local_update ?global t delta =
+  let txn = Base_table.apply t.tbl delta in
+  let now = Engine.now t.engine in
+  Trace.emit t.trace ~time:now ~who:(who t) "apply %a = %a" Message.pp_txn_id
+    txn Delta.pp delta;
+  t.send
+    (Message.Update_notice
+       { txn; delta = Delta.copy delta; occurred_at = now; global });
+  txn
+
+let handle t msg =
+  let now = Engine.now t.engine in
+  match msg with
+  | Message.Sweep_query { qid; target; partial } ->
+      if target <> t.node_id then
+        invalid_arg "Source_node.handle: sweep query misrouted";
+      (* fast path: probe the persistent join-column index; fall back to
+         the generic hash join for multi-equality or residual joins *)
+      let answer =
+        match
+          Algebra.extend_with_probe t.view partial ~source:t.node_id
+            ~probe:(fun ~col ~value -> Base_table.probe t.tbl ~col ~value)
+        with
+        | Some answer -> answer
+        | None ->
+            Algebra.extend t.view partial
+              ~with_relation:(t.node_id, Base_table.relation t.tbl)
+      in
+      Trace.emit t.trace ~time:now ~who:(who t) "query#%d %a -> %a" qid
+        Partial.pp partial Partial.pp answer;
+      t.send (Message.Answer { qid; source = t.node_id; partial = answer })
+  | Message.Fetch { qid; target } ->
+      if target <> t.node_id then
+        invalid_arg "Source_node.handle: fetch misrouted";
+      Trace.emit t.trace ~time:now ~who:(who t) "fetch#%d" qid;
+      t.send
+        (Message.Snapshot
+           { qid; source = t.node_id;
+             relation = Relation.copy (Base_table.relation t.tbl) })
+  | Message.Eca_query _ ->
+      invalid_arg "Source_node.handle: Eca_query sent to a distributed source"

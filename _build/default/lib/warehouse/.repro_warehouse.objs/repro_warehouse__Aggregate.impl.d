@@ -1,0 +1,1 @@
+lib/warehouse/aggregate.ml: Array Bag Delta Format Hashtbl Int List Map Option Printf Repro_relational Tuple Value

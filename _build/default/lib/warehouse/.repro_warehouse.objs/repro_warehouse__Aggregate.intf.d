@@ -1,0 +1,1 @@
+lib/warehouse/aggregate.mli: Bag Delta Format Repro_relational Tuple

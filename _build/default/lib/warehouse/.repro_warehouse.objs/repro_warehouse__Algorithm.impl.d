@@ -1,0 +1,1 @@
+lib/warehouse/algorithm.ml: Bag Delta Engine Message Metrics Repro_protocol Repro_relational Repro_sim Trace Update_queue View_def

@@ -1,0 +1,1 @@
+lib/warehouse/c_strobe.ml: Algebra Algorithm Bag Delta Engine Hashtbl Int Keys List Message Partial Printf Repro_protocol Repro_relational Repro_sim String Trace Tuple Update_queue View_def

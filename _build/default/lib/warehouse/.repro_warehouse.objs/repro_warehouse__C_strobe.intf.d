@@ -1,0 +1,1 @@
+lib/warehouse/c_strobe.mli: Algorithm

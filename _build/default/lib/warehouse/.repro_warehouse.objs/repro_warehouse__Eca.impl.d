@@ -1,0 +1,1 @@
+lib/warehouse/eca.ml: Algebra Algorithm Delta Engine List Message Printf Repro_protocol Repro_relational Repro_sim Trace Update_queue

@@ -1,0 +1,1 @@
+lib/warehouse/eca.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/warehouse/keys.ml: Array Bag Delta Hashtbl List Printf Repro_relational Schema Tuple View_def

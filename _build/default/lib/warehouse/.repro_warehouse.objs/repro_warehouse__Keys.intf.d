@@ -1,0 +1,1 @@
+lib/warehouse/keys.mli: Bag Delta Hashtbl Repro_relational Tuple View_def

@@ -1,0 +1,1 @@
+lib/warehouse/metrics.mli: Format

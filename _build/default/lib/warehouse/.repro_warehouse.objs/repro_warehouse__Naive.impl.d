@@ -1,0 +1,1 @@
+lib/warehouse/naive.ml: Algorithm Sweep_engine

@@ -1,0 +1,1 @@
+lib/warehouse/naive.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/warehouse/nested_sweep.ml: Algebra Algorithm Delta Engine List Message Metrics Partial Printf Repro_protocol Repro_relational Repro_sim Trace Update_queue View_def

@@ -1,0 +1,1 @@
+lib/warehouse/nested_sweep.mli: Algorithm

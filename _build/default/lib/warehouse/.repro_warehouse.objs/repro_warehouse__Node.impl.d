@@ -1,0 +1,1 @@
+lib/warehouse/node.ml: Algorithm Bag Delta Engine List Message Metrics Option Relation Repro_protocol Repro_relational Repro_sim Trace Update_queue View_def

@@ -1,0 +1,1 @@
+lib/warehouse/node.mli: Algorithm Bag Delta Engine Message Metrics Relation Repro_protocol Repro_relational Repro_sim Trace Update_queue View_def

@@ -1,0 +1,1 @@
+lib/warehouse/recompute.ml: Algebra Algorithm Array Bag Delta Message Printf Relation Repro_protocol Repro_relational Update_queue View_def

@@ -1,0 +1,1 @@
+lib/warehouse/recompute.mli: Algorithm

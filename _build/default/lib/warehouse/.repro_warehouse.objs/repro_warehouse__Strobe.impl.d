@@ -1,0 +1,1 @@
+lib/warehouse/strobe.ml: Algebra Algorithm Bag Delta Engine Hashtbl Keys List Message Partial Printf Repro_protocol Repro_relational Repro_sim Sweep Trace Tuple Update_queue View_def

@@ -1,0 +1,1 @@
+lib/warehouse/strobe.mli: Algorithm

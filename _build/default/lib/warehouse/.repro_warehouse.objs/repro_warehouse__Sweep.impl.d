@@ -1,0 +1,1 @@
+lib/warehouse/sweep.ml: Algorithm Sweep_engine Sweep_order

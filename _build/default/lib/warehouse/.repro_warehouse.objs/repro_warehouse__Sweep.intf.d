@@ -1,0 +1,1 @@
+lib/warehouse/sweep.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/warehouse/sweep_engine.mli: Algorithm Delta Repro_relational Update_queue

@@ -1,0 +1,1 @@
+lib/warehouse/sweep_global.ml: Algorithm Bag Delta Hashtbl Message Repro_protocol Repro_relational Sweep_engine Update_queue

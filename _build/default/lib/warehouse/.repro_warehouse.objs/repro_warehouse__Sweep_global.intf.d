@@ -1,0 +1,1 @@
+lib/warehouse/sweep_global.mli: Algorithm

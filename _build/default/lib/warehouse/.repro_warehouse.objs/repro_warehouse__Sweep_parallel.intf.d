@@ -1,0 +1,1 @@
+lib/warehouse/sweep_parallel.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/warehouse/update_queue.ml: List Message Repro_protocol

@@ -1,0 +1,1 @@
+lib/warehouse/update_queue.mli: Message Repro_protocol

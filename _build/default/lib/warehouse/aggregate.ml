@@ -1,0 +1,134 @@
+open Repro_relational
+
+type func = Count | Sum of int | Avg of int | Min of int | Max of int
+
+module VMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+(* Per group: total multiplicity, and per tracked column a running sum and
+   a value multiset (the multiset is what makes MIN/MAX maintainable under
+   deletions). *)
+type group = {
+  mutable n : int;
+  sums : float array;
+  mutable values : int VMap.t array;
+}
+
+type t = {
+  group_by : int array;
+  aggregates : func list;
+  columns : int array;  (* distinct columns referenced by the aggregates *)
+  col_slot : (int, int) Hashtbl.t;
+  groups : (Tuple.t, group) Hashtbl.t;
+}
+
+let column_of = function
+  | Count -> None
+  | Sum c | Avg c | Min c | Max c -> Some c
+
+let create ~group_by ~aggregates =
+  let columns =
+    List.sort_uniq Int.compare (List.filter_map column_of aggregates)
+    |> Array.of_list
+  in
+  let col_slot = Hashtbl.create 8 in
+  Array.iteri (fun slot c -> Hashtbl.replace col_slot c slot) columns;
+  { group_by; aggregates; columns; col_slot; groups = Hashtbl.create 64 }
+
+let numeric col v =
+  match v with
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Aggregate: non-numeric value %s in column %d"
+           (Value.to_string other) col)
+
+let group_of t key =
+  match Hashtbl.find_opt t.groups key with
+  | Some g -> g
+  | None ->
+      let g =
+        { n = 0;
+          sums = Array.make (Array.length t.columns) 0.;
+          values = Array.map (fun _ -> VMap.empty) t.columns }
+      in
+      Hashtbl.replace t.groups key g;
+      g
+
+let add_tuple t tup count =
+  let key = Tuple.project tup t.group_by in
+  let g = group_of t key in
+  g.n <- g.n + count;
+  Array.iteri
+    (fun slot col ->
+      let v = Tuple.get tup col in
+      g.sums.(slot) <- g.sums.(slot) +. (numeric col v *. float_of_int count);
+      let current = Option.value ~default:0 (VMap.find_opt v g.values.(slot)) in
+      let updated = current + count in
+      if updated < 0 then
+        invalid_arg "Aggregate.apply: delta deletes more than present";
+      g.values.(slot) <-
+        (if updated = 0 then VMap.remove v g.values.(slot)
+         else VMap.add v updated g.values.(slot)))
+    t.columns;
+  if g.n = 0 then Hashtbl.remove t.groups key
+
+let apply t delta = Delta.iter (fun tup c -> add_tuple t tup c) delta
+
+let seed t contents =
+  Hashtbl.reset t.groups;
+  Bag.iter (fun tup c -> add_tuple t tup c) contents
+
+let get t key =
+  let g = Hashtbl.find_opt t.groups key in
+  List.map
+    (fun f ->
+      match (f, g) with
+      | Count, None -> Some 0.
+      | Count, Some g -> Some (float_of_int g.n)
+      | (Sum _ | Avg _ | Min _ | Max _), None -> None
+      | (Sum _ | Avg _ | Min _ | Max _), Some g when g.n = 0 -> None
+      | Sum c, Some g -> Some g.sums.(Hashtbl.find t.col_slot c)
+      | Avg c, Some g ->
+          Some (g.sums.(Hashtbl.find t.col_slot c) /. float_of_int g.n)
+      | Min c, Some g ->
+          let slot = Hashtbl.find t.col_slot c in
+          Option.map
+            (fun (v, _) -> numeric c v)
+            (VMap.min_binding_opt g.values.(slot))
+      | Max c, Some g ->
+          let slot = Hashtbl.find t.col_slot c in
+          Option.map
+            (fun (v, _) -> numeric c v)
+            (VMap.max_binding_opt g.values.(slot)))
+    t.aggregates
+
+let groups t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.groups []
+  |> List.sort Tuple.compare
+
+let pp_func ppf = function
+  | Count -> Format.pp_print_string ppf "count(*)"
+  | Sum c -> Format.fprintf ppf "sum(#%d)" c
+  | Avg c -> Format.fprintf ppf "avg(#%d)" c
+  | Min c -> Format.fprintf ppf "min(#%d)" c
+  | Max c -> Format.fprintf ppf "max(#%d)" c
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun key ->
+      Format.fprintf ppf "%a ->" Tuple.pp key;
+      List.iter2
+        (fun f v ->
+          match v with
+          | Some x -> Format.fprintf ppf " %a=%g" pp_func f x
+          | None -> Format.fprintf ppf " %a=ø" pp_func f)
+        t.aggregates (get t key);
+      Format.fprintf ppf "@,")
+    (groups t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+type ctx = {
+  engine : Engine.t;
+  view : View_def.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  queue : Update_queue.t;
+  send : int -> Message.to_source -> unit;
+  install : Delta.t -> txns:Update_queue.entry list -> unit;
+  view_contents : unit -> Bag.t;
+  fresh_qid : unit -> int;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : ctx -> t
+  val on_update : t -> Update_queue.entry -> unit
+  val on_answer : t -> Message.to_warehouse -> unit
+  val idle : t -> bool
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let instantiate (module A : S) ctx = Packed ((module A), A.create ctx)
+let packed_name (Packed ((module A), _)) = A.name
+let packed_on_update (Packed ((module A), st)) e = A.on_update st e
+let packed_on_answer (Packed ((module A), st)) m = A.on_answer st m
+let packed_idle (Packed ((module A), st)) = A.idle st

@@ -1,0 +1,54 @@
+(** The interface every view-maintenance algorithm implements.
+
+    The paper's pseudocode blocks on [RECEIVE]; here each algorithm is an
+    event-driven state machine: the warehouse node appends delivered
+    updates to the shared {!Update_queue} and invokes [on_update], and
+    routes query answers to [on_answer]. Everything an algorithm may do to
+    the outside world goes through the capabilities in {!ctx}. *)
+
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+type ctx = {
+  engine : Engine.t;
+  view : View_def.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  queue : Update_queue.t;  (** the UpdateMessageQueue of Fig. 4 *)
+  send : int -> Message.to_source -> unit;
+      (** transmit to source [i] (metrics-instrumented by the node) *)
+  install : Delta.t -> txns:Update_queue.entry list -> unit;
+      (** apply a *view-level* delta to the materialized view, recording
+          that it incorporates exactly the given update entries *)
+  view_contents : unit -> Bag.t;
+      (** current materialized view (read-only) — the key-based baselines
+          need it for duplicate suppression *)
+  fresh_qid : unit -> int;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : ctx -> t
+
+  (** A new update entry was just appended to [ctx.queue]. *)
+  val on_update : t -> Update_queue.entry -> unit
+
+  (** A non-update message (answer / snapshot) arrived. *)
+  val on_answer : t -> Message.to_warehouse -> unit
+
+  (** No in-flight work (used by drain loops and sanity checks). *)
+  val idle : t -> bool
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+(** Instantiate an algorithm on a context. *)
+val instantiate : (module S) -> ctx -> packed
+
+val packed_name : packed -> string
+val packed_on_update : packed -> Update_queue.entry -> unit
+val packed_on_answer : packed -> Message.to_warehouse -> unit
+val packed_idle : packed -> bool

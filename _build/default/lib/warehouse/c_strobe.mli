@@ -1,0 +1,23 @@
+(** C-strobe (Zhuge et al. 1996; paper §3).
+
+    Complete consistency via *remote* compensation: each update is handled
+    fully — one installed state per update, in delivery order — before the
+    next is started. A deleted tuple is applied locally by key. An
+    inserted tuple triggers a query over the other sources; because
+    evaluation is not error-corrected in flight, every update delivered
+    after the one being processed is conservatively treated as concurrent
+    (the paper's §4 point: without FIFO reasoning the warehouse cannot
+    tell, and the key assumption makes over-compensation harmless):
+
+    - a concurrent *insert* is handled locally by key-deleting its tuples
+      from the accumulated answer (they will be added when that update is
+      itself processed);
+    - a concurrent *delete* may have removed tuples the answer should have
+      contained, so a compensating query re-evaluates the join with the
+      deleted tuples pinned in — and those queries can themselves suffer
+      concurrent deletes, recursively. Distinct pin sets multiply: this is
+      the combinatorial message blow-up (K^(n−2), optimized (n−1)!) that
+      makes C-strobe unscalable and that SWEEP's local compensation
+      eliminates. *)
+
+include Algorithm.S

@@ -1,0 +1,62 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+let name = "eca"
+
+type pending = {
+  entry : Update_queue.entry;
+  terms : Message.eca_term list;
+  qid : int;
+}
+
+type t = { ctx : Algorithm.ctx; mutable pending : pending list }
+
+let create ctx = { ctx; pending = [] }
+
+let trace t fmt =
+  Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
+    ~who:"warehouse" fmt
+
+let on_update t (entry : Update_queue.entry) =
+  (match Update_queue.pop t.ctx.queue with
+  | Some e when e.arrival = entry.arrival -> ()
+  | _ -> invalid_arg "Eca.on_update: queue out of sync");
+  let a = entry.update.Message.txn.source in
+  let delta = entry.update.Message.delta in
+  let neg = Delta.negate delta in
+  (* Qi = V(Ui) − Σj Qj(Ui): substituting Ui into a term that already pins
+     relation a annihilates that term (it does not mention Ra). *)
+  let compensations =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun term ->
+            if List.mem_assoc a term then None
+            else Some ((a, neg) :: term))
+          p.terms)
+      t.pending
+  in
+  let terms = [ (a, delta) ] :: compensations in
+  let qid = t.ctx.fresh_qid () in
+  trace t "eca: query %d with %d terms for %a" qid (List.length terms)
+    Message.pp_txn_id entry.update.Message.txn;
+  t.pending <- t.pending @ [ { entry; terms; qid } ];
+  (* The centralized site is addressed as source 0 by convention. *)
+  t.ctx.send 0 (Message.Eca_query { qid; terms })
+
+let on_answer t msg =
+  match msg with
+  | Message.Eca_answer { qid; partial } -> (
+      match List.find_opt (fun p -> p.qid = qid) t.pending with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Eca.on_answer: unexpected answer qid=%d" qid)
+      | Some p ->
+          t.pending <- List.filter (fun p' -> p'.qid <> qid) t.pending;
+          let view_delta = Algebra.select_project t.ctx.view partial in
+          t.ctx.install view_delta ~txns:[ p.entry ])
+  | Message.Answer _ | Message.Snapshot _ | Message.Update_notice _ ->
+      invalid_arg "Eca.on_answer: unexpected message kind"
+
+let idle t = t.pending = [] && Update_queue.is_empty t.ctx.queue

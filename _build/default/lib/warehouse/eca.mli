@@ -1,0 +1,17 @@
+(** ECA — the Eager Compensating Algorithm (Zhuge et al. 1995; paper §3).
+
+    Single-site architecture: one data source (the {!Repro_source.Eca_site})
+    stores all base relations, so every incremental query is answered in
+    one round trip (O(1) messages per update). Compensation is *remote*:
+    when update Ui arrives while queries Q1…Qk are unanswered, the new
+    query is
+
+    {v Qi = V(Ui) − Σj Qj(Ui) v}
+
+    where Qj(Ui) substitutes Ui's delta for its relation in every term of
+    Qj. Terms accumulate pins as concurrent updates stack up, which is the
+    quadratic growth in query *size* the paper ascribes to ECA (our
+    experiment E2). Each answer is merged into the view as it arrives;
+    correct states are guaranteed at quiescence. *)
+
+include Algorithm.S

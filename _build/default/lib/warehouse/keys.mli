@@ -1,0 +1,35 @@
+(** Key plumbing for the Strobe-family baselines.
+
+    Strobe and C-strobe assume every base relation has a unique key and
+    that the view projects all of them (paper §3); these helpers extract
+    key values from source tuples, full-width join tuples and projected
+    view tuples, and build the key-based deletions those algorithms apply
+    locally. *)
+
+open Repro_relational
+
+(** Checks the Strobe applicability condition; raises [Invalid_argument]
+    naming the algorithm when the view does not retain all keys. *)
+val require_keys : algorithm:string -> View_def.t -> unit
+
+(** Key values of a source-local tuple of source [j]. *)
+val source_tuple_key : View_def.t -> int -> Tuple.t -> Tuple.t
+
+(** Key values of source [j]'s slice inside a full-width join tuple. *)
+val full_tuple_key : View_def.t -> int -> Tuple.t -> Tuple.t
+
+(** Key values of source [j] inside a projected view tuple. *)
+val view_tuple_key : View_def.t -> int -> Tuple.t -> Tuple.t
+
+(** [kill_full view ~full ~source ~keys] removes from the full-width
+    delta [full] every tuple whose [source]-slice key is in [keys]
+    (in place). *)
+val kill_full :
+  View_def.t -> full:Delta.t -> source:int -> keys:(Tuple.t, unit) Hashtbl.t ->
+  unit
+
+(** [view_deletion view ~contents ~source ~key] is the negative view-level
+    delta that removes every current view tuple whose [source]-key equals
+    [key]. *)
+val view_deletion :
+  View_def.t -> contents:Bag.t -> source:int -> key:Tuple.t -> Delta.t

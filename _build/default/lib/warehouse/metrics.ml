@@ -1,0 +1,51 @@
+type t = {
+  mutable updates_received : int;
+  mutable updates_incorporated : int;
+  mutable queries_sent : int;
+  mutable answers_received : int;
+  mutable query_weight : int;
+  mutable answer_weight : int;
+  mutable notice_weight : int;
+  mutable installs : int;
+  mutable compensations : int;
+  mutable recursions : int;
+  mutable fallbacks : int;
+  mutable max_depth : int;
+  mutable max_queue : int;
+  mutable negative_installs : int;
+  mutable staleness_sum : float;
+  mutable staleness_max : float;
+}
+
+let create () =
+  { updates_received = 0; updates_incorporated = 0; queries_sent = 0;
+    answers_received = 0; query_weight = 0; answer_weight = 0;
+    notice_weight = 0; installs = 0; compensations = 0; recursions = 0;
+    fallbacks = 0; max_depth = 0; max_queue = 0; negative_installs = 0;
+    staleness_sum = 0.; staleness_max = 0. }
+
+let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
+
+let note_staleness t s =
+  t.staleness_sum <- t.staleness_sum +. s;
+  if s > t.staleness_max then t.staleness_max <- s
+
+let mean_staleness t =
+  if t.updates_incorporated = 0 then 0.
+  else t.staleness_sum /. float_of_int t.updates_incorporated
+
+let queries_per_update t =
+  if t.updates_incorporated = 0 then 0.
+  else float_of_int t.queries_sent /. float_of_int t.updates_incorporated
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>updates: %d received, %d incorporated in %d installs@,\
+     messages: %d queries (%d tuples), %d answers (%d tuples)@,\
+     compensations: %d; recursions: %d (max depth %d, %d fallbacks)@,\
+     max queue: %d; negative installs: %d@,\
+     staleness: mean %.3f, max %.3f@]"
+    t.updates_received t.updates_incorporated t.installs t.queries_sent
+    t.query_weight t.answers_received t.answer_weight t.compensations
+    t.recursions t.max_depth t.fallbacks t.max_queue t.negative_installs
+    (mean_staleness t) t.staleness_max

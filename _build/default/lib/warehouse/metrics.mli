@@ -1,0 +1,41 @@
+(** Per-run counters: the quantities Table 1 and our experiments report.
+
+    Message counts and weights are maintained by the warehouse node's send
+    and deliver paths; algorithm-specific counters (compensations,
+    recursions, fallbacks) by the algorithms themselves. *)
+
+type t = {
+  mutable updates_received : int;  (** update notices delivered *)
+  mutable updates_incorporated : int;  (** txns reflected in the view *)
+  mutable queries_sent : int;  (** messages warehouse → sources *)
+  mutable answers_received : int;  (** non-update messages sources → warehouse *)
+  mutable query_weight : int;  (** Σ payload tuples, warehouse → sources *)
+  mutable answer_weight : int;  (** Σ payload tuples, sources → warehouse *)
+  mutable notice_weight : int;  (** Σ payload tuples of update notices *)
+  mutable installs : int;  (** view-state transitions *)
+  mutable compensations : int;  (** local error corrections performed *)
+  mutable recursions : int;  (** Nested SWEEP recursive frames *)
+  mutable fallbacks : int;  (** Nested SWEEP forced terminations *)
+  mutable max_depth : int;  (** max Nested SWEEP stack depth *)
+  mutable max_queue : int;  (** max update-queue length *)
+  mutable negative_installs : int;  (** installs driving a count < 0 *)
+  mutable staleness_sum : float;  (** Σ (install − arrival) over txns *)
+  mutable staleness_max : float;
+}
+
+val create : unit -> t
+
+(** Observe queue length after an append. *)
+val note_queue_length : t -> int -> unit
+
+(** Observe one incorporated txn's staleness. *)
+val note_staleness : t -> float -> unit
+
+(** Mean staleness per incorporated txn (0 when none). *)
+val mean_staleness : t -> float
+
+(** Queries sent per incorporated txn (the paper's message cost per
+    update). *)
+val queries_per_update : t -> float
+
+val pp : Format.formatter -> t -> unit

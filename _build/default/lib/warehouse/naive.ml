@@ -1,0 +1,15 @@
+include Sweep_engine.Make (struct
+  let name = "naive"
+
+  (* No on-line error correction — the whole point of this baseline. *)
+  let compensate = false
+
+  type extra = unit
+
+  let create_extra _ = ()
+
+  let on_complete ctx () view_delta entry =
+    ctx.Algorithm.install view_delta ~txns:[ entry ]
+
+  let extra_idle () = true
+end)

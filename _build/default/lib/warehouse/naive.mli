@@ -1,0 +1,9 @@
+(** The no-compensation strawman.
+
+    Identical to SWEEP except that answers are incorporated as-is: the
+    error terms introduced by concurrent updates (paper §3) are never
+    corrected. Under concurrency it installs wrong states — including
+    negative tuple counts — which is the anomaly motivating the paper.
+    With updates spaced far enough apart it coincides with SWEEP. *)
+
+include Algorithm.S

@@ -1,0 +1,186 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+(* One activation of the recursive ViewChange(ΔR, left, src, right).
+   [pending] lists the sources this frame still has to query, left sweep
+   first; [entries] are the update(s) this frame incorporates (several
+   when concurrent updates from one source are merged). *)
+type frame = {
+  entries : Update_queue.entry list;
+  left : int;
+  src : int;
+  right : int;
+  mutable dv : Partial.t;
+  mutable temp : Partial.t;
+  mutable pending : int list;
+  mutable outstanding : int;
+  qid : int;
+}
+
+type state = {
+  ctx : Algorithm.ctx;
+  max_depth : int;
+  mutable stack : frame list;  (* innermost first *)
+  mutable batch : Update_queue.entry list;  (* all entries being installed *)
+}
+
+let frame_order ~left ~src ~right =
+  let l = List.init (src - left) (fun k -> src - 1 - k) in
+  let r = List.init (right - src) (fun k -> src + 1 + k) in
+  l @ r
+
+let make_frame ctx ~entries ~left ~src ~right =
+  let merged =
+    Delta.sum
+      (List.map (fun e -> e.Update_queue.update.Message.delta) entries)
+  in
+  let dv = Partial.of_source_delta ctx.Algorithm.view src merged in
+  { entries; left; src; right; dv; temp = dv;
+    pending = frame_order ~left ~src ~right; outstanding = -1;
+    qid = ctx.Algorithm.fresh_qid () }
+
+module Make (Cfg : sig
+  val max_depth : int
+end) =
+struct
+  type t = state
+
+  let name =
+    if Cfg.max_depth = 64 then "nested-sweep"
+    else Printf.sprintf "nested-sweep(d=%d)" Cfg.max_depth
+
+  let create ctx = { ctx; max_depth = Cfg.max_depth; stack = []; batch = [] }
+
+  let trace t fmt =
+    Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
+      ~who:"warehouse" fmt
+
+  let rec advance t =
+    match t.stack with
+    | [] -> start_next t
+    | frame :: parents -> (
+        match frame.pending with
+        | j :: rest ->
+            frame.pending <- rest;
+            frame.outstanding <- j;
+            frame.temp <- frame.dv;
+            t.ctx.send j
+              (Message.Sweep_query
+                 { qid = frame.qid; target = j;
+                   partial = Partial.copy frame.dv })
+        | [] -> (
+            match parents with
+            | parent :: _ ->
+                (* Recursive call returns: merge the child's view change
+                   into the parent's and resume the parent. *)
+                t.stack <- parents;
+                parent.dv <- Partial.add parent.dv frame.dv;
+                trace t "frame for src %d returns to src %d" frame.src
+                  parent.src;
+                advance t
+            | [] ->
+                let view_delta = Algebra.select_project t.ctx.view frame.dv in
+                let txns = t.batch in
+                t.stack <- [];
+                t.batch <- [];
+                trace t "install batch of %d update(s): %a" (List.length txns)
+                  Delta.pp view_delta;
+                t.ctx.install view_delta ~txns;
+                start_next t))
+
+  and start_next t =
+    match t.stack with
+    | _ :: _ -> ()
+    | [] -> (
+        match Update_queue.pop t.ctx.queue with
+        | None -> ()
+        | Some entry ->
+            let i = entry.update.Message.txn.source in
+            let n = View_def.n_sources t.ctx.view in
+            let frame =
+              make_frame t.ctx ~entries:[ entry ] ~left:0 ~src:i
+                ~right:(n - 1)
+            in
+            trace t "ViewChange(%a, 0, %d, %d) begins" Message.pp_txn_id
+              entry.update.Message.txn i (n - 1);
+            t.stack <- [ frame ];
+            t.batch <- [ entry ];
+            advance t)
+
+  let on_update t (_ : Update_queue.entry) = start_next t
+
+  let on_answer t msg =
+    match (msg, t.stack) with
+    | Message.Answer { qid; source = j; partial }, frame :: _
+      when qid = frame.qid && j = frame.outstanding ->
+        frame.outstanding <- -1;
+        let interfering = Update_queue.from_source t.ctx.queue j in
+        (match interfering with
+        | [] -> frame.dv <- partial
+        | _ :: _ ->
+            let merged =
+              Delta.sum
+                (List.map (fun e -> e.Update_queue.update.Message.delta)
+                   interfering)
+            in
+            t.ctx.metrics.Metrics.compensations <-
+              t.ctx.metrics.Metrics.compensations + 1;
+            frame.dv <-
+              Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
+                ~temp:frame.temp;
+            let depth = List.length t.stack in
+            if depth >= t.max_depth then begin
+              (* Forced termination (paper §6.2): behave like SWEEP — the
+                 update stays queued for its own, later ViewChange. *)
+              t.ctx.metrics.Metrics.fallbacks <-
+                t.ctx.metrics.Metrics.fallbacks + 1;
+              trace t "depth limit: leaving %d update(s) from %d queued"
+                (List.length interfering) j
+            end
+            else begin
+              let absorbed = Update_queue.take_from_source t.ctx.queue j in
+              t.batch <- t.batch @ absorbed;
+              (* Bounds per Fig. 6: during the left sweep the frame covers
+                 [j..src], so the child evaluates ΔRj's missing terms over
+                 j+1..src; during the right sweep it covers [left..j] and
+                 the child evaluates over left..j−1. *)
+              let child =
+                if j < frame.src then
+                  make_frame t.ctx ~entries:absorbed ~left:j ~src:j
+                    ~right:frame.src
+                else
+                  make_frame t.ctx ~entries:absorbed ~left:frame.left ~src:j
+                    ~right:j
+              in
+              t.ctx.metrics.Metrics.recursions <-
+                t.ctx.metrics.Metrics.recursions + 1;
+              let new_depth = depth + 1 in
+              if new_depth > t.ctx.metrics.Metrics.max_depth then
+                t.ctx.metrics.Metrics.max_depth <- new_depth;
+              trace t "recurse: ViewChange(ΔR%d, %d, %d, %d) at depth %d" j
+                child.left child.src child.right new_depth;
+              t.stack <- child :: t.stack
+            end);
+        advance t
+    | Message.Answer { qid; source; _ }, _ ->
+        invalid_arg
+          (Printf.sprintf "Nested_sweep.on_answer: unexpected answer qid=%d from %d"
+             qid source)
+    | (Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _), _
+      ->
+        invalid_arg "Nested_sweep.on_answer: unexpected message kind"
+
+  let idle t = t.stack = [] && Update_queue.is_empty t.ctx.queue
+end
+
+module Default = Make (struct
+  let max_depth = 64
+end)
+
+include Default
+
+let with_max_depth d : (module Algorithm.S) =
+  (module Make (struct
+    let max_depth = d
+  end))

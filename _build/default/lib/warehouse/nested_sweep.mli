@@ -1,0 +1,21 @@
+(** Nested SWEEP (paper §6, Fig. 6).
+
+    Like SWEEP, but when the answer from source [j] reveals a concurrent
+    update ΔRj, that update is *removed from the queue* and recursively
+    incorporated: a child ViewChange evaluates ΔRj's missing terms over
+    exactly the range the parent has covered so far, its result is merged
+    into the parent's ΔV, and the parent continues sweeping — now carrying
+    both updates. One combined delta is installed for the whole batch, so
+    consistency weakens from complete to strong while the message cost is
+    amortized over the batch.
+
+    The paper notes (§6.2) that an adversarial alternating sequence of
+    interfering updates can make the recursion oscillate; it suggests
+    forcing termination. [max_depth] implements that: beyond it, a
+    concurrent update is only compensated (SWEEP-style) and left queued,
+    which is counted as a fallback in the metrics. *)
+
+include Algorithm.S
+
+(** Same algorithm with a custom recursion bound (default 64). *)
+val with_max_depth : int -> (module Algorithm.S)

@@ -1,0 +1,111 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+type install_record = {
+  at : float;
+  txns : Message.txn_id list;
+  view_after : Bag.t;
+  negative : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  view : View_def.t;
+  data : Bag.t;
+  initial : Bag.t;
+  metrics : Metrics.t;
+  queue : Update_queue.t;
+  record_history : bool;
+  mutable algo : Algorithm.packed option;
+  mutable rev_installs : install_record list;
+  mutable rev_deliveries : Message.update list;
+  mutable listeners : (Delta.t -> unit) list;
+}
+
+let create engine ~view ~algorithm ~send ~init ?(record_history = true)
+    ?(trace = Trace.create ()) () =
+  let data = Bag.copy (Relation.as_bag init) in
+  let t =
+    { engine; view; data; initial = Bag.copy data; metrics = Metrics.create ();
+      queue = Update_queue.create (); record_history; algo = None;
+      rev_installs = []; rev_deliveries = []; listeners = [] }
+  in
+  let instrumented_send i msg =
+    t.metrics.Metrics.queries_sent <- t.metrics.Metrics.queries_sent + 1;
+    t.metrics.Metrics.query_weight <-
+      t.metrics.Metrics.query_weight + Message.weight_to_source msg;
+    Trace.emit trace ~time:(Engine.now engine) ~who:"warehouse" "send %a"
+      Message.pp_to_source msg;
+    send i msg
+  in
+  let install delta ~txns =
+    let negative =
+      Delta.fold
+        (fun tup c neg -> neg || Bag.count t.data tup + c < 0)
+        delta false
+    in
+    Bag.merge_into ~into:t.data delta;
+    t.metrics.Metrics.installs <- t.metrics.Metrics.installs + 1;
+    t.metrics.Metrics.updates_incorporated <-
+      t.metrics.Metrics.updates_incorporated + List.length txns;
+    if negative then
+      t.metrics.Metrics.negative_installs <-
+        t.metrics.Metrics.negative_installs + 1;
+    let now = Engine.now engine in
+    List.iter
+      (fun e ->
+        Metrics.note_staleness t.metrics (now -. e.Update_queue.arrived_at))
+      txns;
+    if t.record_history then
+      t.rev_installs <-
+        { at = now;
+          txns = List.map (fun e -> e.Update_queue.update.Message.txn) txns;
+          view_after = Bag.copy t.data; negative }
+        :: t.rev_installs;
+    List.iter (fun f -> f delta) t.listeners
+  in
+  let ctx =
+    { Algorithm.engine; view; trace; metrics = t.metrics; queue = t.queue;
+      send = instrumented_send; install;
+      view_contents = (fun () -> t.data);
+      fresh_qid =
+        (let next = ref 0 in
+         fun () ->
+           incr next;
+           !next) }
+  in
+  t.algo <- Some (Algorithm.instantiate algorithm ctx);
+  t
+
+let algo t = Option.get t.algo
+
+let deliver t msg =
+  match msg with
+  | Message.Update_notice update ->
+      t.metrics.Metrics.updates_received <-
+        t.metrics.Metrics.updates_received + 1;
+      t.metrics.Metrics.notice_weight <-
+        t.metrics.Metrics.notice_weight + Delta.weight update.Message.delta;
+      t.rev_deliveries <- update :: t.rev_deliveries;
+      let entry =
+        Update_queue.append t.queue update ~arrived_at:(Engine.now t.engine)
+      in
+      Metrics.note_queue_length t.metrics (Update_queue.length t.queue);
+      Algorithm.packed_on_update (algo t) entry
+  | Message.Answer _ | Message.Snapshot _ | Message.Eca_answer _ ->
+      t.metrics.Metrics.answers_received <-
+        t.metrics.Metrics.answers_received + 1;
+      t.metrics.Metrics.answer_weight <-
+        t.metrics.Metrics.answer_weight + Message.weight_to_warehouse msg;
+      Algorithm.packed_on_answer (algo t) msg
+
+let add_install_listener t f = t.listeners <- t.listeners @ [ f ]
+let view_contents t = t.data
+let metrics t = t.metrics
+let queue t = t.queue
+let algorithm_name t = Algorithm.packed_name (algo t)
+let installs t = List.rev t.rev_installs
+let deliveries t = List.rev t.rev_deliveries
+let initial_view t = t.initial
+let idle t = Algorithm.packed_idle (algo t)

@@ -1,0 +1,69 @@
+(** The warehouse site (paper Figs. 1 and 4).
+
+    Owns the materialized view, the update message queue and the metrics;
+    runs one maintenance algorithm. The [LogUpdates] process of Fig. 4 is
+    {!deliver} on an [Update_notice]; answers are routed to the
+    algorithm's [on_answer]. All messages the algorithm sends are
+    instrumented here, and every install is recorded (time, incorporated
+    transactions, view snapshot) for the consistency checker.
+
+    The view is stored as a signed {!Bag} on purpose: a correct algorithm
+    never drives a count negative, and the node records it when one does
+    (the naive baseline's failure mode) instead of crashing. *)
+
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+type install_record = {
+  at : float;
+  txns : Message.txn_id list;  (** incorporated by this install *)
+  view_after : Bag.t;  (** snapshot right after the install *)
+  negative : bool;  (** install drove some count negative *)
+}
+
+type t
+
+(** [create engine ~view ~algorithm ~send ~init ()] builds the node.
+    [send i msg] must transmit [msg] to source [i] (or to the centralized
+    site); [init] is the initial, correct materialized view (paper §5.1
+    assumes V starts correct). [record_history] (default true) keeps
+    per-install snapshots for the checker. *)
+val create :
+  Engine.t ->
+  view:View_def.t ->
+  algorithm:(module Algorithm.S) ->
+  send:(int -> Message.to_source -> unit) ->
+  init:Relation.t ->
+  ?record_history:bool ->
+  ?trace:Trace.t ->
+  unit ->
+  t
+
+(** Deliver one message from a source channel. *)
+val deliver : t -> Message.to_warehouse -> unit
+
+(** [add_install_listener t f] calls [f delta] after every install, with
+    the view-level delta just applied — the feed for downstream
+    derivations such as {!Aggregate}. *)
+val add_install_listener : t -> (Delta.t -> unit) -> unit
+
+(** Current materialized view contents (live; treat as read-only). *)
+val view_contents : t -> Bag.t
+
+val metrics : t -> Metrics.t
+val queue : t -> Update_queue.t
+val algorithm_name : t -> string
+
+(** Installs in order of occurrence. *)
+val installs : t -> install_record list
+
+(** Updates in warehouse delivery order. *)
+val deliveries : t -> Message.update list
+
+(** Initial view contents (snapshot taken at creation). *)
+val initial_view : t -> Bag.t
+
+(** True when the algorithm has no in-flight work and the queue is
+    empty. *)
+val idle : t -> bool

@@ -1,0 +1,65 @@
+open Repro_relational
+open Repro_protocol
+
+let name = "recompute"
+
+type job = {
+  entry : Update_queue.entry;
+  snapshots : Relation.t option array;
+  mutable missing : int;
+  qid : int;
+}
+
+type t = { ctx : Algorithm.ctx; mutable current : job option }
+
+let create ctx = { ctx; current = None }
+
+let rec start_next t =
+  match t.current with
+  | Some _ -> ()
+  | None -> (
+      match Update_queue.pop t.ctx.queue with
+      | None -> ()
+      | Some entry ->
+          let n = View_def.n_sources t.ctx.view in
+          let job =
+            { entry; snapshots = Array.make n None; missing = n;
+              qid = t.ctx.fresh_qid () }
+          in
+          t.current <- Some job;
+          for j = 0 to n - 1 do
+            t.ctx.send j (Message.Fetch { qid = job.qid; target = j })
+          done)
+
+and finish t job =
+  let fetch i =
+    match job.snapshots.(i) with Some r -> r | None -> assert false
+  in
+  let recomputed = Algebra.eval t.ctx.view fetch in
+  (* Install the difference between the recomputed view and the current
+     contents, so the node's single install path applies. *)
+  let current = t.ctx.view_contents () in
+  let delta = Delta.of_relation recomputed in
+  Bag.diff_into ~into:delta current;
+  t.current <- None;
+  t.ctx.install delta ~txns:[ job.entry ];
+  start_next t
+
+let on_update t (_ : Update_queue.entry) = start_next t
+
+let on_answer t msg =
+  match (msg, t.current) with
+  | Message.Snapshot { qid; source; relation }, Some job when qid = job.qid ->
+      (match job.snapshots.(source) with
+      | None ->
+          job.snapshots.(source) <- Some relation;
+          job.missing <- job.missing - 1
+      | Some _ -> invalid_arg "Recompute.on_answer: duplicate snapshot");
+      if job.missing = 0 then finish t job
+  | Message.Snapshot { qid; _ }, _ ->
+      invalid_arg
+        (Printf.sprintf "Recompute.on_answer: unexpected snapshot qid=%d" qid)
+  | (Message.Answer _ | Message.Eca_answer _ | Message.Update_notice _), _ ->
+      invalid_arg "Recompute.on_answer: unexpected message kind"
+
+let idle t = t.current = None && Update_queue.is_empty t.ctx.queue

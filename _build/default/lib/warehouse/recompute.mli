@@ -1,0 +1,10 @@
+(** Full-recomputation baseline (paper §3 calls it "unrealistic").
+
+    For every queued update it fetches a snapshot of every base relation
+    and recomputes the view from scratch. Message *count* is O(n) like
+    SWEEP, but the payload is the entire database, and because the n
+    snapshots are taken at different times the recomputed state can
+    correspond to no consistent database state at all — the checker
+    classifies it as convergent only. *)
+
+include Algorithm.S

@@ -1,0 +1,144 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+let name = "strobe"
+
+(* AL entries, in append order. [Del] carries the key of a deleted source
+   tuple; [Ins] a ready full-width answer to project and merge. *)
+type action =
+  | Del of { source : int; key : Tuple.t }
+  | Ins of { full : Delta.t }
+
+type query = {
+  entry : Update_queue.entry;
+  mutable dv : Partial.t;
+  mutable pending : int list;
+  mutable outstanding : int;
+  (* key-deletes delivered while this query was in flight *)
+  mutable kill_keys : (int * Tuple.t) list;
+  qid : int;
+}
+
+type t = {
+  ctx : Algorithm.ctx;
+  mutable uqs : query list;  (* unanswered query set *)
+  mutable rev_al : action list;
+  mutable batch : Update_queue.entry list;  (* entries awaiting install *)
+}
+
+let create ctx =
+  Keys.require_keys ~algorithm:"Strobe" ctx.Algorithm.view;
+  { ctx; uqs = []; rev_al = []; batch = [] }
+
+let trace t fmt =
+  Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
+    ~who:"warehouse" fmt
+
+(* Apply AL to the materialized view atomically: key deletes remove every
+   matching view tuple; inserts are added with duplicate suppression (the
+   view's keys make any duplicate an already-derived tuple). *)
+let flush t =
+  if t.rev_al <> [] || t.batch <> [] then begin
+    let working = Bag.copy (t.ctx.view_contents ()) in
+    List.iter
+      (fun action ->
+        match action with
+        | Del { source; key } ->
+            let d =
+              Keys.view_deletion t.ctx.view ~contents:working ~source ~key
+            in
+            Bag.merge_into ~into:working d
+        | Ins { full } ->
+            let view_delta =
+              Algebra.select_project t.ctx.view
+                { Partial.lo = 0;
+                  hi = View_def.n_sources t.ctx.view - 1;
+                  data = full }
+            in
+            Delta.iter
+              (fun tup c ->
+                if c > 0 && not (Bag.mem working tup) then
+                  Bag.add working tup 1)
+              view_delta)
+      (List.rev t.rev_al);
+    (* Install the net difference as one state transition. *)
+    let delta = Bag.copy working in
+    Bag.diff_into ~into:delta (t.ctx.view_contents ());
+    let txns = t.batch in
+    t.rev_al <- [];
+    t.batch <- [];
+    trace t "strobe: flush AL (%d txns)" (List.length txns);
+    t.ctx.install delta ~txns
+  end
+
+let maybe_flush t = if t.uqs = [] then flush t
+
+let advance t q =
+  match q.pending with
+  | j :: rest ->
+      q.pending <- rest;
+      q.outstanding <- j;
+      t.ctx.send j
+        (Message.Sweep_query
+           { qid = q.qid; target = j; partial = Partial.copy q.dv })
+  | [] ->
+      (* Query finished: apply the deletes seen during evaluation, then
+         append the insert action. *)
+      let full = q.dv.Partial.data in
+      List.iter
+        (fun (source, key) ->
+          let keys = Hashtbl.create 4 in
+          Hashtbl.replace keys key ();
+          Keys.kill_full t.ctx.view ~full ~source ~keys)
+        q.kill_keys;
+      t.uqs <- List.filter (fun q' -> q'.qid <> q.qid) t.uqs;
+      t.rev_al <- Ins { full } :: t.rev_al;
+      maybe_flush t
+
+let on_update t (entry : Update_queue.entry) =
+  (* Strobe consumes updates immediately; the queue is only a mailbox. *)
+  (match Update_queue.pop t.ctx.queue with
+  | Some e when e.arrival = entry.arrival -> ()
+  | _ -> invalid_arg "Strobe.on_update: queue out of sync");
+  t.batch <- t.batch @ [ entry ];
+  let delta = entry.update.Message.delta in
+  let deletes = Delta.negative_part delta in
+  let inserts = Delta.positive_part delta in
+  let i = entry.update.Message.txn.source in
+  (* Deletes: local key-delete actions, registered with in-flight
+     queries. *)
+  Delta.iter
+    (fun tup _c ->
+      let key = Keys.source_tuple_key t.ctx.view i tup in
+      List.iter (fun q -> q.kill_keys <- (i, key) :: q.kill_keys) t.uqs;
+      t.rev_al <- Del { source = i; key } :: t.rev_al)
+    deletes;
+  (* Inserts: launch a query over the other sources. *)
+  if not (Delta.is_empty inserts) then begin
+    let n = View_def.n_sources t.ctx.view in
+    let q =
+      { entry; dv = Partial.of_source_delta t.ctx.view i inserts;
+        pending = Sweep.sweep_order ~n ~i; outstanding = -1;
+        kill_keys = []; qid = t.ctx.fresh_qid () }
+    in
+    t.uqs <- t.uqs @ [ q ];
+    advance t q
+  end
+  else maybe_flush t
+
+let on_answer t msg =
+  match msg with
+  | Message.Answer { qid; source = j; partial } -> (
+      match List.find_opt (fun q -> q.qid = qid) t.uqs with
+      | Some q when q.outstanding = j ->
+          q.outstanding <- -1;
+          q.dv <- partial;
+          advance t q
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "Strobe.on_answer: unexpected answer qid=%d" qid))
+  | Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _ ->
+      invalid_arg "Strobe.on_answer: unexpected message kind"
+
+let idle t = t.uqs = [] && t.rev_al = [] && Update_queue.is_empty t.ctx.queue

@@ -1,0 +1,16 @@
+let sweep_order ~n ~i = Sweep_order.order ~n ~i
+
+include Sweep_engine.Make (struct
+  let name = "sweep"
+  let compensate = true
+
+  type extra = unit
+
+  let create_extra _ = ()
+
+  (* One install per update, immediately — complete consistency. *)
+  let on_complete ctx () view_delta entry =
+    ctx.Algorithm.install view_delta ~txns:[ entry ]
+
+  let extra_idle () = true
+end)

@@ -1,0 +1,126 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+module type POLICY = sig
+  val name : string
+  val compensate : bool
+
+  type extra
+
+  val create_extra : Algorithm.ctx -> extra
+
+  val on_complete :
+    Algorithm.ctx -> extra -> Delta.t -> Update_queue.entry -> unit
+
+  val extra_idle : extra -> bool
+end
+
+module Make (P : POLICY) = struct
+  (* State of the in-progress ViewChange: [pending] is the sweep-order
+     list of sources still to query; [temp] is TempView — the ΔV that was
+     sent with the outstanding query. *)
+  type view_change = {
+    entry : Update_queue.entry;
+    mutable dv : Partial.t;
+    mutable temp : Partial.t;
+    mutable outstanding : int;
+    mutable pending : int list;
+    qid : int;
+  }
+
+  type t = {
+    ctx : Algorithm.ctx;
+    extra : P.extra;
+    mutable current : view_change option;
+  }
+
+  let name = P.name
+  let create ctx = { ctx; extra = P.create_extra ctx; current = None }
+
+  let trace t fmt =
+    Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
+      ~who:"warehouse" fmt
+
+  let rec advance t =
+    match t.current with
+    | None -> ()
+    | Some vc -> (
+        match vc.pending with
+        | j :: rest ->
+            vc.pending <- rest;
+            vc.outstanding <- j;
+            vc.temp <- vc.dv;
+            t.ctx.send j
+              (Message.Sweep_query
+                 { qid = vc.qid; target = j; partial = Partial.copy vc.dv })
+        | [] ->
+            let view_delta = Algebra.select_project t.ctx.view vc.dv in
+            trace t "%s: ViewChange(%a) yields %a" P.name Message.pp_txn_id
+              vc.entry.update.Message.txn Delta.pp view_delta;
+            t.current <- None;
+            P.on_complete t.ctx t.extra view_delta vc.entry;
+            start_next t)
+
+  (* The UpdateView process of Fig. 4: take the oldest queued update and
+     run ViewChange for it. *)
+  and start_next t =
+    match t.current with
+    | Some _ -> ()
+    | None -> (
+        match Update_queue.pop t.ctx.queue with
+        | None -> ()
+        | Some entry ->
+            let i = entry.update.Message.txn.source in
+            let n = View_def.n_sources t.ctx.view in
+            let dv =
+              Partial.of_source_delta t.ctx.view i entry.update.Message.delta
+            in
+            let vc =
+              { entry; dv; temp = dv; outstanding = -1;
+                pending = Sweep_order.order ~n ~i; qid = t.ctx.fresh_qid () }
+            in
+            t.current <- Some vc;
+            advance t)
+
+  let on_update t (_ : Update_queue.entry) = start_next t
+
+  let on_answer t msg =
+    match (msg, t.current) with
+    | Message.Answer { qid; source = j; partial }, Some vc
+      when qid = vc.qid && j = vc.outstanding ->
+        vc.outstanding <- -1;
+        (* On-line error correction (paper §4): any update from j still in
+           the queue was applied at j before our query was evaluated. *)
+        let interfering =
+          if P.compensate then Update_queue.from_source t.ctx.queue j else []
+        in
+        (match interfering with
+        | [] -> vc.dv <- partial
+        | _ :: _ ->
+            let merged =
+              Delta.sum
+                (List.map (fun e -> e.Update_queue.update.Message.delta)
+                   interfering)
+            in
+            t.ctx.metrics.Metrics.compensations <-
+              t.ctx.metrics.Metrics.compensations + 1;
+            trace t "compensate answer from %d for %d interfering update(s)" j
+              (List.length interfering);
+            vc.dv <-
+              Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
+                ~temp:vc.temp);
+        advance t
+    | Message.Answer { qid; source; _ }, _ ->
+        invalid_arg
+          (Printf.sprintf "%s: unexpected answer qid=%d from %d" P.name qid
+             source)
+    | (Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _), _
+      ->
+        invalid_arg (P.name ^ ": unexpected message kind")
+
+  let idle t =
+    t.current = None
+    && Update_queue.is_empty t.ctx.queue
+    && P.extra_idle t.extra
+end

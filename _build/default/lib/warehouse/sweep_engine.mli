@@ -1,0 +1,33 @@
+(** The shared ViewChange state machine behind the SWEEP family.
+
+    SWEEP, the naive baseline and Global SWEEP all process one update at a
+    time with the same left-then-right sweep (Fig. 4); they differ only in
+    whether answers are error-corrected and in what happens when a
+    ViewChange finishes. This functor owns the sweep mechanics; policies
+    supply the two decision points. *)
+
+open Repro_relational
+
+module type POLICY = sig
+  val name : string
+
+  (** Apply §4's on-line error correction to answers? (The naive baseline
+      says no — that is its entire difference from SWEEP.) *)
+  val compensate : bool
+
+  (** Per-instance policy state (install buffers, transaction ledgers…). *)
+  type extra
+
+  val create_extra : Algorithm.ctx -> extra
+
+  (** A ViewChange finished: the policy decides how to install
+      [view_delta] for [entry] (immediately, buffered, …). The engine
+      starts the next update afterwards. *)
+  val on_complete :
+    Algorithm.ctx -> extra -> Delta.t -> Update_queue.entry -> unit
+
+  (** Is the policy state quiescent (nothing buffered)? *)
+  val extra_idle : extra -> bool
+end
+
+module Make (P : POLICY) : Algorithm.S

@@ -1,0 +1,52 @@
+open Repro_relational
+open Repro_protocol
+
+(* Per-instance ledger: which global transactions are still missing parts,
+   and the install buffer held back while any is open. *)
+type ledger = {
+  open_txns : (int, int) Hashtbl.t;
+  mutable buffered : Delta.t;
+  mutable buffered_entries : Update_queue.entry list;
+}
+
+include Sweep_engine.Make (struct
+  let name = "sweep-global"
+  let compensate = true
+
+  type extra = ledger
+
+  let create_extra _ =
+    { open_txns = Hashtbl.create 8; buffered = Delta.empty ();
+      buffered_entries = [] }
+
+  (* Account one processed update against its global transaction, if
+     any. *)
+  let note_part ledger (entry : Update_queue.entry) =
+    match entry.update.Message.global with
+    | None -> ()
+    | Some { Message.gid; parts } ->
+        let remaining =
+          match Hashtbl.find_opt ledger.open_txns gid with
+          | None -> parts - 1
+          | Some r -> r - 1
+        in
+        if remaining = 0 then Hashtbl.remove ledger.open_txns gid
+        else Hashtbl.replace ledger.open_txns gid remaining
+
+  (* Buffer installs while any transaction is open; flush at boundaries
+     so no view state exposes a partial transaction. *)
+  let on_complete ctx ledger view_delta entry =
+    note_part ledger entry;
+    Bag.merge_into ~into:ledger.buffered view_delta;
+    ledger.buffered_entries <- ledger.buffered_entries @ [ entry ];
+    if Hashtbl.length ledger.open_txns = 0 then begin
+      let delta = ledger.buffered in
+      let entries = ledger.buffered_entries in
+      ledger.buffered <- Delta.empty ();
+      ledger.buffered_entries <- [];
+      ctx.Algorithm.install delta ~txns:entries
+    end
+
+  let extra_idle ledger =
+    Hashtbl.length ledger.open_txns = 0 && ledger.buffered_entries = []
+end)

@@ -1,0 +1,4 @@
+let order ~n ~i =
+  let left = List.init i (fun k -> i - 1 - k) in
+  let right = List.init (n - 1 - i) (fun k -> i + 1 + k) in
+  left @ right

@@ -1,0 +1,6 @@
+(** The sweep visitation order of Fig. 4: sources left of the updated one,
+    nearest first, then the sources to its right. *)
+
+(** [order ~n ~i] for an update at position [i] in a view over [n]
+    sources. *)
+val order : n:int -> i:int -> int list

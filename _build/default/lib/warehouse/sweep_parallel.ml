@@ -1,0 +1,126 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+let name = "sweep-parallel"
+
+(* One directional sweep: its own query id, its own TempView, its own list
+   of sources still to visit. *)
+type side = {
+  qid : int;
+  mutable dv : Partial.t;
+  mutable temp : Partial.t;
+  mutable pending : int list;
+  mutable outstanding : int;
+  mutable finished : bool;
+}
+
+type view_change = {
+  entry : Update_queue.entry;
+  src : int;
+  left : side;
+  right : side;
+}
+
+type t = { ctx : Algorithm.ctx; mutable current : view_change option }
+
+let create ctx = { ctx; current = None }
+
+let trace t fmt =
+  Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
+    ~who:"warehouse" fmt
+
+let advance_side t side =
+  match side.pending with
+  | j :: rest ->
+      side.pending <- rest;
+      side.outstanding <- j;
+      side.temp <- side.dv;
+      t.ctx.send j
+        (Message.Sweep_query
+           { qid = side.qid; target = j; partial = Partial.copy side.dv })
+  | [] -> side.finished <- true
+
+let rec maybe_finish t =
+  match t.current with
+  | Some vc when vc.left.finished && vc.right.finished ->
+      (* ΔV = ΔV_left ⋈ ΔV_right (§5.3). The right sweep started from a
+         unit-count copy of ΔR, so counts multiply correctly here. *)
+      let merged =
+        Algebra.merge_overlap t.ctx.view ~at:vc.src ~left:vc.left.dv
+          ~right:vc.right.dv
+      in
+      let view_delta = Algebra.select_project t.ctx.view merged in
+      trace t "parallel install for %a: %a" Message.pp_txn_id
+        vc.entry.update.Message.txn Delta.pp view_delta;
+      t.current <- None;
+      t.ctx.install view_delta ~txns:[ vc.entry ];
+      start_next t
+  | Some _ | None -> ()
+
+and start_next t =
+  match t.current with
+  | Some _ -> ()
+  | None -> (
+      match Update_queue.pop t.ctx.queue with
+      | None -> ()
+      | Some entry ->
+          let i = entry.update.Message.txn.source in
+          let n = View_def.n_sources t.ctx.view in
+          let delta = entry.update.Message.delta in
+          let left =
+            { qid = t.ctx.fresh_qid ();
+              dv = Partial.of_source_delta t.ctx.view i delta;
+              temp = Partial.of_source_delta t.ctx.view i delta;
+              pending = List.init i (fun k -> i - 1 - k);
+              outstanding = -1; finished = false }
+          in
+          let right =
+            { qid = t.ctx.fresh_qid ();
+              dv = Partial.of_source_delta t.ctx.view i (Delta.distinct delta);
+              temp = Partial.of_source_delta t.ctx.view i (Delta.distinct delta);
+              pending = List.init (n - 1 - i) (fun k -> i + 1 + k);
+              outstanding = -1; finished = false }
+          in
+          trace t "parallel ViewChange(%a): left %d hops, right %d hops"
+            Message.pp_txn_id entry.update.Message.txn i
+            (n - 1 - i);
+          t.current <- Some { entry; src = i; left; right };
+          advance_side t left;
+          advance_side t right;
+          maybe_finish t)
+
+let on_update t (_ : Update_queue.entry) = start_next t
+
+let on_answer t msg =
+  match (msg, t.current) with
+  | Message.Answer { qid; source = j; partial }, Some vc
+    when (qid = vc.left.qid && j = vc.left.outstanding)
+         || (qid = vc.right.qid && j = vc.right.outstanding) ->
+      let side = if qid = vc.left.qid then vc.left else vc.right in
+      side.outstanding <- -1;
+      let interfering = Update_queue.from_source t.ctx.queue j in
+      (match interfering with
+      | [] -> side.dv <- partial
+      | _ :: _ ->
+          let merged =
+            Delta.sum
+              (List.map (fun e -> e.Update_queue.update.Message.delta)
+                 interfering)
+          in
+          t.ctx.metrics.Metrics.compensations <-
+            t.ctx.metrics.Metrics.compensations + 1;
+          side.dv <-
+            Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
+              ~temp:side.temp);
+      advance_side t side;
+      maybe_finish t
+  | Message.Answer { qid; source; _ }, _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Sweep_parallel.on_answer: unexpected answer qid=%d from %d" qid
+           source)
+  | (Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _), _ ->
+      invalid_arg "Sweep_parallel.on_answer: unexpected message kind"
+
+let idle t = t.current = None && Update_queue.is_empty t.ctx.queue

@@ -1,0 +1,151 @@
+open Repro_relational
+open Repro_sim
+open Repro_protocol
+
+type vc = {
+  entry : Update_queue.entry;
+  mutable dv : Partial.t;
+  mutable temp : Partial.t;
+  mutable pending : int list;
+  mutable outstanding : int;
+  mutable completed : bool;  (* swept, awaiting in-order install *)
+  qid : int;
+}
+
+type state = {
+  ctx : Algorithm.ctx;
+  window : int;
+  mutable pipeline : vc list;  (* delivery order *)
+}
+
+module Make (Cfg : sig
+  val window : int
+end) =
+struct
+  type t = state
+
+  let name =
+    if Cfg.window = 8 then "sweep-pipelined"
+    else Printf.sprintf "sweep-pipelined(w=%d)" Cfg.window
+
+  let create ctx =
+    if Cfg.window < 1 then invalid_arg "Sweep_pipelined: window < 1";
+    { ctx; window = Cfg.window; pipeline = [] }
+
+  let trace t fmt =
+    Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
+      ~who:"warehouse" fmt
+
+  let advance t vc =
+    match vc.pending with
+    | j :: rest ->
+        vc.pending <- rest;
+        vc.outstanding <- j;
+        vc.temp <- vc.dv;
+        t.ctx.send j
+          (Message.Sweep_query
+             { qid = vc.qid; target = j; partial = Partial.copy vc.dv })
+    | [] -> vc.completed <- true
+
+  (* Install completed sweeps strictly in delivery order, then top the
+     pipeline back up from the queue. *)
+  let rec drain_and_refill t =
+    (match t.pipeline with
+    | vc :: rest when vc.completed ->
+        let view_delta = Algebra.select_project t.ctx.view vc.dv in
+        trace t "pipelined install for %a" Message.pp_txn_id
+          vc.entry.update.Message.txn;
+        t.pipeline <- rest;
+        t.ctx.install view_delta ~txns:[ vc.entry ];
+        drain_and_refill t
+    | _ -> refill t)
+
+  and refill t =
+    if List.length t.pipeline < t.window then
+      match Update_queue.pop t.ctx.queue with
+      | None -> ()
+      | Some entry ->
+          let i = entry.update.Message.txn.source in
+          let n = View_def.n_sources t.ctx.view in
+          let dv =
+            Partial.of_source_delta t.ctx.view i entry.update.Message.delta
+          in
+          let vc =
+            { entry; dv; temp = dv; pending = Sweep.sweep_order ~n ~i;
+              outstanding = -1; completed = false;
+              qid = t.ctx.fresh_qid () }
+          in
+          trace t "pipelined ViewChange(%a) begins (depth %d)"
+            Message.pp_txn_id entry.update.Message.txn
+            (List.length t.pipeline + 1);
+          t.pipeline <- t.pipeline @ [ vc ];
+          advance t vc;
+          (* an n=1 view completes instantly; also keep filling *)
+          drain_and_refill t
+
+  let on_update t (_ : Update_queue.entry) = drain_and_refill t
+
+  (* The "more elaborate mechanism to detect concurrent updates" (§5.3):
+     for this sweep, the interfering updates from source [j] are those
+     *delivered after* the update being swept — in the queue, or already
+     being swept further down the pipeline. Earlier-delivered updates
+     serialize before this one and are meant to be in the answer. *)
+  let interfering_deltas t vc j =
+    let queued =
+      List.map
+        (fun e -> e.Update_queue.update.Message.delta)
+        (Update_queue.from_source t.ctx.queue j)
+    in
+    let in_pipeline =
+      List.filter_map
+        (fun other ->
+          if
+            other.entry.Update_queue.arrival > vc.entry.Update_queue.arrival
+            && other.entry.update.Message.txn.source = j
+          then Some other.entry.update.Message.delta
+          else None)
+        t.pipeline
+    in
+    in_pipeline @ queued
+
+  let on_answer t msg =
+    match msg with
+    | Message.Answer { qid; source = j; partial } -> (
+        match
+          List.find_opt
+            (fun vc -> vc.qid = qid && vc.outstanding = j)
+            t.pipeline
+        with
+        | Some vc ->
+            vc.outstanding <- -1;
+            (match interfering_deltas t vc j with
+            | [] -> vc.dv <- partial
+            | deltas ->
+                t.ctx.metrics.Metrics.compensations <-
+                  t.ctx.metrics.Metrics.compensations + 1;
+                vc.dv <-
+                  Algebra.compensate t.ctx.view ~answer:partial
+                    ~interfering:(Delta.sum deltas) ~temp:vc.temp);
+            advance t vc;
+            drain_and_refill t
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Sweep_pipelined.on_answer: unexpected answer qid=%d from %d"
+                 qid j))
+    | Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _ ->
+        invalid_arg "Sweep_pipelined.on_answer: unexpected message kind"
+
+  let idle t = t.pipeline = [] && Update_queue.is_empty t.ctx.queue
+end
+
+module Default = Make (struct
+  let window = 8
+end)
+
+include Default
+
+let with_window w : (module Algorithm.S) =
+  (module Make (struct
+    let window = w
+  end))

@@ -1,0 +1,40 @@
+open Repro_protocol
+
+type entry = { update : Message.update; arrival : int; arrived_at : float }
+
+(* Entries are kept oldest-first in a plain list: queues stay short (the
+   max length is itself a reported metric) and algorithms need mid-queue
+   removal, which a functional list does simply. *)
+type t = { mutable items : entry list; mutable next_arrival : int }
+
+let create () = { items = []; next_arrival = 0 }
+
+let append t update ~arrived_at =
+  let entry = { update; arrival = t.next_arrival; arrived_at } in
+  t.next_arrival <- t.next_arrival + 1;
+  t.items <- t.items @ [ entry ];
+  entry
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | e :: rest ->
+      t.items <- rest;
+      Some e
+
+let peek t = match t.items with [] -> None | e :: _ -> Some e
+let is_empty t = t.items = []
+let length t = List.length t.items
+
+let from_source t j =
+  List.filter (fun e -> e.update.Message.txn.source = j) t.items
+
+let take_from_source t j =
+  let mine, rest =
+    List.partition (fun e -> e.update.Message.txn.source = j) t.items
+  in
+  t.items <- rest;
+  mine
+
+let entries t = t.items
+let last_arrival t = t.next_arrival - 1

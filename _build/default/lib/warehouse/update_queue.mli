@@ -1,0 +1,43 @@
+(** The warehouse's UpdateMessageQueue (paper Fig. 4).
+
+    Updates are appended in delivery order by the [LogUpdates] process and
+    consumed by the maintenance algorithm. Because channels are FIFO, an
+    entry from source [j] still in this queue when an answer from [j]
+    arrives is *exactly* an interfering update (paper §4, footnote 2) —
+    membership is the interference test every algorithm here uses. *)
+
+open Repro_protocol
+
+type entry = {
+  update : Message.update;
+  arrival : int;  (** warehouse delivery sequence number *)
+  arrived_at : float;
+}
+
+type t
+
+val create : unit -> t
+
+(** Append in delivery order; returns the new entry. *)
+val append : t -> Message.update -> arrived_at:float -> entry
+
+(** Oldest entry, removed / not removed. *)
+val pop : t -> entry option
+
+val peek : t -> entry option
+val is_empty : t -> bool
+val length : t -> int
+
+(** Entries from source [j], oldest first (left in place). *)
+val from_source : t -> int -> entry list
+
+(** Remove and return all entries from source [j], oldest first — Nested
+    SWEEP's absorption of concurrent updates. *)
+val take_from_source : t -> int -> entry list
+
+(** All entries, oldest first. *)
+val entries : t -> entry list
+
+(** Delivery sequence number of the most recently appended entry
+    ([-1] before any). *)
+val last_arrival : t -> int

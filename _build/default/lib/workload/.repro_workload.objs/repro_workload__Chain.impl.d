@@ -1,0 +1,1 @@
+lib/workload/chain.ml: Array Join_spec Option Predicate Printf Relation Repro_relational Repro_sim Schema Tuple Value View_def

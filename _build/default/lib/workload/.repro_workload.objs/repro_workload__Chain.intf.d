@@ -1,0 +1,1 @@
+lib/workload/chain.mli: Predicate Relation Repro_relational Repro_sim Schema Tuple View_def

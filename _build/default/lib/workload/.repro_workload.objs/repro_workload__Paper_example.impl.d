@@ -1,0 +1,1 @@
+lib/workload/paper_example.ml: Bag Delta Join_spec Relation Repro_relational Schema Tuple Value View_def

@@ -1,0 +1,1 @@
+lib/workload/paper_example.mli: Bag Delta Relation Repro_relational Schema View_def

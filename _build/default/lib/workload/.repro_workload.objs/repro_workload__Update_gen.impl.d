@@ -1,0 +1,1 @@
+lib/workload/update_gen.ml: Array Chain Delta Engine List Relation Repro_relational Repro_sim Rng Tuple Value View_def

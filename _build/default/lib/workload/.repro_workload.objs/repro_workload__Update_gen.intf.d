@@ -1,0 +1,1 @@
+lib/workload/update_gen.mli: Delta Engine Relation Repro_relational Repro_sim Rng View_def

@@ -1,0 +1,30 @@
+(** Standard chain-join schemas and views for experiments.
+
+    Each base relation is [Ri(k*, a, b)] with [k] a unique integer key;
+    adjacent relations join on [Ri.b = R(i+1).a]. The default projection
+    keeps every key (so the Strobe-family baselines are applicable) plus
+    the endpoints' payloads. Join attribute values are drawn from
+    [0, domain): [domain] controls join selectivity — the expected number
+    of partners per tuple is [size / domain]. *)
+
+open Repro_relational
+
+val schemas : n:int -> Schema.t array
+
+(** [view ~n ()] is the chain view. [projection] defaults to all keys plus
+    [R0.a] and [R(n-1).b]. *)
+val view :
+  ?name:string ->
+  ?selection:Predicate.t ->
+  ?projection:int array ->
+  n:int ->
+  unit ->
+  View_def.t
+
+(** [tuple ~key ~a ~b] builds one source tuple. *)
+val tuple : key:int -> a:int -> b:int -> Tuple.t
+
+(** [populate view ~size ~domain rng] generates initial relations: keys
+    [0..size-1], payloads uniform over the domain. *)
+val populate :
+  View_def.t -> size:int -> domain:int -> Repro_sim.Rng.t -> Relation.t array

@@ -1,0 +1,41 @@
+(* The paper's running example (§5.2, Figure 5), reused by several test
+   suites and by the figure5 walkthrough executable.
+
+   View over R1[A,B], R2[C,D], R3[E,F]:
+     V = π[D,F] (R1 ⋈(B=C) R2 ⋈(D=E) R3)
+   Initial state:
+     R1 = {(1,3), (2,3)}   R2 = {(3,7)}   R3 = {(5,6), (7,8)}
+     V  = {(7,8)[2]}
+   Updates (in warehouse delivery order):
+     ΔR2 = +(3,5)   ΔR3 = −(7,8)   ΔR1 = −(2,3) *)
+
+open Repro_relational
+
+let schemas =
+  [| Schema.make "R1" [ Schema.attr "A" Value.T_int; Schema.attr "B" Value.T_int ];
+     Schema.make "R2" [ Schema.attr "C" Value.T_int; Schema.attr "D" Value.T_int ];
+     Schema.make "R3" [ Schema.attr "E" Value.T_int; Schema.attr "F" Value.T_int ] |]
+
+let view =
+  View_def.make ~name:"paper-example" ~schemas
+    ~joins:
+      [| Join_spec.natural ~left_attr:1 ~right_attr:2 (* B = C *);
+         Join_spec.natural ~left_attr:3 ~right_attr:4 (* D = E *) |]
+    ~projection:[| 3; 5 |] (* D, F *)
+    ()
+
+let initial () =
+  [| Relation.of_tuples [ Tuple.ints [ 1; 3 ]; Tuple.ints [ 2; 3 ] ];
+     Relation.of_tuples [ Tuple.ints [ 3; 7 ] ];
+     Relation.of_tuples [ Tuple.ints [ 5; 6 ]; Tuple.ints [ 7; 8 ] ] |]
+
+(* The three updates, as (source, delta). *)
+let d_r2 = (1, Delta.insertion (Tuple.ints [ 3; 5 ]))
+let d_r3 = (2, Delta.deletion (Tuple.ints [ 7; 8 ]))
+let d_r1 = (0, Delta.deletion (Tuple.ints [ 2; 3 ]))
+
+(* Expected view states after each update, per Figure 5. *)
+let v0 = Bag.of_list [ (Tuple.ints [ 7; 8 ], 2) ]
+let v1 = Bag.of_list [ (Tuple.ints [ 7; 8 ], 2); (Tuple.ints [ 5; 6 ], 2) ]
+let v2 = Bag.of_list [ (Tuple.ints [ 5; 6 ], 2) ]
+let v3 = Bag.of_list [ (Tuple.ints [ 5; 6 ], 1) ]

@@ -1,0 +1,32 @@
+(** The paper's running example (§5.2, Figures 1 and 5).
+
+    View over R1[A,B], R2[C,D], R3[E,F]:
+    {v V = π[D,F] (R1 ⋈(B=C) R2 ⋈(D=E) R3) v}
+
+    with the initial contents and the three concurrent updates the paper
+    walks through. Note this view has {e no} key attributes — it is
+    exactly the kind of view the Strobe family cannot maintain and SWEEP
+    can (paper §3). *)
+
+open Repro_relational
+
+val schemas : Schema.t array
+val view : View_def.t
+
+(** Fresh copies of the initial relations. *)
+val initial : unit -> Relation.t array
+
+(** The updates as (source index, delta): ΔR2 = +(3,5), ΔR3 = −(7,8),
+    ΔR1 = −(2,3). *)
+val d_r2 : int * Delta.t
+
+val d_r3 : int * Delta.t
+val d_r1 : int * Delta.t
+
+(** Expected view contents after zero, one, two and three updates
+    (Figure 5's warehouse column). *)
+val v0 : Bag.t
+
+val v1 : Bag.t
+val v2 : Bag.t
+val v3 : Bag.t

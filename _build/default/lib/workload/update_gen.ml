@@ -1,0 +1,102 @@
+open Repro_relational
+open Repro_sim
+
+type placement = Uniform | Zipf of float | Alternating of int * int
+
+type config = {
+  n_updates : int;
+  mean_gap : float;
+  p_insert : float;
+  placement : placement;
+  txn_size : int;
+  domain : int;
+  p_global : float;
+  fixed_gap : bool;
+}
+
+let default =
+  { n_updates = 100; mean_gap = 1.0; p_insert = 0.6; placement = Uniform;
+    txn_size = 1; domain = 16; p_global = 0.; fixed_gap = false }
+
+(* Mirror of one source: live tuples (for valid deletes) and the next
+   fresh key. *)
+type mirror = { mutable live : Tuple.t list; mutable next_key : int }
+
+let mirror_of_relation rel =
+  let live = List.map fst (Relation.to_sorted_list rel) in
+  let next_key =
+    List.fold_left (fun acc tup ->
+        match Tuple.get tup 0 with
+        | Value.Int k -> max acc (k + 1)
+        | _ -> acc)
+      0 live
+  in
+  { live; next_key }
+
+let gen_one rng cfg mirror =
+  let insert () =
+    let tup =
+      Chain.tuple ~key:mirror.next_key ~a:(Rng.int rng cfg.domain)
+        ~b:(Rng.int rng cfg.domain)
+    in
+    mirror.next_key <- mirror.next_key + 1;
+    mirror.live <- tup :: mirror.live;
+    Delta.insertion tup
+  in
+  if mirror.live = [] || Rng.bool rng cfg.p_insert then insert ()
+  else begin
+    let arr = Array.of_list mirror.live in
+    let victim = Rng.pick rng arr in
+    mirror.live <- List.filter (fun t -> not (Tuple.equal t victim)) mirror.live;
+    Delta.deletion victim
+  end
+
+let drive engine rng cfg ~view ~initial ~apply ?(on_done = fun () -> ()) () =
+  let n = View_def.n_sources view in
+  let mirrors = Array.map mirror_of_relation initial in
+  let flip = ref false in
+  let pick_source () =
+    match cfg.placement with
+    | Uniform -> Rng.int rng n
+    | Zipf theta -> Rng.zipf rng ~n ~theta
+    | Alternating (a, b) ->
+        flip := not !flip;
+        if !flip then a else b
+  in
+  let next_gid = ref 0 in
+  let rec emit remaining =
+    if remaining = 0 then on_done ()
+    else begin
+      (if n >= 2 && Rng.bool rng cfg.p_global then begin
+         (* type-3 transaction: one part at each of two distinct sources,
+            applied at the same instant *)
+         let s1 = pick_source () in
+         let s2 =
+           let rec other () =
+             let s = Rng.int rng n in
+             if s = s1 then other () else s
+           in
+           other ()
+         in
+         let gid = !next_gid in
+         incr next_gid;
+         apply ~source:s1 ~global:(Some (gid, 2))
+           (gen_one rng cfg mirrors.(s1));
+         apply ~source:s2 ~global:(Some (gid, 2))
+           (gen_one rng cfg mirrors.(s2))
+       end
+       else begin
+         let source = pick_source () in
+         let parts =
+           List.init cfg.txn_size (fun _ -> gen_one rng cfg mirrors.(source))
+         in
+         apply ~source ~global:None (Delta.sum parts)
+       end);
+      Engine.schedule engine ~delay:(gap ())
+        (fun () -> emit (remaining - 1))
+    end
+  and gap () =
+    if cfg.fixed_gap then cfg.mean_gap
+    else Rng.exponential rng ~mean:cfg.mean_gap
+  in
+  Engine.schedule engine ~delay:(gap ()) (fun () -> emit cfg.n_updates)

@@ -1,0 +1,1 @@
+test/rig.ml: Alcotest Algorithm Bag Checker Delta Experiment Node Relation Repro_consistency Repro_harness Repro_relational Repro_sim Repro_warehouse Sweep Tuple Value View_def

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Array Bag Chain Delta List Paper_example Partial Predicate Printf QCheck QCheck_alcotest Relation Repro_relational Repro_workload Rig Tuple Value

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Algorithm Analytic Experiment Float Metrics Printf Repro_harness Repro_sim Repro_warehouse Repro_workload Scenario Sweep Update_gen

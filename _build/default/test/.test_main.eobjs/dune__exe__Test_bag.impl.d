@@ -1,0 +1,1 @@
+test/test_bag.ml: Alcotest Bag List QCheck QCheck_alcotest Repro_relational Rig Tuple Value

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Bag Checker Delta List Message Paper_example Repro_consistency Repro_protocol Repro_relational Rig Tuple

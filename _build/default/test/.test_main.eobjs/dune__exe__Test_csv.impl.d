@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv Format Relation Repro_relational Rig Schema String Value

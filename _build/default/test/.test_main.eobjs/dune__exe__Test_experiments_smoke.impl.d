@@ -1,0 +1,1 @@
+test/test_experiments_smoke.ml: Alcotest List Paper_experiments Repro_harness String

@@ -1,0 +1,1 @@
+test/test_figure5.ml: Alcotest Algebra Algorithm Array Checker List Metrics Naive Nested_sweep Node Paper_example Relation Repro_consistency Repro_relational Repro_warehouse Rig Sweep

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Algorithm Checker Experiment List Naive Printf Repro_consistency Repro_harness Repro_warehouse Repro_workload Scenario

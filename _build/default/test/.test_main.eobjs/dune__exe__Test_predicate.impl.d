@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Array Format Predicate QCheck QCheck_alcotest Repro_relational Value

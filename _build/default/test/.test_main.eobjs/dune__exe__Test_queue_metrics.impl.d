@@ -1,0 +1,1 @@
+test/test_queue_metrics.ml: Alcotest Delta List Message Metrics Repro_protocol Repro_relational Repro_warehouse Tuple Update_queue

@@ -1,0 +1,1 @@
+test/test_relation_delta.ml: Alcotest Delta List QCheck QCheck_alcotest Relation Repro_relational Rig Tuple

@@ -1,0 +1,1 @@
+test/test_schema_tuple.ml: Alcotest Array List QCheck QCheck_alcotest Repro_relational Rig Schema Tuple Value

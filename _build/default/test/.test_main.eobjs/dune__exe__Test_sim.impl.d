@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Channel Engine Event_queue Latency List QCheck QCheck_alcotest Repro_sim Rng Trace

@@ -1,0 +1,1 @@
+test/test_view_def.ml: Alcotest Chain Delta Join_spec Partial Repro_relational Repro_workload Rig Tuple Value View_def

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bag Chain Delta Engine List Relation Repro_relational Repro_sim Repro_workload Rng Tuple Update_gen Value

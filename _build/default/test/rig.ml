@@ -1,0 +1,34 @@
+(* Test rig: thin wrapper over the harness's scripted runner plus alcotest
+   testables shared by the suites. *)
+
+open Repro_relational
+open Repro_warehouse
+open Repro_consistency
+open Repro_harness
+
+type outcome = Experiment.scripted_outcome = {
+  node : Node.t;
+  view : View_def.t;
+  initial_sources : Relation.t array;
+  trace : Repro_sim.Trace.t;
+  engine : Repro_sim.Engine.t;
+}
+
+let scripted ?latency ?(algorithm = (module Sweep : Algorithm.S)) ?seed ~view
+    ~initial ~updates () =
+  Experiment.run_scripted ?latency ?seed ~algorithm ~view ~initial ~updates ()
+
+let check = Experiment.check_scripted
+
+(* Alcotest testables. *)
+let bag = Alcotest.testable Bag.pp Bag.equal
+let delta = Alcotest.testable Delta.pp Delta.equal
+let relation = Alcotest.testable Relation.pp Relation.equal
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+let value = Alcotest.testable Value.pp Value.equal
+
+let verdict =
+  Alcotest.testable Checker.pp_verdict (fun a b ->
+      Checker.compare_verdict a b = 0)
+
+let final_view outcome = Node.view_contents outcome.node

@@ -1,0 +1,160 @@
+open Repro_relational
+open Repro_workload
+
+let view2 = Chain.view ~n:2 ()
+let view3 = Chain.view ~n:3 ()
+
+(* Deterministic small relation generator for properties. *)
+let gen_relation =
+  QCheck.map
+    (fun entries ->
+      Relation.of_list
+        (List.map
+           (fun ((k : int), a, b) -> (Chain.tuple ~key:k ~a ~b, 1))
+           (List.sort_uniq compare entries)))
+    QCheck.(small_list (triple (int_range 0 9) (int_range 0 3) (int_range 0 3)))
+
+let test_join_counts_multiply () =
+  (* counts multiply across a join: 2 copies ⋈ 3 copies = 6 derivations *)
+  let left =
+    { Partial.lo = 0; hi = 0;
+      data = Delta.of_list [ (Chain.tuple ~key:0 ~a:0 ~b:7, 2) ] }
+  in
+  let right =
+    { Partial.lo = 1; hi = 1;
+      data = Delta.of_list [ (Chain.tuple ~key:0 ~a:7 ~b:0, 3) ] }
+  in
+  let joined = Algebra.join view2 left right in
+  Alcotest.(check int) "one distinct tuple" 1 (Partial.cardinal joined);
+  Alcotest.(check int) "count 6" 6 (Partial.weight joined)
+
+let test_join_sign_propagation () =
+  let left =
+    { Partial.lo = 0; hi = 0;
+      data = Delta.of_list [ (Chain.tuple ~key:0 ~a:0 ~b:7, -1) ] }
+  in
+  let right =
+    { Partial.lo = 1; hi = 1;
+      data = Delta.of_list [ (Chain.tuple ~key:0 ~a:7 ~b:0, -2) ] }
+  in
+  let joined = Algebra.join view2 left right in
+  Delta.iter
+    (fun _ c -> Alcotest.(check int) "(-1)·(-2) = 2" 2 c)
+    joined.Partial.data
+
+let test_join_requires_adjacency () =
+  let p0 = { Partial.lo = 0; hi = 0; data = Delta.empty () } in
+  let p2 = { Partial.lo = 2; hi = 2; data = Delta.empty () } in
+  Alcotest.(check bool) "non-adjacent rejected" true
+    (match Algebra.join view3 p0 p2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_extend_both_sides () =
+  let r0 = Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:5 ] in
+  let r2 = Relation.of_tuples [ Chain.tuple ~key:0 ~a:6 ~b:9 ] in
+  let mid =
+    { Partial.lo = 1; hi = 1;
+      data = Delta.of_list [ (Chain.tuple ~key:3 ~a:5 ~b:6, 1) ] }
+  in
+  let left = Algebra.extend view3 mid ~with_relation:(0, r0) in
+  Alcotest.(check int) "left extension matched" 1 (Partial.cardinal left);
+  Alcotest.(check int) "covers 0..1" 0 left.Partial.lo;
+  let both = Algebra.extend view3 left ~with_relation:(2, r2) in
+  Alcotest.(check bool) "covers all" true (Partial.covers_all view3 both);
+  Alcotest.(check bool) "overlapping extend rejected" true
+    (match Algebra.extend view3 left ~with_relation:(0, r0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_select_project () =
+  let sel = Predicate.cmp_const Predicate.Gt 1 (Value.int 0) in
+  let v = Chain.view ~n:2 ~selection:sel ~projection:[| 0; 3 |] ~name:"sp" () in
+  let full =
+    { Partial.lo = 0; hi = 1;
+      data =
+        Delta.of_list
+          [ (Tuple.ints [ 1; 1; 7; 10; 7; 2 ], 1);
+            (* fails selection: a = 0 *)
+            (Tuple.ints [ 2; 0; 7; 11; 7; 2 ], 1);
+            (* projects onto the same view tuple as the first *)
+            (Tuple.ints [ 1; 2; 8; 10; 8; 3 ], 2) ]
+    }
+  in
+  let out = Algebra.select_project v full in
+  Alcotest.check Rig.delta "selection filters, projection accumulates"
+    (Delta.of_list [ (Tuple.ints [ 1; 10 ], 3) ])
+    out;
+  Alcotest.(check bool) "partial coverage rejected" true
+    (match
+       Algebra.select_project v { full with Partial.hi = 0 }
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_compensate_example () =
+  (* the §5.2 compensation: answer − ΔR1 ⋈ TempView *)
+  let view = Paper_example.view in
+  let temp =
+    { Partial.lo = 1; hi = 1; data = Delta.of_list [ (Tuple.ints [ 3; 5 ], 1) ] }
+  in
+  let answer =
+    { Partial.lo = 0; hi = 1;
+      data = Delta.of_list [ (Tuple.ints [ 1; 3; 3; 5 ], 1) ] }
+  in
+  let interfering = Delta.deletion (Tuple.ints [ 2; 3 ]) in
+  let fixed = Algebra.compensate view ~answer ~interfering ~temp in
+  Alcotest.check Rig.delta "both derivations restored"
+    (Delta.of_list
+       [ (Tuple.ints [ 1; 3; 3; 5 ], 1); (Tuple.ints [ 2; 3; 3; 5 ], 1) ])
+    fixed.Partial.data
+
+(* The central algebra property: the incremental delta equals the
+   recomputation difference, for inserts and deletes, on 2-way and 3-way
+   chains. ΔV = R ⋈ … ⋈ ΔRi ⋈ … ⋈ R computed on the pre-update state. *)
+let incremental_matches_recompute view n =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "incremental = recompute (n=%d)" n)
+    ~count:200
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.return n) gen_relation)
+       (QCheck.triple (QCheck.int_range 0 (n - 1)) (QCheck.int_range 0 3)
+          (QCheck.int_range 0 3)))
+    (fun (rels, (i, a, b)) ->
+      let rels = Array.of_list rels in
+      let before = Algebra.eval view (fun j -> rels.(j)) in
+      (* insert a fresh tuple, or delete an existing one when possible *)
+      let delta =
+        match Relation.to_sorted_list rels.(i) with
+        | (victim, _) :: _ when (a + b) mod 2 = 0 -> Delta.deletion victim
+        | _ -> Delta.insertion (Chain.tuple ~key:100 ~a ~b)
+      in
+      let partial = ref (Partial.of_source_delta view i delta) in
+      for j = i - 1 downto 0 do
+        partial := Algebra.extend view !partial ~with_relation:(j, rels.(j))
+      done;
+      for j = i + 1 to n - 1 do
+        partial := Algebra.extend view !partial ~with_relation:(j, rels.(j))
+      done;
+      let dv = Algebra.select_project view !partial in
+      (match Relation.apply rels.(i) delta with
+      | Ok () -> ()
+      | Error _ -> QCheck.assume_fail ());
+      let after = Algebra.eval view (fun j -> rels.(j)) in
+      let expected = Delta.of_relation after in
+      Bag.diff_into ~into:expected (Relation.as_bag before);
+      Delta.equal dv expected)
+
+let suite =
+  [ Alcotest.test_case "join multiplies counts" `Quick
+      test_join_counts_multiply;
+    Alcotest.test_case "join propagates signs" `Quick
+      test_join_sign_propagation;
+    Alcotest.test_case "join adjacency enforced" `Quick
+      test_join_requires_adjacency;
+    Alcotest.test_case "extend on both sides" `Quick test_extend_both_sides;
+    Alcotest.test_case "select and project" `Quick test_select_project;
+    Alcotest.test_case "compensation (paper example)" `Quick
+      test_compensate_example;
+    QCheck_alcotest.to_alcotest (incremental_matches_recompute view2 2);
+    QCheck_alcotest.to_alcotest (incremental_matches_recompute view3 3) ]

@@ -1,0 +1,95 @@
+(* The analytical model vs the simulator: spot checks at light load and
+   overload, and internal consistency of the formulas. *)
+
+open Repro_warehouse
+open Repro_workload
+open Repro_harness
+
+let scenario gap =
+  { Scenario.default with
+    n_sources = 4;
+    init_size = 30;
+    domain = 30;
+    stream = { Update_gen.default with n_updates = 150; mean_gap = gap };
+    seed = 1997L }
+
+let within ~factor a b =
+  let lo = Float.min a b and hi = Float.max a b in
+  lo > 0. && hi /. lo <= factor
+
+let test_service_time () =
+  let i = Analytic.inputs_of_scenario (scenario 10.) in
+  let p = Analytic.sweep i in
+  (* n=4, mean latency 1.0 → S = 2·3·1 = 6 *)
+  Alcotest.(check (float 1e-9)) "S = 2(n−1)L" 6. p.Analytic.service_time;
+  Alcotest.(check (float 1e-9)) "ρ = S/gap" 0.6 p.Analytic.utilization;
+  Alcotest.(check bool) "stable" true p.Analytic.stable
+
+let test_pipelining_divides_load () =
+  let i = Analytic.inputs_of_scenario (scenario 2.) in
+  let plain = Analytic.sweep i in
+  let piped = Analytic.sweep_pipelined ~w:8 i in
+  Alcotest.(check bool) "plain overloaded" false plain.Analytic.stable;
+  Alcotest.(check bool) "pipelined stable" true piped.Analytic.stable;
+  Alcotest.(check bool) "pipelining cuts predicted staleness" true
+    (piped.Analytic.mean_staleness < plain.Analytic.mean_staleness /. 5.)
+
+let test_model_matches_simulator_light_load () =
+  let sc = scenario 30. in
+  let model = Analytic.sweep (Analytic.inputs_of_scenario sc) in
+  let r = Experiment.run ~check:false sc (module Sweep : Algorithm.S) in
+  let m = r.Experiment.metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "staleness: model %.2f vs sim %.2f"
+       model.Analytic.mean_staleness (Metrics.mean_staleness m))
+    true
+    (within ~factor:1.3 model.Analytic.mean_staleness
+       (Metrics.mean_staleness m));
+  let sim_comp =
+    float_of_int m.Metrics.compensations
+    /. float_of_int (max 1 m.Metrics.updates_incorporated)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "compensations: model %.2f vs sim %.2f"
+       model.Analytic.compensations_per_update sim_comp)
+    true
+    (within ~factor:1.6 model.Analytic.compensations_per_update sim_comp)
+
+let test_model_matches_simulator_overload () =
+  let sc = scenario 1. in
+  let model = Analytic.sweep (Analytic.inputs_of_scenario sc) in
+  let r = Experiment.run ~check:false sc (module Sweep : Algorithm.S) in
+  let m = r.Experiment.metrics in
+  Alcotest.(check bool) "model says overloaded" false model.Analytic.stable;
+  Alcotest.(check bool)
+    (Printf.sprintf "fluid staleness: model %.0f vs sim %.0f"
+       model.Analytic.mean_staleness (Metrics.mean_staleness m))
+    true
+    (within ~factor:1.3 model.Analytic.mean_staleness
+       (Metrics.mean_staleness m))
+
+let test_latency_variance_extraction () =
+  let fx =
+    Analytic.inputs_of_scenario
+      { (scenario 1.) with Scenario.latency = Repro_sim.Latency.Fixed 2. }
+  in
+  Alcotest.(check (float 1e-9)) "fixed has no variance" 0. fx.Analytic.var_latency;
+  Alcotest.(check (float 1e-9)) "fixed mean" 2. fx.Analytic.mean_latency;
+  let ex =
+    Analytic.inputs_of_scenario
+      { (scenario 1.) with Scenario.latency = Repro_sim.Latency.Exponential 3. }
+  in
+  Alcotest.(check (float 1e-9)) "exponential variance = m²" 9.
+    ex.Analytic.var_latency
+
+let suite =
+  [ Alcotest.test_case "service time and utilization" `Quick
+      test_service_time;
+    Alcotest.test_case "pipelining divides the load" `Quick
+      test_pipelining_divides_load;
+    Alcotest.test_case "model ≈ simulator (light load)" `Slow
+      test_model_matches_simulator_light_load;
+    Alcotest.test_case "model ≈ simulator (overload)" `Slow
+      test_model_matches_simulator_overload;
+    Alcotest.test_case "latency moment extraction" `Quick
+      test_latency_variance_extraction ]

@@ -1,0 +1,214 @@
+(* Unit tests for the consistency checker itself, using hand-built
+   observations over the paper's example so each verdict level is
+   exercised against a known ground truth. *)
+
+open Repro_relational
+open Repro_protocol
+open Repro_consistency
+
+let view = Paper_example.view
+
+let deliveries =
+  (* delivery order: ΔR2, ΔR3, ΔR1 with per-source seq numbers *)
+  let mk source seq (_, delta) =
+    { Message.txn = { Message.source; seq }; delta; occurred_at = 0.; global = None }
+  in
+  [ mk 1 0 Paper_example.d_r2; mk 2 0 Paper_example.d_r3;
+    mk 0 0 Paper_example.d_r1 ]
+
+let txn k = (List.nth deliveries k).Message.txn
+
+let obs installs final =
+  { Checker.initial_sources = Paper_example.initial (); deliveries; installs;
+    final_view = final }
+
+let test_expected_states () =
+  let states =
+    Checker.expected_states view ~initial:(Paper_example.initial ())
+      ~deliveries
+  in
+  Alcotest.(check int) "four states" 4 (Array.length states);
+  Alcotest.check Rig.bag "s0" Paper_example.v0 states.(0);
+  Alcotest.check Rig.bag "s1" Paper_example.v1 states.(1);
+  Alcotest.check Rig.bag "s2" Paper_example.v2 states.(2);
+  Alcotest.check Rig.bag "s3" Paper_example.v3 states.(3)
+
+let test_complete_accepted () =
+  let r =
+    Checker.check view
+      (obs
+         [ ([ txn 0 ], Paper_example.v1); ([ txn 1 ], Paper_example.v2);
+           ([ txn 2 ], Paper_example.v3) ]
+         Paper_example.v3)
+  in
+  Alcotest.check Rig.verdict "complete" Checker.Complete r.Checker.verdict
+
+let test_strong_batching_accepted () =
+  (* two updates installed as one batch: not complete, still strong *)
+  let r =
+    Checker.check view
+      (obs
+         [ ([ txn 0; txn 1 ], Paper_example.v2); ([ txn 2 ], Paper_example.v3) ]
+         Paper_example.v3)
+  in
+  Alcotest.check Rig.verdict "strong" Checker.Strong r.Checker.verdict
+
+let test_strong_rejects_gaps () =
+  (* skipping ΔR3 while installing ΔR1: delivery of source 2 never
+     incorporated → only convergent if final happens to match, here it
+     does not *)
+  let r =
+    Checker.check view
+      (obs
+         [ ([ txn 0 ], Paper_example.v1); ([ txn 2 ], Paper_example.v3) ]
+         Paper_example.v3)
+  in
+  Alcotest.(check bool) "not strong" true
+    (Checker.compare_verdict r.Checker.verdict Checker.Strong > 0)
+
+let test_out_of_order_same_source_rejected () =
+  (* two updates of one source applied out of order must not be strong *)
+  let d1 = Delta.insertion (Tuple.ints [ 9; 5 ]) in
+  let d2 = Delta.deletion (Tuple.ints [ 3; 7 ]) in
+  let deliveries =
+    [ { Message.txn = { Message.source = 1; seq = 0 }; delta = d1;
+        occurred_at = 0.; global = None };
+      { Message.txn = { Message.source = 1; seq = 1 }; delta = d2;
+        occurred_at = 0.; global = None } ]
+  in
+  let states =
+    Checker.expected_states view ~initial:(Paper_example.initial ())
+      ~deliveries
+  in
+  let final = states.(2) in
+  let r =
+    Checker.check view
+      { Checker.initial_sources = Paper_example.initial (); deliveries;
+        installs =
+          [ ([ { Message.source = 1; seq = 1 } ], final);
+            ([ { Message.source = 1; seq = 0 } ], final) ];
+        final_view = final }
+  in
+  Alcotest.(check bool) "reordered source txns rejected" true
+    (Checker.compare_verdict r.Checker.verdict Checker.Strong > 0)
+
+let test_convergent () =
+  (* garbage intermediate state but correct final state *)
+  let junk = Bag.of_list [ (Tuple.ints [ 0; 0 ], 1) ] in
+  let r =
+    Checker.check view
+      (obs
+         [ ([ txn 0 ], junk); ([ txn 1 ], junk); ([ txn 2 ], Paper_example.v3) ]
+         Paper_example.v3)
+  in
+  Alcotest.check Rig.verdict "convergent" Checker.Convergent r.Checker.verdict
+
+let test_inconsistent () =
+  let junk = Bag.of_list [ (Tuple.ints [ 0; 0 ], 1) ] in
+  let r = Checker.check view (obs [ ([ txn 0 ], junk) ] junk) in
+  Alcotest.check Rig.verdict "inconsistent" Checker.Inconsistent
+    r.Checker.verdict
+
+let test_verdict_order () =
+  Alcotest.(check bool) "complete < strong" true
+    (Checker.compare_verdict Checker.Complete Checker.Strong < 0);
+  Alcotest.(check bool) "strong < convergent" true
+    (Checker.compare_verdict Checker.Strong Checker.Convergent < 0);
+  Alcotest.(check bool) "convergent < inconsistent" true
+    (Checker.compare_verdict Checker.Convergent Checker.Inconsistent < 0)
+
+let suite =
+  [ Alcotest.test_case "expected states replay Figure 5" `Quick
+      test_expected_states;
+    Alcotest.test_case "accepts complete histories" `Quick
+      test_complete_accepted;
+    Alcotest.test_case "accepts strong batching" `Quick
+      test_strong_batching_accepted;
+    Alcotest.test_case "rejects skipped updates" `Quick
+      test_strong_rejects_gaps;
+    Alcotest.test_case "rejects per-source reordering" `Quick
+      test_out_of_order_same_source_rejected;
+    Alcotest.test_case "classifies convergent" `Quick test_convergent;
+    Alcotest.test_case "classifies inconsistent" `Quick test_inconsistent;
+    Alcotest.test_case "verdict ordering" `Quick test_verdict_order ]
+
+(* Mutation testing of the checker itself: perturbing a known-complete
+   history in any way must degrade the verdict. A checker that accepts
+   mutants would silently bless broken algorithms. *)
+let complete_installs () =
+  [ ([ txn 0 ], Paper_example.v1); ([ txn 1 ], Paper_example.v2);
+    ([ txn 2 ], Paper_example.v3) ]
+
+let degraded r = Checker.compare_verdict r.Checker.verdict Checker.Complete > 0
+
+let test_mutation_snapshot_tuple () =
+  (* add a spurious tuple to one snapshot *)
+  let installs =
+    List.mapi
+      (fun i (txns, snap) ->
+        if i = 1 then begin
+          let snap = Bag.copy snap in
+          Bag.add snap (Tuple.ints [ 4; 4 ]) 1;
+          (txns, snap)
+        end
+        else (txns, snap))
+      (complete_installs ())
+  in
+  Alcotest.(check bool) "spurious tuple caught" true
+    (degraded (Checker.check view (obs installs Paper_example.v3)))
+
+let test_mutation_count_off_by_one () =
+  let installs =
+    List.mapi
+      (fun i (txns, snap) ->
+        if i = 0 then begin
+          let snap = Bag.copy snap in
+          Bag.add snap (Tuple.ints [ 5; 6 ]) (-1);
+          (txns, snap)
+        end
+        else (txns, snap))
+      (complete_installs ())
+  in
+  Alcotest.(check bool) "multiplicity error caught" true
+    (degraded (Checker.check view (obs installs Paper_example.v3)))
+
+let test_mutation_swapped_installs () =
+  let installs =
+    match complete_installs () with
+    | [ a; b; c ] -> [ b; a; c ]
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "swapped installs caught" true
+    (degraded (Checker.check view (obs installs Paper_example.v3)))
+
+let test_mutation_duplicated_txn () =
+  (* the same txn claimed by two installs *)
+  let installs =
+    match complete_installs () with
+    | [ (t0, s0); (_, s1); c ] -> [ (t0, s0); (t0, s1); c ]
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "duplicate claim caught" true
+    (degraded (Checker.check view (obs installs Paper_example.v3)))
+
+let test_mutation_dropped_install () =
+  let installs =
+    match complete_installs () with
+    | [ a; _; c ] -> [ a; c ]
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "missing install caught" true
+    (degraded (Checker.check view (obs installs Paper_example.v3)))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "mutant: spurious tuple" `Quick
+        test_mutation_snapshot_tuple;
+      Alcotest.test_case "mutant: multiplicity off by one" `Quick
+        test_mutation_count_off_by_one;
+      Alcotest.test_case "mutant: swapped installs" `Quick
+        test_mutation_swapped_installs;
+      Alcotest.test_case "mutant: duplicated txn claim" `Quick
+        test_mutation_duplicated_txn;
+      Alcotest.test_case "mutant: dropped install" `Quick
+        test_mutation_dropped_install ]

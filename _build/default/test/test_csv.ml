@@ -1,0 +1,77 @@
+open Repro_relational
+
+let schema =
+  Schema.make "orders"
+    [ Schema.attr ~key:true "id" Value.T_int; Schema.attr "note" Value.T_str;
+      Schema.attr "price" Value.T_float; Schema.attr "ok" Value.T_bool ]
+
+let test_roundtrip () =
+  let rel =
+    Relation.of_list
+      [ ([| Value.int 1; Value.str "plain"; Value.float 1.5; Value.bool true |], 1);
+        ([| Value.int 2; Value.str "has,comma"; Value.float 2.; Value.bool false |], 3);
+        ([| Value.int 3; Value.Null; Value.Null; Value.Null |], 1) ]
+  in
+  let text = Csv.render schema rel in
+  let back = Csv.parse_exn schema text in
+  Alcotest.check Rig.relation "roundtrip" rel back
+
+let test_parse_basic () =
+  let rel =
+    Csv.parse_exn schema "id,note,price,ok\n1,hello,2.5,true\n2,,3,false\n"
+  in
+  Alcotest.(check int) "two tuples" 2 (Relation.total rel);
+  Alcotest.(check int) "null note present" 1
+    (Relation.count rel
+       [| Value.int 2; Value.Null; Value.float 3.; Value.bool false |])
+
+let test_parse_count_column () =
+  let rel = Csv.parse_exn schema "id,note,price,ok,#count\n1,x,1,true,4\n" in
+  Alcotest.(check int) "multiplicity" 4
+    (Relation.count rel
+       [| Value.int 1; Value.str "x"; Value.float 1.; Value.bool true |])
+
+let test_quoting () =
+  let rel =
+    Csv.parse_exn schema "id,note,price,ok\n1,\"a,b\"\"c\",1,true\n"
+  in
+  Alcotest.(check int) "quoted field decoded" 1
+    (Relation.count rel
+       [| Value.int 1; Value.str "a,b\"c"; Value.float 1.; Value.bool true |])
+
+let expect_error src frag =
+  match Csv.parse schema src with
+  | Ok _ -> Alcotest.failf "expected failure for %S" src
+  | Error e ->
+      let msg = Format.asprintf "%a" Csv.pp_error e in
+      let contains () =
+        let nh = String.length msg and nn = String.length frag in
+        let rec go i =
+          i + nn <= nh && (String.sub msg i nn = frag || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains ()) then
+        Alcotest.failf "error %S does not mention %S" msg frag
+
+let test_errors () =
+  expect_error "wrong,header\n1\n" "does not match schema";
+  expect_error "id,note,price,ok\nnope,x,1,true\n" "expected an integer";
+  expect_error "id,note,price,ok\n1,x,zzz,true\n" "expected a float";
+  expect_error "id,note,price,ok\n1,x,1,maybe\n" "expected true/false";
+  expect_error "id,note,price,ok\n1,x,1\n" "expected 4 field(s)";
+  expect_error "id,note,price,ok,#count\n1,x,1,true,0\n" "invalid #count";
+  expect_error "id,note,price,ok\n1,\"broken,1,true\n" "unterminated"
+
+let test_error_line_numbers () =
+  match Csv.parse schema "id,note,price,ok\n1,x,1,true\nbad,x,1,true\n" with
+  | Error e -> Alcotest.(check int) "second data row = line 3" 3 e.Csv.line
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let suite =
+  [ Alcotest.test_case "render/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "basic parse with nulls" `Quick test_parse_basic;
+    Alcotest.test_case "#count column" `Quick test_parse_count_column;
+    Alcotest.test_case "quoting" `Quick test_quoting;
+    Alcotest.test_case "error taxonomy" `Quick test_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers ]

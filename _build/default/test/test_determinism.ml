@@ -1,0 +1,67 @@
+(* Reproducibility guarantees: identical seeds give bit-identical runs
+   (metrics, installs, final views); different seeds differ. Also a
+   larger `Slow` stress run to keep the implementation honest at scale. *)
+
+open Repro_warehouse
+open Repro_consistency
+open Repro_workload
+open Repro_harness
+
+let scenario seed =
+  { Scenario.default with
+    n_sources = 4;
+    init_size = 25;
+    domain = 25;
+    stream = { Update_gen.default with n_updates = 80; mean_gap = 0.6 };
+    seed }
+
+let fingerprint (r : Experiment.result) =
+  let m = r.Experiment.metrics in
+  ( m.Metrics.queries_sent, m.Metrics.query_weight, m.Metrics.answer_weight,
+    m.Metrics.compensations, m.Metrics.installs, r.Experiment.sim_time,
+    r.Experiment.final_view_tuples )
+
+let test_same_seed_identical () =
+  List.iter
+    (fun (name, alg) ->
+      let a = Experiment.run (scenario 77L) alg in
+      let b = Experiment.run (scenario 77L) alg in
+      if fingerprint a <> fingerprint b then
+        Alcotest.failf "%s: same seed produced different runs" name)
+    [ ("sweep", (module Sweep : Algorithm.S));
+      ("nested-sweep", (module Nested_sweep : Algorithm.S));
+      ("strobe", (module Strobe : Algorithm.S)) ]
+
+let test_different_seed_differs () =
+  let a = Experiment.run (scenario 77L) (module Sweep : Algorithm.S) in
+  let b = Experiment.run (scenario 78L) (module Sweep : Algorithm.S) in
+  Alcotest.(check bool) "different seeds diverge" true
+    (fingerprint a <> fingerprint b)
+
+let test_stress_run () =
+  (* n = 10, 600 updates, brisk rate; pipelined SWEEP keeps up and the
+     checker still verifies complete consistency over the full history *)
+  let sc =
+    { Scenario.default with
+      n_sources = 10;
+      init_size = 50;
+      domain = 50;
+      stream = { Update_gen.default with n_updates = 600; mean_gap = 0.5 };
+      seed = 123L }
+  in
+  let r = Experiment.run sc (module Sweep_pipelined : Algorithm.S) in
+  Alcotest.check Rig.verdict "complete at scale" Checker.Complete
+    r.Experiment.verdict.Checker.verdict;
+  Alcotest.(check int) "exact message count" (600 * 9 * 2)
+    (r.Experiment.metrics.Metrics.queries_sent
+    + r.Experiment.metrics.Metrics.answers_received);
+  Alcotest.(check bool) "fast enough (< 30s wall)" true
+    (r.Experiment.wall_seconds < 30.)
+
+let suite =
+  [ Alcotest.test_case "same seed, identical run" `Quick
+      test_same_seed_identical;
+    Alcotest.test_case "different seed differs" `Quick
+      test_different_seed_differs;
+    Alcotest.test_case "stress: n=10, 600 updates, complete" `Slow
+      test_stress_run ]

@@ -1,0 +1,192 @@
+(* Edge cases across the stack: empty/no-op deltas, multiplicities > 1,
+   selection that filters everything, source-local transactions whose
+   parts cancel, and views at the extremes of the chain. *)
+
+open Repro_relational
+open Repro_warehouse
+open Repro_consistency
+open Repro_workload
+open Repro_harness
+
+let view = Chain.view ~n:3 ()
+
+let initial () =
+  [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+
+let run ?(alg = (module Sweep : Algorithm.S)) ?(init = initial) updates =
+  Experiment.run_scripted ~algorithm:alg ~view ~initial:(init ()) ~updates ()
+
+let all_algorithms =
+  [ ("sweep", (module Sweep : Algorithm.S));
+    ("sweep-parallel", (module Sweep_parallel : Algorithm.S));
+    ("sweep-pipelined", (module Sweep_pipelined : Algorithm.S));
+    ("nested-sweep", (module Nested_sweep : Algorithm.S));
+    ("strobe", (module Strobe : Algorithm.S));
+    ("c-strobe", (module C_strobe : Algorithm.S));
+    ("recompute", (module Recompute : Algorithm.S)) ]
+
+(* A transaction whose insert and delete cancel produces an empty delta;
+   every algorithm must survive the resulting empty update notice. *)
+let test_cancelling_txn () =
+  let cancelling =
+    Delta.sum
+      [ Delta.insertion (Chain.tuple ~key:9 ~a:5 ~b:5);
+        Delta.deletion (Chain.tuple ~key:9 ~a:5 ~b:5) ]
+  in
+  Alcotest.(check bool) "delta is empty" true (Delta.is_empty cancelling);
+  List.iter
+    (fun (name, alg) ->
+      let outcome =
+        run ~alg
+          [ (0.0, 1, Delta.insertion (Chain.tuple ~key:1 ~a:1 ~b:2));
+            (0.5, 1, cancelling);
+            (40.0, 0, Delta.insertion (Chain.tuple ~key:1 ~a:9 ~b:1)) ]
+      in
+      let v = (Experiment.check_scripted outcome).Checker.verdict in
+      if Checker.compare_verdict v Checker.Strong > 0 then
+        Alcotest.failf "%s mishandles an empty update (%s)" name
+          (Checker.verdict_to_string v))
+    all_algorithms
+
+(* An update with no effect on the view (no join partners) must still
+   produce its own (empty) state transition under complete consistency. *)
+let test_no_effect_update () =
+  let outcome =
+    run [ (0.0, 1, Delta.insertion (Chain.tuple ~key:1 ~a:77 ~b:88)) ]
+  in
+  Alcotest.(check int) "one install" 1
+    (List.length (Node.installs outcome.Experiment.node));
+  Alcotest.check Rig.verdict "complete" Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+(* Duplicate tuples (multiplicity 2) flow through joins and deltas with
+   correct counting semantics — the GMS93 machinery SWEEP relies on. *)
+let test_multiplicity_handling () =
+  let init () =
+    [| Relation.of_list [ (Chain.tuple ~key:0 ~a:0 ~b:1, 2) ];
+       Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+       Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+  in
+  let outcome =
+    run ~init
+      [ (0.0, 2, Delta.insertion (Chain.tuple ~key:1 ~a:2 ~b:9));
+        (1.2, 0, Delta.of_list [ (Chain.tuple ~key:0 ~a:0 ~b:1, -1) ]) ]
+  in
+  Alcotest.check Rig.verdict "complete with multiplicities" Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+(* A selection that filters out every tuple: the view stays empty but
+   consistency bookkeeping still works. *)
+let test_everything_filtered () =
+  let v =
+    Chain.view ~n:2
+      ~selection:(Predicate.cmp_const Predicate.Lt 1 (Value.int (-1)))
+      ~name:"never" ()
+  in
+  let outcome =
+    Experiment.run_scripted ~algorithm:(module Sweep : Algorithm.S) ~view:v
+      ~initial:
+        [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+           Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ] |]
+      ~updates:[ (0.0, 0, Delta.insertion (Chain.tuple ~key:1 ~a:3 ~b:1)) ]
+      ()
+  in
+  Alcotest.(check bool) "view empty" true
+    (Bag.is_empty (Node.view_contents outcome.Experiment.node));
+  Alcotest.check Rig.verdict "still complete" Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+(* Updates at the chain's extreme positions: the left sweep (i = 0) and
+   right sweep (i = n-1) degenerate to a single direction. *)
+let test_edge_positions () =
+  List.iter
+    (fun src ->
+      let outcome =
+        run
+          [ (0.0, src,
+             Delta.insertion
+               (Chain.tuple ~key:1 ~a:(if src = 0 then 7 else 2)
+                  ~b:(if src = 0 then 1 else 7))) ]
+      in
+      Alcotest.check Rig.verdict
+        (Printf.sprintf "complete for update at source %d" src)
+        Checker.Complete
+        (Experiment.check_scripted outcome).Checker.verdict)
+    [ 0; 2 ]
+
+(* A large source-local transaction (paper's type-2 update): shipped and
+   compensated as one atomic unit. *)
+let test_source_local_txn_atomicity () =
+  let txn =
+    Delta.sum
+      [ Delta.insertion (Chain.tuple ~key:1 ~a:1 ~b:2);
+        Delta.insertion (Chain.tuple ~key:2 ~a:1 ~b:2);
+        Delta.deletion (Chain.tuple ~key:0 ~a:1 ~b:2) ]
+  in
+  let outcome =
+    run
+      [ (0.0, 2, Delta.insertion (Chain.tuple ~key:1 ~a:2 ~b:9));
+        (1.2, 1, txn) ]
+  in
+  let m = Node.metrics outcome.Experiment.node in
+  (* one notice for the whole transaction *)
+  Alcotest.(check int) "two notices only" 2 m.Metrics.updates_received;
+  Alcotest.check Rig.verdict "complete" Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+(* n = 2: the smallest multi-source warehouse; every algorithm applies. *)
+let test_two_sources_all_algorithms () =
+  let v2 = Chain.view ~n:2 () in
+  List.iter
+    (fun (name, alg) ->
+      let outcome =
+        Experiment.run_scripted ~algorithm:alg ~view:v2
+          ~initial:
+            [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+               Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ] |]
+          ~updates:
+            [ (0.0, 1, Delta.insertion (Chain.tuple ~key:1 ~a:1 ~b:5));
+              (1.2, 0, Delta.deletion (Chain.tuple ~key:0 ~a:0 ~b:1)) ]
+          ()
+      in
+      let verdict = (Experiment.check_scripted outcome).Checker.verdict in
+      (* recompute's unsynchronized snapshots only promise convergence
+         under interference *)
+      let floor_ =
+        if name = "recompute" then Checker.Convergent else Checker.Strong
+      in
+      if Checker.compare_verdict verdict floor_ > 0 then
+        Alcotest.failf "%s failed on n=2 (%s)" name
+          (Checker.verdict_to_string verdict))
+    all_algorithms
+
+(* Deliveries while the pipeline is full exercise the queue watermark. *)
+let test_queue_growth_accounted () =
+  let outcome =
+    run
+      (List.init 10 (fun k ->
+           (0.1 *. float_of_int k, 1,
+            Delta.insertion (Chain.tuple ~key:(k + 1) ~a:1 ~b:2))))
+  in
+  let m = Node.metrics outcome.Experiment.node in
+  Alcotest.(check bool) "max queue observed" true (m.Metrics.max_queue >= 5);
+  Alcotest.check Rig.verdict "complete" Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+let suite =
+  [ Alcotest.test_case "cancelling transactions (empty delta)" `Quick
+      test_cancelling_txn;
+    Alcotest.test_case "update with no view effect" `Quick
+      test_no_effect_update;
+    Alcotest.test_case "multiplicities > 1" `Quick test_multiplicity_handling;
+    Alcotest.test_case "selection filters everything" `Quick
+      test_everything_filtered;
+    Alcotest.test_case "updates at chain extremes" `Quick test_edge_positions;
+    Alcotest.test_case "source-local txn atomicity" `Quick
+      test_source_local_txn_atomicity;
+    Alcotest.test_case "n=2 across all algorithms" `Quick
+      test_two_sources_all_algorithms;
+    Alcotest.test_case "queue growth accounted" `Quick
+      test_queue_growth_accounted ]

@@ -1,0 +1,61 @@
+(* Smoke tests over the table/figure regeneration harness: every
+   experiment must run, and the load-bearing strings of the key reports
+   must hold (F5's exactness, T1's verified consistency rows). These are
+   the same functions `bench/main.exe` prints. *)
+
+open Repro_harness
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let test_f5_exact () =
+  let report = Paper_experiments.f5 () in
+  Alcotest.(check bool) "no mismatches" false
+    (contains ~needle:"MISMATCH" report);
+  Alcotest.(check bool) "checker complete" true
+    (contains ~needle:"checker verdict: complete" report);
+  Alcotest.(check bool) "both compensations narrated" true
+    (contains ~needle:"compensate answer from 0" report
+    && contains ~needle:"compensate answer from 2" report)
+
+let test_f2_hops () =
+  let report = Paper_experiments.f2 () in
+  Alcotest.(check bool) "four round trips" true
+    (contains ~needle:"queries 4, answers 4" report)
+
+let test_e6_control_row () =
+  let report = Paper_experiments.e6 () in
+  (* the fixed-gap control: no compensations and naive complete *)
+  Alcotest.(check bool) "zero-interference control present" true
+    (contains ~needle:"0.00" report);
+  Alcotest.(check bool) "naive corrupts under interference" true
+    (contains ~needle:"INCONSISTENT" report)
+
+let test_a1_consistency_column () =
+  let report = Paper_experiments.a1 () in
+  Alcotest.(check bool) "all rows complete" false
+    (contains ~needle:"INCONSISTENT" report)
+
+let test_by_id_total () =
+  List.iter
+    (fun id ->
+      match Paper_experiments.by_id id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "experiment %s unresolvable" id)
+    [ "t1"; "f2"; "f5"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "a1"; "a2"; "a3" ];
+  Alcotest.(check bool) "unknown id rejected" true
+    (Paper_experiments.by_id "zz" = None)
+
+let suite =
+  [ Alcotest.test_case "F5 reproduces Figure 5 exactly" `Slow test_f5_exact;
+    Alcotest.test_case "F2 one round trip per source" `Slow test_f2_hops;
+    Alcotest.test_case "E6 control and corruption rows" `Slow
+      test_e6_control_row;
+    Alcotest.test_case "A1 stays complete" `Slow test_a1_consistency_column;
+    Alcotest.test_case "experiment ids resolve" `Quick test_by_id_total ]

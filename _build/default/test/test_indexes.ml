@@ -1,0 +1,122 @@
+(* Persistent join-column indexes at the sources: maintenance under
+   updates, probe results, and equivalence of the indexed sweep-query
+   fast path with the generic hash join. *)
+
+open Repro_relational
+open Repro_sim
+open Repro_source
+open Repro_workload
+
+let view = Chain.view ~n:3 ()
+
+let test_index_maintenance () =
+  let tbl =
+    Base_table.create ~source:1 ~indexes:[ 1; 2 ]
+      (Relation.of_tuples
+         [ Chain.tuple ~key:0 ~a:5 ~b:7; Chain.tuple ~key:1 ~a:5 ~b:8 ])
+  in
+  Alcotest.(check (list int)) "indexed columns" [ 1; 2 ]
+    (Base_table.indexed_columns tbl);
+  Alcotest.(check int) "probe a=5 finds both" 2
+    (List.length (Base_table.probe tbl ~col:1 ~value:(Value.int 5)));
+  Alcotest.(check int) "probe b=7 finds one" 1
+    (List.length (Base_table.probe tbl ~col:2 ~value:(Value.int 7)));
+  (* updates keep the index exact *)
+  ignore (Base_table.apply tbl (Delta.deletion (Chain.tuple ~key:0 ~a:5 ~b:7)));
+  Alcotest.(check int) "after delete" 1
+    (List.length (Base_table.probe tbl ~col:1 ~value:(Value.int 5)));
+  Alcotest.(check int) "emptied bucket" 0
+    (List.length (Base_table.probe tbl ~col:2 ~value:(Value.int 7)));
+  ignore
+    (Base_table.apply tbl
+       (Delta.of_list [ (Chain.tuple ~key:2 ~a:5 ~b:7, 3) ]));
+  (match Base_table.probe tbl ~col:2 ~value:(Value.int 7) with
+  | [ (_, 3) ] -> ()
+  | _ -> Alcotest.fail "expected multiplicity 3 via index");
+  Alcotest.(check bool) "unindexed column raises" true
+    (match Base_table.probe tbl ~col:0 ~value:(Value.int 0) with
+    | exception Not_found -> true
+    | _ -> false)
+
+(* Property: the probe-served extension equals the generic hash join on
+   random relations and partials, on both sides. *)
+let qcheck_probe_equals_extend =
+  let gen_rel =
+    QCheck.map
+      (fun entries ->
+        Relation.of_list
+          (List.map
+             (fun ((k : int), a, b) -> (Chain.tuple ~key:k ~a ~b, 1))
+             (List.sort_uniq compare entries)))
+      QCheck.(
+        small_list (triple (int_range 0 9) (int_range 0 3) (int_range 0 3)))
+  in
+  QCheck.Test.make ~name:"indexed probe ≡ generic extend" ~count:200
+    (QCheck.triple gen_rel gen_rel QCheck.bool)
+    (fun (r_src, r_mid, left_side) ->
+      let source = if left_side then 0 else 2 in
+      let tbl =
+        Base_table.create ~source
+          ~indexes:(if left_side then [ 2 ] else [ 1 ])
+          r_src
+      in
+      let partial = Partial.of_relation view 1 r_mid in
+      let via_probe =
+        Algebra.extend_with_probe view partial ~source
+          ~probe:(fun ~col ~value -> Base_table.probe tbl ~col ~value)
+      in
+      let generic =
+        Algebra.extend view partial ~with_relation:(source, r_src)
+      in
+      match via_probe with
+      | Some p -> Partial.equal p generic
+      | None -> false)
+
+let test_probe_declines_complex_joins () =
+  (* a join with a residual predicate must fall back *)
+  let schemas = Chain.schemas ~n:2 in
+  let v =
+    View_def.make ~name:"residual" ~schemas
+      ~joins:
+        [| Join_spec.make
+             ~residual:(Predicate.cmp_const Predicate.Gt 1 (Value.int 0))
+             [ (2, 4) ] |]
+      ~projection:[| 0; 3 |] ()
+  in
+  let partial =
+    { Partial.lo = 1; hi = 1;
+      data = Delta.of_list [ (Chain.tuple ~key:0 ~a:1 ~b:2, 1) ] }
+  in
+  Alcotest.(check bool) "declined" true
+    (Algebra.extend_with_probe v partial ~source:0
+       ~probe:(fun ~col:_ ~value:_ -> [])
+    = None)
+
+let test_source_auto_indexes () =
+  let engine = Engine.create () in
+  let src =
+    Source_node.create engine ~view ~id:1
+      ~init:(Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ])
+      ~send:(fun _ -> ())
+      ~trace:(Trace.create ())
+  in
+  (* middle source indexes both its join columns: a (=1) and b (=2) *)
+  Alcotest.(check (list int)) "auto-derived join columns" [ 1; 2 ]
+    (Base_table.indexed_columns (Source_node.table src));
+  let endpoint =
+    Source_node.create engine ~view ~id:0
+      ~init:(Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ])
+      ~send:(fun _ -> ())
+      ~trace:(Trace.create ())
+  in
+  Alcotest.(check (list int)) "endpoint indexes one column" [ 2 ]
+    (Base_table.indexed_columns (Source_node.table endpoint))
+
+let suite =
+  [ Alcotest.test_case "index maintenance under updates" `Quick
+      test_index_maintenance;
+    QCheck_alcotest.to_alcotest qcheck_probe_equals_extend;
+    Alcotest.test_case "fast path declines complex joins" `Quick
+      test_probe_declines_complex_joins;
+    Alcotest.test_case "sources auto-index join columns" `Quick
+      test_source_auto_indexes ]

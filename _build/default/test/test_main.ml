@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "sweep-repro"
+    [ ("value", Test_value.suite);
+      ("schema-tuple", Test_schema_tuple.suite);
+      ("bag", Test_bag.suite);
+      ("relation-delta", Test_relation_delta.suite);
+      ("predicate", Test_predicate.suite);
+      ("view-def", Test_view_def.suite);
+      ("view-parser", Test_view_parser.suite);
+      ("csv", Test_csv.suite);
+      ("determinism", Test_determinism.suite);
+      ("algebra", Test_algebra.suite);
+      ("sim", Test_sim.suite);
+      ("protocol-source", Test_protocol_source.suite);
+      ("indexes", Test_indexes.suite);
+      ("queue-metrics", Test_queue_metrics.suite);
+      ("checker", Test_checker.suite);
+      ("workload", Test_workload.suite);
+      ("figure5", Test_figure5.suite);
+      ("sweep", Test_sweep.suite);
+      ("sweep-parallel", Test_sweep_parallel.suite);
+      ("sweep-pipelined", Test_sweep_pipelined.suite);
+      ("nested-sweep", Test_nested_sweep.suite);
+      ("baselines", Test_baselines.suite);
+      ("baselines-deep", Test_baselines_deep.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("fifo-necessity", Test_fifo_necessity.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("global-txns", Test_global_txns.suite);
+      ("node-keys-report", Test_node_keys_report.suite);
+      ("matrix", Test_matrix.suite);
+      ("more-properties", Test_more_properties.suite);
+      ("analytic", Test_analytic.suite);
+      ("experiments-smoke", Test_experiments_smoke.suite) ]

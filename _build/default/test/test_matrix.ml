@@ -1,0 +1,128 @@
+(* The Table 1 matrix as a property: on randomized concurrent workloads
+   every algorithm must test at (or above) its claimed consistency level.
+   This is the strongest end-to-end check in the suite — it exercises the
+   full simulator, every algorithm's state machine, and the checker. *)
+
+open Repro_harness
+open Repro_consistency
+open Repro_warehouse
+
+let scenario ~seed ~n ~updates ~gap ~topology =
+  { Scenario.default with
+    name = Printf.sprintf "matrix-n%d-s%Ld" n seed;
+    n_sources = n;
+    init_size = 25;
+    domain = 8;
+    stream =
+      { Repro_workload.Update_gen.default with
+        n_updates = updates; mean_gap = gap; p_insert = 0.55 };
+    topology;
+    seed }
+
+let required_level = function
+  | "sweep" | "sweep-parallel" | "sweep-pipelined" | "c-strobe" ->
+      Checker.Complete
+  | "nested-sweep" -> Checker.Strong
+  | "strobe" -> Checker.Strong
+  | "eca" | "recompute" | "naive" -> Checker.Convergent
+  | other -> Alcotest.failf "unknown algorithm %s" other
+
+let run_matrix ~topology ~gap ~seeds ~n ~updates ~exclude () =
+  List.iter
+    (fun seed ->
+      let sc = scenario ~seed ~n ~updates ~gap ~topology in
+      List.iter
+        (fun (name, alg) ->
+          if not (List.mem name exclude) then begin
+            let r = Experiment.run sc alg in
+            let got = r.Experiment.verdict.Checker.verdict in
+            let want = required_level name in
+            if Checker.compare_verdict got want > 0 then
+              Alcotest.failf "%s on seed %Ld: wanted ≥%s, got %s (%s)" name
+                seed
+                (Checker.verdict_to_string want)
+                (Checker.verdict_to_string got)
+                r.Experiment.verdict.Checker.detail
+          end)
+        (Experiment.algorithms_for sc))
+    seeds
+
+(* Under heavy concurrency. The naive baseline is excluded here: it is
+   *expected* to corrupt the view (asserted separately below). *)
+let test_concurrent_distributed () =
+  run_matrix ~topology:Scenario.Distributed ~gap:0.6 ~seeds:[ 1L; 2L; 3L; 4L ]
+    ~n:4 ~updates:60 ~exclude:[ "naive" ] ()
+
+let test_concurrent_distributed_n2 () =
+  run_matrix ~topology:Scenario.Distributed ~gap:0.5 ~seeds:[ 5L; 6L ] ~n:2
+    ~updates:50 ~exclude:[ "naive" ] ()
+
+let test_concurrent_centralized () =
+  run_matrix ~topology:Scenario.Centralized ~gap:0.6 ~seeds:[ 7L; 8L ] ~n:3
+    ~updates:50 ~exclude:[ "naive" ] ()
+
+(* With updates spaced far apart there is no interference: then even the
+   naive algorithm must be exact, and every algorithm must be complete or
+   strong. *)
+let test_sequential_everyone_exact () =
+  List.iter
+    (fun seed ->
+      let sc =
+        scenario ~seed ~n:3 ~updates:30 ~gap:60. ~topology:Scenario.Distributed
+      in
+      let sc =
+        { sc with
+          Scenario.stream =
+            { sc.Scenario.stream with Repro_workload.Update_gen.fixed_gap = true } }
+      in
+      List.iter
+        (fun (name, alg) ->
+          let r = Experiment.run sc alg in
+          let got = r.Experiment.verdict.Checker.verdict in
+          let want =
+            match name with
+            | "sweep" | "sweep-parallel" | "sweep-pipelined" | "c-strobe"
+            | "naive" | "recompute" ->
+                Checker.Complete
+            | "nested-sweep" -> Checker.Complete
+            | "strobe" -> Checker.Strong
+            | _ -> Checker.Strong
+          in
+          if Checker.compare_verdict got want > 0 then
+            Alcotest.failf "sequential %s seed %Ld: wanted ≥%s, got %s (%s)"
+              name seed
+              (Checker.verdict_to_string want)
+              (Checker.verdict_to_string got)
+              r.Experiment.verdict.Checker.detail)
+        (Experiment.algorithms_for sc))
+    [ 11L; 12L; 13L ]
+
+(* The anomaly the paper opens with: without compensation, concurrent
+   updates corrupt the view on at least some seeds. *)
+let test_naive_corrupts_eventually () =
+  let corrupted =
+    List.exists
+      (fun seed ->
+        let sc =
+          scenario ~seed ~n:4 ~updates:60 ~gap:0.4
+            ~topology:Scenario.Distributed
+        in
+        let r = Experiment.run sc (module Naive : Algorithm.S) in
+        Checker.compare_verdict r.Experiment.verdict.Checker.verdict
+          Checker.Convergent
+        > 0)
+      [ 1L; 2L; 3L; 4L; 5L ]
+  in
+  Alcotest.(check bool) "naive corrupts the view on some seed" true corrupted
+
+let suite =
+  [ Alcotest.test_case "concurrent, distributed, n=4" `Slow
+      test_concurrent_distributed;
+    Alcotest.test_case "concurrent, distributed, n=2" `Slow
+      test_concurrent_distributed_n2;
+    Alcotest.test_case "concurrent, centralized (incl. ECA)" `Slow
+      test_concurrent_centralized;
+    Alcotest.test_case "sequential: everyone exact" `Slow
+      test_sequential_everyone_exact;
+    Alcotest.test_case "naive corrupts under concurrency" `Slow
+      test_naive_corrupts_eventually ]

@@ -1,0 +1,172 @@
+(* Nested SWEEP behaviour: recursive absorption of concurrent updates,
+   batch installs, message amortization, and the forced-termination
+   fallback under adversarial alternation (paper §6.2). *)
+
+open Repro_relational
+open Repro_warehouse
+open Repro_consistency
+open Repro_workload
+open Repro_harness
+
+let view = Chain.view ~n:3 ()
+
+let initial () =
+  [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+
+let test_recursion_absorbs_concurrent () =
+  (* same interleaving that forces a SWEEP compensation: nested sweep must
+     absorb the concurrent update into one batch install *)
+  let outcome =
+    Rig.scripted ~algorithm:(module Nested_sweep : Algorithm.S) ~view
+      ~initial:(initial ())
+      ~updates:
+        [ (0.0, 2, Delta.insertion (Chain.tuple ~key:1 ~a:2 ~b:9));
+          (3.5, 0, Delta.deletion (Chain.tuple ~key:0 ~a:0 ~b:1)) ]
+      ()
+  in
+  let m = Node.metrics outcome.node in
+  Alcotest.(check int) "one recursion" 1 m.Metrics.recursions;
+  Alcotest.(check int) "one batched install" 1 m.Metrics.installs;
+  Alcotest.(check int) "both updates incorporated" 2
+    m.Metrics.updates_incorporated;
+  Alcotest.check Rig.verdict "strong" Checker.Strong
+    (Rig.check outcome).Checker.verdict
+
+let test_no_concurrency_identical_to_sweep () =
+  (* paper §6.2: with a single update Nested SWEEP *is* SWEEP *)
+  let updates =
+    [ (0.0, 1, Delta.insertion (Chain.tuple ~key:1 ~a:1 ~b:2));
+      (50.0, 0, Delta.insertion (Chain.tuple ~key:1 ~a:7 ~b:1)) ]
+  in
+  let a =
+    Rig.scripted ~algorithm:(module Nested_sweep : Algorithm.S) ~view
+      ~initial:(initial ()) ~updates ()
+  in
+  let b =
+    Rig.scripted ~algorithm:(module Sweep : Algorithm.S) ~view
+      ~initial:(initial ()) ~updates ()
+  in
+  Alcotest.check Rig.bag "same final view" (Rig.final_view b)
+    (Rig.final_view a);
+  Alcotest.(check int) "same query count"
+    (Node.metrics b.node).Metrics.queries_sent
+    (Node.metrics a.node).Metrics.queries_sent;
+  Alcotest.check Rig.verdict "complete when sequential" Checker.Complete
+    (Rig.check a).Checker.verdict
+
+let concurrent_scenario ~algorithm ~seed =
+  let sc =
+    { Scenario.default with
+      n_sources = 4;
+      init_size = 20;
+      domain = 6;
+      stream =
+        { Update_gen.default with n_updates = 80; mean_gap = 0.25 };
+      seed }
+  in
+  Experiment.run sc algorithm
+
+let test_amortization_under_load () =
+  (* under heavy concurrency nested sweep must batch (fewer installs than
+     updates) and spend no more queries than SWEEP *)
+  let nested =
+    concurrent_scenario ~algorithm:(module Nested_sweep : Algorithm.S)
+      ~seed:21L
+  in
+  let sweep =
+    concurrent_scenario ~algorithm:(module Sweep : Algorithm.S) ~seed:21L
+  in
+  let nm = nested.Experiment.metrics and sm = sweep.Experiment.metrics in
+  Alcotest.(check bool) "fewer installs than updates" true
+    (nm.Metrics.installs < nm.Metrics.updates_incorporated);
+  Alcotest.(check bool) "queries amortized vs sweep" true
+    (nm.Metrics.queries_sent <= sm.Metrics.queries_sent);
+  Alcotest.(check bool) "recursions happened" true (nm.Metrics.recursions > 0)
+
+let test_adversarial_alternation_falls_back () =
+  (* endpoints alternate tightly; with a tiny depth budget the fallback
+     must fire and the run must still terminate strongly consistent *)
+  let sc =
+    { Scenario.default with
+      n_sources = 3;
+      init_size = 15;
+      domain = 4;
+      stream =
+        { Update_gen.default with
+          n_updates = 40; mean_gap = 0.15;
+          placement = Update_gen.Alternating (0, 2) };
+      seed = 5L }
+  in
+  let r = Experiment.run sc (Nested_sweep.with_max_depth 2) in
+  Alcotest.(check bool) "terminated with fallbacks" true
+    (r.Experiment.metrics.Metrics.fallbacks > 0);
+  Alcotest.(check bool) "still at least strong" true
+    (Checker.compare_verdict r.Experiment.verdict.Checker.verdict
+       Checker.Strong
+    <= 0);
+  Alcotest.(check int) "depth bounded" 2 r.Experiment.metrics.Metrics.max_depth
+
+let qcheck_nested_strong =
+  QCheck.Test.make ~name:"nested sweep: ≥ strong on random runs" ~count:12
+    (QCheck.pair (QCheck.int_range 2 5) (QCheck.int_range 1 10_000))
+    (fun (n, seed) ->
+      let sc =
+        { Scenario.default with
+          n_sources = n;
+          init_size = 15;
+          domain = 6;
+          stream =
+            { Update_gen.default with
+              n_updates = 25; mean_gap = 0.3; p_insert = 0.55 };
+          seed = Int64.of_int seed }
+      in
+      let r = Experiment.run sc (module Nested_sweep : Algorithm.S) in
+      Checker.compare_verdict r.Experiment.verdict.Checker.verdict
+        Checker.Strong
+      <= 0)
+
+let suite =
+  [ Alcotest.test_case "absorbs concurrent update recursively" `Quick
+      test_recursion_absorbs_concurrent;
+    Alcotest.test_case "identical to sweep when sequential" `Quick
+      test_no_concurrency_identical_to_sweep;
+    Alcotest.test_case "amortizes messages under load" `Slow
+      test_amortization_under_load;
+    Alcotest.test_case "adversarial alternation: bounded + fallback" `Slow
+      test_adversarial_alternation_falls_back;
+    QCheck_alcotest.to_alcotest qcheck_nested_strong ]
+
+(* Two-level recursion, scripted: an update at source 1 interferes with
+   the main sweep, and while its recursive frame is sweeping, an update
+   at source 2 interferes with *that* — a grandchild frame (depth 3).
+   All three end up in one strongly consistent batch. *)
+let test_two_level_recursion () =
+  let view4 = Chain.view ~n:4 () in
+  let initial =
+    Array.init 4 (fun _ ->
+        Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:0 ])
+  in
+  let outcome =
+    Rig.scripted ~algorithm:(module Nested_sweep : Algorithm.S) ~view:view4
+      ~initial
+      ~updates:
+        [ (0.0, 3, Delta.insertion (Chain.tuple ~key:1 ~a:0 ~b:0));
+          (3.5, 1, Delta.insertion (Chain.tuple ~key:1 ~a:0 ~b:0));
+          (5.5, 2, Delta.insertion (Chain.tuple ~key:1 ~a:0 ~b:0)) ]
+      ()
+  in
+  let m = Node.metrics outcome.node in
+  Alcotest.(check int) "two recursive frames" 2 m.Metrics.recursions;
+  Alcotest.(check int) "depth three" 3 m.Metrics.max_depth;
+  Alcotest.(check int) "single batch install" 1 m.Metrics.installs;
+  Alcotest.(check int) "all three updates in it" 3
+    m.Metrics.updates_incorporated;
+  Alcotest.check Rig.verdict "strong" Checker.Strong
+    (Rig.check outcome).Checker.verdict
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "two-level recursion (grandchild frame)" `Quick
+        test_two_level_recursion ]

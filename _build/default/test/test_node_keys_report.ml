@@ -1,0 +1,221 @@
+(* Unit suites for the warehouse node's accounting, the key helpers the
+   Strobe family uses, and the report renderer. *)
+
+open Repro_relational
+open Repro_sim
+open Repro_warehouse
+open Repro_workload
+open Repro_harness
+
+(* --- keys ---------------------------------------------------------- *)
+
+let view3 = Chain.view ~n:3 ()
+
+let test_key_extraction () =
+  let tup = Chain.tuple ~key:42 ~a:1 ~b:2 in
+  Alcotest.check Rig.tuple "source key" (Tuple.ints [ 42 ])
+    (Keys.source_tuple_key view3 1 tup);
+  let full = Tuple.ints [ 0; 0; 1; 42; 1; 2; 9; 2; 3 ] in
+  Alcotest.check Rig.tuple "key of middle slice" (Tuple.ints [ 42 ])
+    (Keys.full_tuple_key view3 1 full);
+  (* chain view projects keys at positions 0..n-1 *)
+  let vtup = Tuple.ints [ 7; 8; 9; 1; 3 ] in
+  Alcotest.check Rig.tuple "key inside view tuple" (Tuple.ints [ 8 ])
+    (Keys.view_tuple_key view3 1 vtup)
+
+let test_kill_full () =
+  let full =
+    Delta.of_list
+      [ (Tuple.ints [ 0; 0; 1; 5; 1; 2; 9; 2; 3 ], 1);
+        (Tuple.ints [ 0; 0; 1; 6; 1; 2; 9; 2; 3 ], 2) ]
+  in
+  let keys = Hashtbl.create 4 in
+  Hashtbl.replace keys (Tuple.ints [ 5 ]) ();
+  Keys.kill_full view3 ~full ~source:1 ~keys;
+  Alcotest.(check int) "killed tuple gone" 0
+    (Delta.count full (Tuple.ints [ 0; 0; 1; 5; 1; 2; 9; 2; 3 ]));
+  Alcotest.(check int) "other survives" 2
+    (Delta.count full (Tuple.ints [ 0; 0; 1; 6; 1; 2; 9; 2; 3 ]))
+
+let test_view_deletion () =
+  let contents =
+    Bag.of_list
+      [ (Tuple.ints [ 1; 5; 2; 0; 3 ], 1); (Tuple.ints [ 1; 6; 2; 0; 3 ], 1) ]
+  in
+  let d = Keys.view_deletion view3 ~contents ~source:1 ~key:(Tuple.ints [ 5 ]) in
+  Alcotest.check Rig.delta "only matching key removed"
+    (Delta.of_list [ (Tuple.ints [ 1; 5; 2; 0; 3 ], -1) ])
+    d
+
+let test_require_keys () =
+  Alcotest.(check bool) "chain view passes" true
+    (match Keys.require_keys ~algorithm:"X" view3 with
+    | () -> true
+    | exception Invalid_argument _ -> false);
+  let keyless = Chain.view ~n:2 ~projection:[| 1 |] ~name:"nk" () in
+  Alcotest.(check bool) "keyless fails with algorithm name" true
+    (match Keys.require_keys ~algorithm:"Strobe" keyless with
+    | exception Invalid_argument m ->
+        String.length m > 6 && String.sub m 0 6 = "Strobe"
+    | () -> false)
+
+(* --- node accounting ------------------------------------------------ *)
+
+let test_node_accounting () =
+  let outcome =
+    Experiment.run_scripted ~algorithm:(module Sweep : Algorithm.S)
+      ~view:view3
+      ~initial:
+        [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+           Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+           Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+      ~updates:
+        [ (0.0, 1, Delta.insertion (Chain.tuple ~key:1 ~a:1 ~b:2));
+          (30.0, 1, Delta.deletion (Chain.tuple ~key:1 ~a:1 ~b:2)) ]
+      ()
+  in
+  let node = outcome.Experiment.node in
+  let m = Node.metrics node in
+  Alcotest.(check int) "updates received" 2 m.Metrics.updates_received;
+  Alcotest.(check int) "queries = 2 per update" 4 m.Metrics.queries_sent;
+  Alcotest.(check int) "answers mirror queries" 4 m.Metrics.answers_received;
+  Alcotest.(check int) "notice weight" 2 m.Metrics.notice_weight;
+  Alcotest.(check int) "deliveries recorded" 2
+    (List.length (Node.deliveries node));
+  Alcotest.(check int) "installs recorded" 2 (List.length (Node.installs node));
+  Alcotest.(check string) "algorithm name" "sweep" (Node.algorithm_name node);
+  Alcotest.(check bool) "idle after drain" true (Node.idle node);
+  (* initial view snapshot is intact even after installs *)
+  Alcotest.(check bool) "initial view preserved" true
+    (Bag.equal (Node.initial_view node)
+       (Bag.of_list [ (Tuple.ints [ 0; 0; 0; 0; 3 ], 1) ]))
+
+let test_install_listener_stream () =
+  let seen = ref [] in
+  let view = view3 in
+  let outcome =
+    let initial =
+      [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+         Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+         Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+    in
+    let engine = Engine.create () in
+    let rng = Engine.rng engine in
+    let node = ref None in
+    let deliver msg = Node.deliver (Option.get !node) msg in
+    let up =
+      Array.init 3 (fun _ ->
+          Channel.create engine ~latency:(Latency.Fixed 1.0)
+            ~rng:(Rng.split rng) ~deliver)
+    in
+    let sources =
+      Array.init 3 (fun i ->
+          Repro_source.Source_node.create engine ~view ~id:i
+            ~init:initial.(i)
+            ~send:(fun m -> Channel.send up.(i) m)
+            ~trace:(Trace.create ()))
+    in
+    let down =
+      Array.init 3 (fun i ->
+          Channel.create engine ~latency:(Latency.Fixed 1.0)
+            ~rng:(Rng.split rng)
+            ~deliver:(fun m -> Repro_source.Source_node.handle sources.(i) m))
+    in
+    let wh =
+      Node.create engine ~view ~algorithm:(module Sweep : Algorithm.S)
+        ~send:(fun i m -> Channel.send down.(i) m)
+        ~init:(Algebra.eval view (fun i -> initial.(i)))
+        ()
+    in
+    Node.add_install_listener wh (fun d -> seen := Delta.copy d :: !seen);
+    node := Some wh;
+    Engine.at engine ~time:0.0 (fun () ->
+        ignore
+          (Repro_source.Source_node.local_update sources.(1)
+             (Delta.insertion (Chain.tuple ~key:1 ~a:1 ~b:2))));
+    ignore (Engine.run engine);
+    wh
+  in
+  ignore outcome;
+  Alcotest.(check int) "listener saw one install" 1 (List.length !seen)
+
+(* --- report renderer ------------------------------------------------ *)
+
+let test_table_render () =
+  let s =
+    Report.table ~title:"T" ~headers:[ "x"; "count" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "23" ] ]
+      ()
+  in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* all body lines the same display width *)
+  let lines =
+    List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' s)
+  in
+  (match lines with
+  | _title :: rest ->
+      let widths = List.map String.length rest in
+      Alcotest.(check bool) "uniform width" true
+        (List.for_all (fun w -> w = List.hd widths) widths)
+  | [] -> Alcotest.fail "empty table");
+  (* short rows are padded, alignment defaults left/right *)
+  let padded =
+    Report.table ~title:"" ~headers:[ "a"; "b" ] ~rows:[ [ "only" ] ] ()
+  in
+  Alcotest.(check bool) "short row padded" true
+    (String.length padded > 0)
+
+let test_table_utf8_width () =
+  (* headers with multibyte glyphs must not skew column widths *)
+  let s =
+    Report.table ~title:"" ~headers:[ "Δmsgs"; "n" ]
+      ~rows:[ [ "1"; "2" ] ]
+      ()
+  in
+  let lines =
+    List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' s)
+  in
+  let display_len l =
+    (* count non-continuation bytes *)
+    let n = ref 0 in
+    String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) l;
+    !n
+  in
+  let widths = List.map display_len lines in
+  Alcotest.(check bool) "uniform display width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_csv () =
+  let s =
+    Report.csv ~headers:[ "a"; "b" ]
+      ~rows:[ [ "1"; "x,y" ]; [ "q\"t"; "2" ] ]
+  in
+  Alcotest.(check string) "escaping"
+    "a,b\n1,\"x,y\"\n\"q\"\"t\",2" s
+
+let test_scenario_presets () =
+  Alcotest.(check bool) "all presets resolvable" true
+    (List.for_all
+       (fun (name, _) -> Scenario.find_preset name <> None)
+       Scenario.presets);
+  Alcotest.(check bool) "unknown preset absent" true
+    (Scenario.find_preset "nope" = None);
+  (* centralized preset really is centralized *)
+  (match Scenario.find_preset "centralized" with
+  | Some s ->
+      Alcotest.(check bool) "topology" true
+        (s.Scenario.topology = Scenario.Centralized)
+  | None -> Alcotest.fail "centralized preset missing")
+
+let suite =
+  [ Alcotest.test_case "key extraction" `Quick test_key_extraction;
+    Alcotest.test_case "kill_full" `Quick test_kill_full;
+    Alcotest.test_case "view_deletion" `Quick test_view_deletion;
+    Alcotest.test_case "require_keys" `Quick test_require_keys;
+    Alcotest.test_case "node accounting" `Quick test_node_accounting;
+    Alcotest.test_case "install listener stream" `Quick
+      test_install_listener_stream;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table utf8 widths" `Quick test_table_utf8_width;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+    Alcotest.test_case "scenario presets" `Quick test_scenario_presets ]

@@ -1,0 +1,67 @@
+open Repro_relational
+
+let lookup_of arr g = arr.(g)
+
+let test_cmp_ops () =
+  let open Predicate in
+  let env = [| Value.int 3; Value.int 5 |] in
+  let t p = eval ~lookup:(lookup_of env) p in
+  Alcotest.(check bool) "eq false" false (t (eq_attr 0 1));
+  Alcotest.(check bool) "lt" true (t (Cmp (Lt, Attr 0, Attr 1)));
+  Alcotest.(check bool) "le" true (t (Cmp (Le, Attr 0, Attr 1)));
+  Alcotest.(check bool) "gt" false (t (Cmp (Gt, Attr 0, Attr 1)));
+  Alcotest.(check bool) "ge self" true (t (Cmp (Ge, Attr 0, Attr 0)));
+  Alcotest.(check bool) "ne" true (t (Cmp (Ne, Attr 0, Attr 1)));
+  Alcotest.(check bool) "const" true
+    (t (cmp_const Eq 1 (Value.int 5)))
+
+let test_boolean_structure () =
+  let open Predicate in
+  let env = [| Value.int 1 |] in
+  let t p = eval ~lookup:(lookup_of env) p in
+  Alcotest.(check bool) "true" true (t True);
+  Alcotest.(check bool) "false" false (t False);
+  Alcotest.(check bool) "and" false (t (And (True, False)));
+  Alcotest.(check bool) "or" true (t (Or (False, True)));
+  Alcotest.(check bool) "not" true (t (Not False))
+
+let test_conj () =
+  let open Predicate in
+  Alcotest.(check bool) "empty conj is True" true (conj [] = True);
+  let p = conj [ True; cmp_const Eq 0 (Value.int 1) ] in
+  Alcotest.(check bool) "True absorbed" true
+    (p = cmp_const Eq 0 (Value.int 1))
+
+let test_attrs_used () =
+  let open Predicate in
+  let p = And (eq_attr 3 1, Or (cmp_const Gt 7 (Value.int 0), Not (eq_attr 1 3))) in
+  Alcotest.(check (list int)) "sorted unique attrs" [ 1; 3; 7 ] (attrs_used p)
+
+let test_pp () =
+  let open Predicate in
+  Alcotest.(check string) "rendering" "(#0 = #1 and #2 > 5)"
+    (Format.asprintf "%a" pp
+       (And (eq_attr 0 1, cmp_const Gt 2 (Value.int 5))))
+
+(* Property: eval respects De Morgan. *)
+let qcheck_de_morgan =
+  let gen_leaf =
+    QCheck.map
+      (fun (a, b) -> Predicate.Cmp (Predicate.Lt, Predicate.Attr a, Predicate.Attr b))
+      QCheck.(pair (int_range 0 3) (int_range 0 3))
+  in
+  QCheck.Test.make ~name:"predicate De Morgan"
+    (QCheck.pair gen_leaf gen_leaf)
+    (fun (p, q) ->
+      let env = [| Value.int 2; Value.int 1; Value.int 3; Value.int 2 |] in
+      let t x = Predicate.eval ~lookup:(lookup_of env) x in
+      t (Predicate.Not (Predicate.And (p, q)))
+      = t (Predicate.Or (Predicate.Not p, Predicate.Not q)))
+
+let suite =
+  [ Alcotest.test_case "comparison operators" `Quick test_cmp_ops;
+    Alcotest.test_case "boolean structure" `Quick test_boolean_structure;
+    Alcotest.test_case "conjunction builder" `Quick test_conj;
+    Alcotest.test_case "attrs_used" `Quick test_attrs_used;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest qcheck_de_morgan ]

@@ -1,0 +1,75 @@
+open Repro_relational
+open Repro_protocol
+open Repro_warehouse
+
+let upd ~source ~seq =
+  { Message.txn = { Message.source; seq };
+    delta = Delta.insertion (Tuple.ints [ seq ]); occurred_at = 0.; global = None }
+
+let test_fifo () =
+  let q = Update_queue.create () in
+  let _ = Update_queue.append q (upd ~source:0 ~seq:0) ~arrived_at:1. in
+  let _ = Update_queue.append q (upd ~source:1 ~seq:0) ~arrived_at:2. in
+  Alcotest.(check int) "length" 2 (Update_queue.length q);
+  (match Update_queue.peek q with
+  | Some e -> Alcotest.(check int) "peek is oldest" 0 e.Update_queue.arrival
+  | None -> Alcotest.fail "expected entry");
+  (match Update_queue.pop q with
+  | Some e -> Alcotest.(check int) "pop oldest" 0 e.Update_queue.arrival
+  | None -> Alcotest.fail "expected entry");
+  Alcotest.(check int) "one left" 1 (Update_queue.length q)
+
+let test_arrival_numbers_monotonic () =
+  let q = Update_queue.create () in
+  Alcotest.(check int) "initially -1" (-1) (Update_queue.last_arrival q);
+  let e1 = Update_queue.append q (upd ~source:0 ~seq:0) ~arrived_at:0. in
+  ignore (Update_queue.pop q);
+  let e2 = Update_queue.append q (upd ~source:0 ~seq:1) ~arrived_at:0. in
+  Alcotest.(check bool) "arrival grows across pops" true
+    (e2.Update_queue.arrival > e1.Update_queue.arrival);
+  Alcotest.(check int) "watermark" e2.Update_queue.arrival
+    (Update_queue.last_arrival q)
+
+let test_from_source () =
+  let q = Update_queue.create () in
+  let _ = Update_queue.append q (upd ~source:0 ~seq:0) ~arrived_at:0. in
+  let _ = Update_queue.append q (upd ~source:1 ~seq:0) ~arrived_at:0. in
+  let _ = Update_queue.append q (upd ~source:0 ~seq:1) ~arrived_at:0. in
+  Alcotest.(check int) "two from 0" 2
+    (List.length (Update_queue.from_source q 0));
+  Alcotest.(check int) "non-destructive" 3 (Update_queue.length q);
+  let taken = Update_queue.take_from_source q 0 in
+  Alcotest.(check (list int)) "taken oldest-first"
+    [ 0; 1 ]
+    (List.map (fun e -> e.Update_queue.update.Message.txn.Message.seq) taken);
+  Alcotest.(check int) "only source 1 remains" 1 (Update_queue.length q);
+  (match Update_queue.peek q with
+  | Some e ->
+      Alcotest.(check int) "remaining is source 1" 1
+        e.Update_queue.update.Message.txn.Message.source
+  | None -> Alcotest.fail "expected entry")
+
+let test_metrics_staleness () =
+  let m = Metrics.create () in
+  Metrics.note_staleness m 2.0;
+  Metrics.note_staleness m 4.0;
+  m.Metrics.updates_incorporated <- 2;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Metrics.mean_staleness m);
+  Alcotest.(check (float 1e-9)) "max" 4.0 m.Metrics.staleness_max;
+  m.Metrics.queries_sent <- 10;
+  Alcotest.(check (float 1e-9)) "queries per update" 5.0
+    (Metrics.queries_per_update m)
+
+let test_metrics_queue_watermark () =
+  let m = Metrics.create () in
+  Metrics.note_queue_length m 3;
+  Metrics.note_queue_length m 1;
+  Alcotest.(check int) "max retained" 3 m.Metrics.max_queue
+
+let suite =
+  [ Alcotest.test_case "queue is FIFO" `Quick test_fifo;
+    Alcotest.test_case "arrival numbering" `Quick
+      test_arrival_numbers_monotonic;
+    Alcotest.test_case "per-source extraction" `Quick test_from_source;
+    Alcotest.test_case "staleness accounting" `Quick test_metrics_staleness;
+    Alcotest.test_case "queue watermark" `Quick test_metrics_queue_watermark ]

@@ -1,0 +1,100 @@
+open Repro_relational
+
+let t1 = Tuple.ints [ 1 ]
+let t2 = Tuple.ints [ 2 ]
+
+let test_relation_insert_delete () =
+  let r = Relation.create () in
+  Relation.insert r t1 2;
+  Relation.delete r t1 1;
+  Alcotest.(check int) "count after" 1 (Relation.count r t1);
+  Alcotest.check_raises "delete below zero"
+    (Invalid_argument "Relation.delete: (1) has count 1 < 2") (fun () ->
+      Relation.delete r t1 2);
+  Alcotest.check_raises "insert nonpositive"
+    (Invalid_argument "Relation.insert: count < 1") (fun () ->
+      Relation.insert r t1 0)
+
+let test_relation_of_list_negative () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Relation.of_list: negative count") (fun () ->
+      ignore (Relation.of_list [ (t1, -1) ]))
+
+let test_apply_guard () =
+  let r = Relation.of_list [ (t1, 1) ] in
+  let bad = Delta.of_list [ (t1, -2) ] in
+  (match Relation.apply r bad with
+  | Error [ tup ] -> Alcotest.check Rig.tuple "offender reported" t1 tup
+  | Error _ | Ok () -> Alcotest.fail "expected single offending tuple");
+  (* the failed apply must leave the relation untouched *)
+  Alcotest.(check int) "unchanged" 1 (Relation.count r t1);
+  let ok = Delta.of_list [ (t1, -1); (t2, 3) ] in
+  (match Relation.apply r ok with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "valid delta rejected");
+  Alcotest.(check int) "t1 gone" 0 (Relation.count r t1);
+  Alcotest.(check int) "t2 there" 3 (Relation.count r t2)
+
+let test_delta_parts () =
+  let d = Delta.of_list [ (t1, 2); (t2, -3) ] in
+  Alcotest.check Rig.delta "positive part"
+    (Delta.of_list [ (t1, 2) ])
+    (Delta.positive_part d);
+  Alcotest.check Rig.delta "negative part (positivized)"
+    (Delta.of_list [ (t2, 3) ])
+    (Delta.negative_part d);
+  Alcotest.check Rig.delta "negate"
+    (Delta.of_list [ (t1, -2); (t2, 3) ])
+    (Delta.negate d);
+  Alcotest.(check int) "weight" 5 (Delta.weight d)
+
+let test_delta_sum_merges_updates () =
+  (* merging interfering updates from one source (paper §5.1) *)
+  let d1 = Delta.insertion t1 in
+  let d2 = Delta.deletion t1 in
+  let d3 = Delta.insertion t2 in
+  Alcotest.check Rig.delta "insert+delete cancel, rest survives"
+    (Delta.of_list [ (t2, 1) ])
+    (Delta.sum [ d1; d2; d3 ])
+
+let test_of_relation_signs () =
+  let r = Relation.of_list [ (t1, 2) ] in
+  Alcotest.check Rig.delta "positive" (Delta.of_list [ (t1, 2) ])
+    (Delta.of_relation r);
+  Alcotest.check Rig.delta "negative"
+    (Delta.of_list [ (t1, -2) ])
+    (Delta.of_relation ~sign:(-1) r)
+
+(* Property: applying a valid random delta then its negation restores the
+   relation. *)
+let qcheck_apply_roundtrip =
+  QCheck.Test.make ~name:"relation apply/unapply roundtrip"
+    QCheck.(small_list (pair (int_range 0 5) (int_range 1 3)))
+    (fun entries ->
+      let r =
+        Relation.of_list
+          (List.map (fun (k, c) -> (Tuple.ints [ k ], c)) entries)
+      in
+      let before = Relation.copy r in
+      (* delete half of what's there, insert something new *)
+      let d = Delta.empty () in
+      Relation.iter (fun tup c -> Delta.add d tup (-(c / 2))) r;
+      Delta.add d (Tuple.ints [ 99 ]) 2;
+      match Relation.apply r d with
+      | Error _ -> false
+      | Ok () -> (
+          match Relation.apply r (Delta.negate d) with
+          | Error _ -> false
+          | Ok () -> Relation.equal r before))
+
+let suite =
+  [ Alcotest.test_case "insert/delete guards" `Quick
+      test_relation_insert_delete;
+    Alcotest.test_case "of_list rejects negatives" `Quick
+      test_relation_of_list_negative;
+    Alcotest.test_case "apply is atomic on failure" `Quick test_apply_guard;
+    Alcotest.test_case "delta sign decomposition" `Quick test_delta_parts;
+    Alcotest.test_case "delta sum merges updates" `Quick
+      test_delta_sum_merges_updates;
+    Alcotest.test_case "of_relation signs" `Quick test_of_relation_signs;
+    QCheck_alcotest.to_alcotest qcheck_apply_roundtrip ]

@@ -1,0 +1,76 @@
+open Repro_relational
+
+let abc =
+  Schema.make "R"
+    [ Schema.attr ~key:true "id" Value.T_int; Schema.attr "a" Value.T_int;
+      Schema.attr "b" Value.T_str ]
+
+let test_schema_basics () =
+  Alcotest.(check string) "name" "R" (Schema.name abc);
+  Alcotest.(check int) "arity" 3 (Schema.arity abc);
+  Alcotest.(check int) "index_of a" 1 (Schema.index_of abc "a");
+  Alcotest.(check bool) "missing attr" true
+    (match Schema.index_of abc "zz" with
+    | exception Not_found -> true
+    | _ -> false);
+  Alcotest.(check (list int)) "keys" [ 0 ] (Schema.key_indices abc)
+
+let test_schema_validation () =
+  Alcotest.check_raises "empty attrs"
+    (Invalid_argument "Schema.make: empty attribute list") (fun () ->
+      ignore (Schema.make "X" []));
+  Alcotest.check_raises "duplicate attrs"
+    (Invalid_argument "Schema.make: duplicate attribute a") (fun () ->
+      ignore
+        (Schema.make "X" [ Schema.attr "a" Value.T_int; Schema.attr "a" Value.T_int ]))
+
+let test_schema_conforms () =
+  Alcotest.(check bool) "conforming tuple" true
+    (Schema.conforms abc [| Value.int 1; Value.int 2; Value.str "x" |]);
+  Alcotest.(check bool) "wrong arity" false
+    (Schema.conforms abc [| Value.int 1 |]);
+  Alcotest.(check bool) "wrong type" false
+    (Schema.conforms abc [| Value.int 1; Value.str "no"; Value.str "x" |]);
+  Alcotest.(check bool) "nulls conform" true
+    (Schema.conforms abc [| Value.Null; Value.Null; Value.Null |])
+
+let test_tuple_ops () =
+  let t = Tuple.ints [ 1; 2; 3 ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.check Rig.value "get" (Value.int 2) (Tuple.get t 1);
+  Alcotest.check Rig.tuple "concat"
+    (Tuple.ints [ 1; 2; 3; 4 ])
+    (Tuple.concat t (Tuple.ints [ 4 ]));
+  Alcotest.check Rig.tuple "project"
+    (Tuple.ints [ 3; 1 ])
+    (Tuple.project t [| 2; 0 |]);
+  Alcotest.check Rig.tuple "slice" (Tuple.ints [ 2; 3 ]) (Tuple.slice t 1 2);
+  Alcotest.(check string) "pp" "(1, 2, 3)" (Tuple.to_string t)
+
+let test_tuple_compare () =
+  let a = Tuple.ints [ 1; 2 ] and b = Tuple.ints [ 1; 3 ] in
+  Alcotest.(check bool) "lt" true (Tuple.compare a b < 0);
+  Alcotest.(check bool) "shorter first" true
+    (Tuple.compare (Tuple.ints [ 9 ]) a < 0);
+  Alcotest.(check bool) "eq" true (Tuple.equal a (Tuple.ints [ 1; 2 ]))
+
+let qcheck_project_concat =
+  QCheck.Test.make ~name:"project of concat recovers halves"
+    QCheck.(pair (small_list small_signed_int) (small_list small_signed_int))
+    (fun (l, r) ->
+      let a = Tuple.ints l and b = Tuple.ints r in
+      let c = Tuple.concat a b in
+      let left_idx = Array.init (List.length l) (fun i -> i) in
+      let right_idx =
+        Array.init (List.length r) (fun i -> List.length l + i)
+      in
+      Tuple.equal (Tuple.project c left_idx) a
+      && Tuple.equal (Tuple.project c right_idx) b)
+
+let suite =
+  [ Alcotest.test_case "schema basics" `Quick test_schema_basics;
+    Alcotest.test_case "schema validation" `Quick test_schema_validation;
+    Alcotest.test_case "schema conformance" `Quick test_schema_conforms;
+    Alcotest.test_case "tuple operations" `Quick test_tuple_ops;
+    Alcotest.test_case "tuple ordering" `Quick test_tuple_compare;
+    QCheck_alcotest.to_alcotest qcheck_project_concat ]

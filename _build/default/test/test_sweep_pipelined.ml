@@ -1,0 +1,135 @@
+(* Pipelined SWEEP (§5.3's second optimization): overlapping ViewChanges,
+   in-order installs, and the refined interference rule (only updates
+   delivered *after* the one being swept are cancelled). *)
+
+open Repro_relational
+open Repro_warehouse
+open Repro_consistency
+open Repro_workload
+open Repro_harness
+
+let view = Chain.view ~n:3 ()
+
+let initial3 () =
+  [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+
+let test_installs_in_delivery_order () =
+  (* three rapid-fire updates: sweeps overlap, installs must still follow
+     delivery order and each state must be exact *)
+  let outcome =
+    Experiment.run_scripted ~algorithm:(module Sweep_pipelined : Algorithm.S)
+      ~view ~initial:(initial3 ())
+      ~updates:
+        [ (0.0, 2, Delta.insertion (Chain.tuple ~key:1 ~a:2 ~b:9));
+          (0.2, 0, Delta.insertion (Chain.tuple ~key:1 ~a:9 ~b:1));
+          (0.4, 1, Delta.deletion (Chain.tuple ~key:0 ~a:1 ~b:2)) ]
+      ()
+  in
+  let sources =
+    List.concat_map
+      (fun (r : Node.install_record) ->
+        List.map (fun (t : Repro_protocol.Message.txn_id) -> t.source) r.txns)
+      (Node.installs outcome.Experiment.node)
+  in
+  Alcotest.(check (list int)) "delivery order" [ 2; 0; 1 ] sources;
+  Alcotest.check Rig.verdict "complete" Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+let test_overlapping_sweeps () =
+  (* with window 8 and a tight stream, several sweeps must be in flight at
+     once — observable as queries for later updates sent before earlier
+     updates install *)
+  let sc =
+    { Scenario.default with
+      n_sources = 4;
+      init_size = 20;
+      domain = 20;
+      stream =
+        { Update_gen.default with n_updates = 60; mean_gap = 0.3 };
+      seed = 7L }
+  in
+  let pipe = Experiment.run sc (module Sweep_pipelined : Algorithm.S) in
+  let seq = Experiment.run sc (module Sweep : Algorithm.S) in
+  Alcotest.check Rig.verdict "pipelined stays complete" Checker.Complete
+    pipe.Experiment.verdict.Checker.verdict;
+  Alcotest.(check int) "same query count"
+    seq.Experiment.metrics.Metrics.queries_sent
+    pipe.Experiment.metrics.Metrics.queries_sent;
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelining cuts staleness (%.1f < %.1f)"
+       (Metrics.mean_staleness pipe.Experiment.metrics)
+       (Metrics.mean_staleness seq.Experiment.metrics))
+    true
+    (Metrics.mean_staleness pipe.Experiment.metrics
+    < Metrics.mean_staleness seq.Experiment.metrics /. 2.)
+
+let test_window_one_equals_sweep () =
+  let sc =
+    { Scenario.default with
+      n_sources = 3;
+      init_size = 15;
+      domain = 15;
+      stream = { Update_gen.default with n_updates = 40; mean_gap = 0.5 };
+      seed = 13L }
+  in
+  let w1 = Experiment.run sc (Sweep_pipelined.with_window 1) in
+  let sw = Experiment.run sc (module Sweep : Algorithm.S) in
+  Alcotest.(check int) "same queries"
+    sw.Experiment.metrics.Metrics.queries_sent
+    w1.Experiment.metrics.Metrics.queries_sent;
+  Alcotest.(check int) "same installs"
+    sw.Experiment.metrics.Metrics.installs
+    w1.Experiment.metrics.Metrics.installs;
+  Alcotest.check Rig.verdict "complete" Checker.Complete
+    w1.Experiment.verdict.Checker.verdict;
+  Alcotest.(check (float 1e-6)) "same staleness"
+    (Metrics.mean_staleness sw.Experiment.metrics)
+    (Metrics.mean_staleness w1.Experiment.metrics)
+
+let test_earlier_pipeline_updates_not_cancelled () =
+  (* u1 (source 0) and u2 (source 2) overlap in the pipeline; u2's sweep
+     reads R0 *after* u1 applied. u1 serializes first, so u2 must NOT
+     compensate it away — the refined rule. The checker catches either
+     kind of mistake. *)
+  let outcome =
+    Experiment.run_scripted ~algorithm:(module Sweep_pipelined : Algorithm.S)
+      ~view ~initial:(initial3 ())
+      ~updates:
+        [ (0.0, 0, Delta.deletion (Chain.tuple ~key:0 ~a:0 ~b:1));
+          (0.1, 2, Delta.insertion (Chain.tuple ~key:1 ~a:2 ~b:9)) ]
+      ()
+  in
+  Alcotest.check Rig.verdict "refined interference rule is exact"
+    Checker.Complete
+    (Experiment.check_scripted outcome).Checker.verdict
+
+let qcheck_pipelined_complete =
+  QCheck.Test.make ~name:"pipelined sweep: complete on random runs" ~count:15
+    (QCheck.triple (QCheck.int_range 2 5) (QCheck.int_range 1 10_000)
+       (QCheck.int_range 1 8))
+    (fun (n, seed, window) ->
+      let sc =
+        { Scenario.default with
+          n_sources = n;
+          init_size = 15;
+          domain = 15;
+          stream =
+            { Update_gen.default with
+              n_updates = 30; mean_gap = 0.25; p_insert = 0.55 };
+          seed = Int64.of_int seed }
+      in
+      let r = Experiment.run sc (Sweep_pipelined.with_window window) in
+      r.Experiment.verdict.Checker.verdict = Checker.Complete)
+
+let suite =
+  [ Alcotest.test_case "installs follow delivery order" `Quick
+      test_installs_in_delivery_order;
+    Alcotest.test_case "overlapping sweeps slash staleness" `Slow
+      test_overlapping_sweeps;
+    Alcotest.test_case "window=1 degenerates to sweep" `Slow
+      test_window_one_equals_sweep;
+    Alcotest.test_case "earlier pipeline updates not cancelled" `Quick
+      test_earlier_pipeline_updates_not_cancelled;
+    QCheck_alcotest.to_alcotest qcheck_pipelined_complete ]

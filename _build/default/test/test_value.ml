@@ -1,0 +1,73 @@
+open Repro_relational
+
+let test_compare_total_order () =
+  let vs =
+    [ Value.Null; Value.bool false; Value.bool true; Value.int (-3);
+      Value.int 0; Value.int 5; Value.float 1.5; Value.str "a"; Value.str "b" ]
+  in
+  (* compare agrees with list position for this representative ladder *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          let c = Value.compare a b in
+          if i < j then Alcotest.(check bool) "lt" true (c < 0)
+          else if i > j then Alcotest.(check bool) "gt" true (c > 0)
+          else Alcotest.(check int) "eq" 0 c)
+        vs)
+    vs
+
+let test_equal_reflexive () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "refl" true (Value.equal v v))
+    [ Value.Null; Value.int 7; Value.str "x"; Value.float 2.; Value.bool true ]
+
+let test_type_of () =
+  Alcotest.(check bool) "null has no type" true (Value.type_of Value.Null = None);
+  Alcotest.(check bool) "int" true (Value.type_of (Value.int 1) = Some Value.T_int);
+  Alcotest.(check bool) "str" true
+    (Value.type_of (Value.str "s") = Some Value.T_str)
+
+let test_conforms () =
+  Alcotest.(check bool) "null conforms to anything" true
+    (Value.conforms Value.Null Value.T_int);
+  Alcotest.(check bool) "int conforms to int" true
+    (Value.conforms (Value.int 3) Value.T_int);
+  Alcotest.(check bool) "int does not conform to str" false
+    (Value.conforms (Value.int 3) Value.T_str)
+
+let test_to_string () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "null" "null" (Value.to_string Value.Null);
+  Alcotest.(check string) "str quoted" "\"hi\"" (Value.to_string (Value.str "hi"))
+
+let qcheck_compare_antisym =
+  let gen =
+    QCheck.oneof
+      [ QCheck.always Value.Null;
+        QCheck.map Value.int QCheck.small_signed_int;
+        QCheck.map Value.str QCheck.small_string;
+        QCheck.map Value.bool QCheck.bool ]
+  in
+  QCheck.Test.make ~name:"value compare antisymmetric"
+    (QCheck.pair gen gen)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let qcheck_compare_transitive_ints =
+  QCheck.Test.make ~name:"value compare transitive"
+    QCheck.(triple small_signed_int small_signed_int small_signed_int)
+    (fun (a, b, c) ->
+      let va = Value.int a and vb = Value.int b and vc = Value.int c in
+      if Value.compare va vb <= 0 && Value.compare vb vc <= 0 then
+        Value.compare va vc <= 0
+      else true)
+
+let suite =
+  [ Alcotest.test_case "total order across types" `Quick
+      test_compare_total_order;
+    Alcotest.test_case "equality is reflexive" `Quick test_equal_reflexive;
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "conforms" `Quick test_conforms;
+    Alcotest.test_case "printing" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest qcheck_compare_antisym;
+    QCheck_alcotest.to_alcotest qcheck_compare_transitive_ints ]

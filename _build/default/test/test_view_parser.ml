@@ -1,0 +1,332 @@
+open Repro_relational
+
+let paper_query =
+  "SELECT R2.D, R3.F FROM R1(A int, B int), R2(C int, D int), R3(E int, F \
+   int) WHERE R1.B = R2.C AND R2.D = R3.E"
+
+let test_paper_query () =
+  let v = View_parser.parse_exn paper_query in
+  Alcotest.(check int) "three sources" 3 (View_def.n_sources v);
+  Alcotest.(check (array int)) "projection D,F" [| 3; 5 |]
+    (View_def.projection v);
+  (match (View_def.join_between v 0).Join_spec.equalities with
+  | [ (1, 2) ] -> ()
+  | _ -> Alcotest.fail "join 0 should be B=C");
+  (match (View_def.join_between v 1).Join_spec.equalities with
+  | [ (3, 4) ] -> ()
+  | _ -> Alcotest.fail "join 1 should be D=E");
+  Alcotest.(check bool) "no selection" true (View_def.selection v = Predicate.True);
+  (* must evaluate identically to the hand-built paper example *)
+  let fetch i = (Repro_workload.Paper_example.initial ()).(i) in
+  Alcotest.check Rig.relation "same initial view"
+    (Algebra.eval Repro_workload.Paper_example.view fetch)
+    (Algebra.eval v fetch)
+
+let test_select_star () =
+  let v =
+    View_parser.parse_exn
+      "SELECT * FROM A(x int, y int), B(z int, w int) WHERE A.y = B.z"
+  in
+  Alcotest.(check (array int)) "all columns" [| 0; 1; 2; 3 |]
+    (View_def.projection v)
+
+let test_keys_and_types () =
+  let v =
+    View_parser.parse_exn
+      "SELECT O.id, P.name FROM O(id int key, sku int), P(sku int key, name \
+       str, price float, active bool) WHERE O.sku = P.sku"
+  in
+  Alcotest.(check (list int)) "O key" [ 0 ] (Schema.key_indices (View_def.schema v 0));
+  let p = View_def.schema v 1 in
+  Alcotest.(check bool) "types parsed" true
+    ((Schema.attrs p).(1).Schema.ty = Value.T_str
+    && (Schema.attrs p).(2).Schema.ty = Value.T_float
+    && (Schema.attrs p).(3).Schema.ty = Value.T_bool)
+
+let test_residual_selection () =
+  let v =
+    View_parser.parse_exn
+      "SELECT A.x FROM A(x int, y int), B(z int, w int) WHERE A.y = B.z AND \
+       B.w > 5 AND A.x <> 0"
+  in
+  (* one equality becomes the join; the other conjuncts become selection *)
+  Alcotest.(check int) "one join equality" 1
+    (List.length (View_def.join_between v 0).Join_spec.equalities);
+  Alcotest.(check bool) "selection present" true
+    (View_def.selection v <> Predicate.True);
+  Alcotest.(check (list int)) "selection references w and x" [ 0; 3 ]
+    (Predicate.attrs_used (View_def.selection v))
+
+let test_non_adjacent_equality_is_selection () =
+  (* A.x = C.z links non-adjacent relations: kept as selection, not a
+     join condition (the chain model only joins neighbours) *)
+  let v =
+    View_parser.parse_exn
+      "SELECT A.x FROM A(x int), B(y int), C(z int) WHERE A.x = B.y AND B.y \
+       = C.z AND A.x = C.z"
+  in
+  Alcotest.(check bool) "residual selection kept" true
+    (View_def.selection v <> Predicate.True)
+
+let test_disjunction_whole_where_is_selection () =
+  let v =
+    View_parser.parse_exn
+      "SELECT A.x FROM A(x int), B(y int) WHERE A.x = B.y OR A.x > 3"
+  in
+  (* an OR at top level cannot produce join conditions *)
+  Alcotest.(check int) "cross join" 0
+    (List.length (View_def.join_between v 0).Join_spec.equalities);
+  Alcotest.(check bool) "all in selection" true
+    (View_def.selection v <> Predicate.True)
+
+let test_literals_and_ops () =
+  let v =
+    View_parser.parse_exn
+      "SELECT A.x FROM A(x int, s str, f float, b bool) WHERE A.s = 'hi' AND \
+       A.f >= 1.5 AND A.b = true AND A.x != 9"
+  in
+  let used = Predicate.attrs_used (View_def.selection v) in
+  Alcotest.(check (list int)) "attrs used" [ 0; 1; 2; 3 ] used
+
+let test_no_where () =
+  let v = View_parser.parse_exn "SELECT * FROM A(x int), B(y int)" in
+  Alcotest.(check int) "cross product join" 0
+    (List.length (View_def.join_between v 0).Join_spec.equalities)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let expect_error fragment src =
+  match View_parser.parse src with
+  | Ok _ -> Alcotest.failf "expected parse failure for %S" src
+  | Error msg ->
+      if not (contains ~needle:fragment msg) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_errors () =
+  expect_error "expected" "FROM A(x int)";
+  expect_error "unknown relation" "SELECT Z.q FROM A(x int)";
+  expect_error "no attribute" "SELECT A.q FROM A(x int)";
+  expect_error "unterminated" "SELECT A.x FROM A(s str) WHERE A.s = 'oops";
+  expect_error "unexpected character" "SELECT A.x FROM A(x int) WHERE A.x # 3";
+  expect_error "trailing" "SELECT A.x FROM A(x int) garbage garbage";
+  expect_error "qualified" "SELECT x FROM A(x int)"
+
+let test_roundtrip_through_simulation () =
+  (* a parsed view drives the full stack end to end *)
+  let v = View_parser.parse_exn paper_query in
+  let s2, d2 = Repro_workload.Paper_example.d_r2 in
+  let outcome =
+    Repro_harness.Experiment.run_scripted
+      ~algorithm:(module Repro_warehouse.Sweep : Repro_warehouse.Algorithm.S)
+      ~view:v
+      ~initial:(Repro_workload.Paper_example.initial ())
+      ~updates:[ (0.0, s2, d2) ] ()
+  in
+  Alcotest.check Rig.verdict "complete" Repro_consistency.Checker.Complete
+    (Repro_harness.Experiment.check_scripted outcome)
+      .Repro_consistency.Checker
+      .verdict
+
+let suite =
+  [ Alcotest.test_case "the paper's SQL query" `Quick test_paper_query;
+    Alcotest.test_case "select star" `Quick test_select_star;
+    Alcotest.test_case "keys and types" `Quick test_keys_and_types;
+    Alcotest.test_case "residual selection" `Quick test_residual_selection;
+    Alcotest.test_case "non-adjacent equality" `Quick
+      test_non_adjacent_equality_is_selection;
+    Alcotest.test_case "disjunction stays selection" `Quick
+      test_disjunction_whole_where_is_selection;
+    Alcotest.test_case "literals and operators" `Quick test_literals_and_ops;
+    Alcotest.test_case "missing where = cross product" `Quick test_no_where;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "parsed view through the simulator" `Quick
+      test_roundtrip_through_simulation ]
+
+(* --- to_sql round trips ---------------------------------------------- *)
+
+let roundtrip_equivalent v =
+  let sql = View_parser.to_sql v in
+  match View_parser.parse sql with
+  | Error msg -> Alcotest.failf "re-parse of %S failed: %s" sql msg
+  | Ok v' ->
+      Alcotest.(check int) "same sources" (View_def.n_sources v)
+        (View_def.n_sources v');
+      Alcotest.(check (array int)) "same projection" (View_def.projection v)
+        (View_def.projection v');
+      (* evaluation equivalence on deterministic data *)
+      let rng = Repro_sim.Rng.create 99L in
+      let rels =
+        Array.init (View_def.n_sources v) (fun i ->
+            let rel = Relation.create () in
+            for k = 0 to 15 do
+              let tup =
+                Array.map
+                  (fun (a : Schema.attribute) ->
+                    match a.Schema.ty with
+                    | Value.T_int -> Value.int (Repro_sim.Rng.int rng 4)
+                    | Value.T_float ->
+                        Value.float (float_of_int (Repro_sim.Rng.int rng 4))
+                    | Value.T_str ->
+                        Value.str (string_of_int (Repro_sim.Rng.int rng 3))
+                    | Value.T_bool -> Value.bool (Repro_sim.Rng.int rng 2 = 0))
+                  (Schema.attrs (View_def.schema v i))
+              in
+              (* overwrite a key column if any, to keep multiplicities 1 *)
+              (match Schema.key_indices (View_def.schema v i) with
+              | key :: _ -> tup.(key) <- Value.int k
+              | [] -> ());
+              Relation.insert rel tup 1
+            done;
+            rel)
+      in
+      Alcotest.check Rig.relation "same evaluation"
+        (Algebra.eval v (fun i -> rels.(i)))
+        (Algebra.eval v' (fun i -> rels.(i)))
+
+let test_to_sql_roundtrip_paper () =
+  roundtrip_equivalent (View_parser.parse_exn paper_query)
+
+let test_to_sql_roundtrip_selection () =
+  roundtrip_equivalent
+    (View_parser.parse_exn
+       "SELECT A.x FROM A(x int key, y int), B(z int key, w int) WHERE A.y \
+        = B.z AND (B.w > 1 OR A.x <> 0) AND NOT A.x = 3")
+
+let test_to_sql_roundtrip_chain () =
+  roundtrip_equivalent (Repro_workload.Chain.view ~n:4 ())
+
+let test_to_sql_null_rejected () =
+  let schemas = Repro_workload.Chain.schemas ~n:2 in
+  let v =
+    View_def.make ~name:"nullsel" ~schemas
+      ~joins:[| Join_spec.natural ~left_attr:2 ~right_attr:4 |]
+      ~selection:(Predicate.cmp_const Predicate.Eq 0 Value.Null)
+      ~projection:[| 0 |] ()
+  in
+  Alcotest.(check bool) "NULL constant rejected" true
+    (match View_parser.to_sql v with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "to_sql roundtrip: paper query" `Quick
+        test_to_sql_roundtrip_paper;
+      Alcotest.test_case "to_sql roundtrip: rich selection" `Quick
+        test_to_sql_roundtrip_selection;
+      Alcotest.test_case "to_sql roundtrip: chain view" `Quick
+        test_to_sql_roundtrip_chain;
+      Alcotest.test_case "to_sql rejects NULL constants" `Quick
+        test_to_sql_null_rejected ]
+
+let test_to_sql_bad_names_rejected () =
+  let v =
+    View_def.make ~name:"bad"
+      ~schemas:
+        [| Schema.make "has-dash" [ Schema.attr "x" Value.T_int ];
+           Schema.make "B" [ Schema.attr "y" Value.T_int ] |]
+      ~joins:[| Join_spec.make [] |]
+      ~projection:[| 0 |] ()
+  in
+  Alcotest.(check bool) "dashed relation name rejected" true
+    (match View_parser.to_sql v with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let kw =
+    View_def.make ~name:"kw"
+      ~schemas:
+        [| Schema.make "select" [ Schema.attr "x" Value.T_int ];
+           Schema.make "B" [ Schema.attr "y" Value.T_int ] |]
+      ~joins:[| Join_spec.make [] |]
+      ~projection:[| 0 |] ()
+  in
+  Alcotest.(check bool) "keyword relation name rejected" true
+    (match View_parser.to_sql kw with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Generator-based round trip: random small views rendered and re-parsed
+   must evaluate identically on random data. *)
+let qcheck_random_view_roundtrip =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = int_range 2 4 in
+      let* arities = list_repeat n (int_range 1 3) in
+      let arities = Array.of_list arities in
+      let offsets = Array.make n 0 in
+      for i = 1 to n - 1 do
+        offsets.(i) <- offsets.(i - 1) + arities.(i - 1)
+      done;
+      let total = offsets.(n - 1) + arities.(n - 1) in
+      let* eqs =
+        (* one optional equality per adjacent pair *)
+        list_repeat (n - 1) (opt (pair (int_range 0 2) (int_range 0 2)))
+      in
+      let* proj_src = int_range 0 (total - 1) in
+      let* sel_const = int_range 0 3 in
+      let* sel_attr = int_range 0 (total - 1) in
+      let* with_sel = bool in
+      return (n, arities, offsets, eqs, proj_src, sel_const, sel_attr, with_sel))
+  in
+  Test.make ~name:"random view to_sql/parse roundtrip" ~count:100
+    (make gen)
+    (fun (n, arities, offsets, eqs, proj_src, sel_const, sel_attr, with_sel) ->
+      let schemas =
+        Array.init n (fun i ->
+            Schema.make
+              (Printf.sprintf "T%d" i)
+              (List.init arities.(i) (fun k ->
+                   Schema.attr (Printf.sprintf "c%d" k) Value.T_int)))
+      in
+      let joins =
+        Array.of_list
+          (List.mapi
+             (fun i eq ->
+               match eq with
+               | Some (l, r) when l < arities.(i) && r < arities.(i + 1) ->
+                   Join_spec.natural ~left_attr:(offsets.(i) + l)
+                     ~right_attr:(offsets.(i + 1) + r)
+               | _ -> Join_spec.make [])
+             eqs)
+      in
+      let selection =
+        if with_sel then
+          Predicate.cmp_const Predicate.Le sel_attr (Value.int sel_const)
+        else Predicate.True
+      in
+      let v =
+        View_def.make ~name:"rand" ~schemas ~joins ~selection
+          ~projection:[| proj_src |] ()
+      in
+      match View_parser.parse (View_parser.to_sql v) with
+      | Error _ -> false
+      | Ok v' ->
+          let rng = Repro_sim.Rng.create 123L in
+          let rels =
+            Array.init n (fun i ->
+                let rel = Relation.create () in
+                for _ = 1 to 8 do
+                  Relation.insert rel
+                    (Array.init arities.(i) (fun _ ->
+                         Value.int (Repro_sim.Rng.int rng 3)))
+                    1
+                done;
+                rel)
+          in
+          Relation.equal
+            (Algebra.eval v (fun i -> rels.(i)))
+            (Algebra.eval v' (fun i -> rels.(i))))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "to_sql rejects unrepresentable names" `Quick
+        test_to_sql_bad_names_rejected;
+      QCheck_alcotest.to_alcotest qcheck_random_view_roundtrip ]

@@ -1,0 +1,117 @@
+open Repro_relational
+open Repro_sim
+open Repro_workload
+
+let test_populate_shape () =
+  let view = Chain.view ~n:3 () in
+  let rels = Chain.populate view ~size:20 ~domain:5 (Rng.create 1L) in
+  Alcotest.(check int) "three relations" 3 (Array.length rels);
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "twenty tuples" 20 (Relation.total r);
+      (* keys are unique: distinct tuples = total *)
+      Alcotest.(check int) "unique keys" 20 (Relation.cardinal r);
+      Relation.iter
+        (fun tup _ ->
+          match (Tuple.get tup 1, Tuple.get tup 2) with
+          | Value.Int a, Value.Int b ->
+              Alcotest.(check bool) "payload in domain" true
+                (a >= 0 && a < 5 && b >= 0 && b < 5)
+          | _ -> Alcotest.fail "int payloads expected")
+        r)
+    rels
+
+let run_stream ?(placement = Update_gen.Uniform) ?(p_insert = 0.5) n_updates =
+  let view = Chain.view ~n:3 () in
+  let engine = Engine.create ~seed:3L () in
+  let rng = Engine.rng engine in
+  let initial = Chain.populate view ~size:10 ~domain:4 (Rng.split rng) in
+  let live = Array.map Relation.copy initial in
+  let log = ref [] in
+  let apply ~source ~global:_ delta =
+    log := (source, Delta.copy delta) :: !log;
+    match Relation.apply live.(source) delta with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "generator produced an invalid delete"
+  in
+  let cfg =
+    { Update_gen.default with n_updates; mean_gap = 0.5; p_insert; placement }
+  in
+  Update_gen.drive engine (Rng.split rng) cfg ~view ~initial ~apply ();
+  ignore (Engine.run engine);
+  (List.rev !log, live)
+
+let test_stream_counts_and_validity () =
+  let log, _ = run_stream 200 in
+  Alcotest.(check int) "exactly n updates applied" 200 (List.length log)
+
+let test_stream_deletes_valid () =
+  (* heavily delete-biased stream must stay valid (mirrors work) *)
+  let log, live = run_stream ~p_insert:0.1 150 in
+  Alcotest.(check int) "applied all" 150 (List.length log);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "no negative counts" false
+        (Bag.has_negative (Relation.as_bag r)))
+    live
+
+let test_alternating_placement () =
+  let log, _ = run_stream ~placement:(Update_gen.Alternating (0, 2)) 20 in
+  List.iteri
+    (fun i (source, _) ->
+      Alcotest.(check int) "alternates 0,2,0,2,…"
+        (if i mod 2 = 0 then 0 else 2)
+        source)
+    log
+
+let test_fresh_keys () =
+  (* inserted keys never collide with existing ones *)
+  let log, live = run_stream ~p_insert:1.0 50 in
+  ignore log;
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "all keys distinct" (Relation.total r)
+        (Relation.cardinal r))
+    live
+
+let test_txn_size () =
+  let view = Chain.view ~n:2 () in
+  let engine = Engine.create ~seed:9L () in
+  let rng = Engine.rng engine in
+  let initial = Chain.populate view ~size:10 ~domain:4 (Rng.split rng) in
+  let sizes = ref [] in
+  let apply ~source:_ ~global:_ delta = sizes := Delta.weight delta :: !sizes in
+  Update_gen.drive engine (Rng.split rng)
+    { Update_gen.default with n_updates = 10; txn_size = 3; p_insert = 1.0 }
+    ~view ~initial ~apply ();
+  ignore (Engine.run engine);
+  List.iter
+    (fun w -> Alcotest.(check int) "three tuples per txn" 3 w)
+    !sizes
+
+let test_on_done_fires_after_last () =
+  let view = Chain.view ~n:2 () in
+  let engine = Engine.create ~seed:9L () in
+  let rng = Engine.rng engine in
+  let initial = Chain.populate view ~size:5 ~domain:4 (Rng.split rng) in
+  let count = ref 0 in
+  let done_at = ref (-1) in
+  Update_gen.drive engine (Rng.split rng)
+    { Update_gen.default with n_updates = 7 }
+    ~view ~initial
+    ~apply:(fun ~source:_ ~global:_ _ -> incr count)
+    ~on_done:(fun () -> done_at := !count)
+    ();
+  ignore (Engine.run engine);
+  Alcotest.(check int) "on_done sees all updates" 7 !done_at
+
+let suite =
+  [ Alcotest.test_case "populate shape and domains" `Quick test_populate_shape;
+    Alcotest.test_case "stream emits exactly n updates" `Quick
+      test_stream_counts_and_validity;
+    Alcotest.test_case "delete-heavy streams stay valid" `Quick
+      test_stream_deletes_valid;
+    Alcotest.test_case "alternating placement" `Quick
+      test_alternating_placement;
+    Alcotest.test_case "fresh keys on insert" `Quick test_fresh_keys;
+    Alcotest.test_case "source-local txn size" `Quick test_txn_size;
+    Alcotest.test_case "on_done ordering" `Quick test_on_done_fires_after_last ]
