@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test faults bench examples doc clean
 
 all: build
 
@@ -7,6 +7,10 @@ build:
 
 test:
 	dune runtest
+
+# Seeded fault-schedule property suite only (transport + fault injection).
+faults:
+	dune exec test/test_main.exe -- test faults
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:

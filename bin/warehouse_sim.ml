@@ -12,7 +12,8 @@ open Repro_workload
 open Repro_harness
 
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
-    domain seed latency centralized no_check show_trace explain_sql =
+    domain seed latency centralized drop duplicate spike spike_factor crashes
+    no_check show_trace explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -44,6 +45,48 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
           other;
         exit 2
   in
+  let crashes =
+    List.map
+      (fun spec ->
+        match String.split_on_char ':' spec with
+        | [ src; from_; until ] -> (
+            match
+              (int_of_string_opt src, float_of_string_opt from_,
+               float_of_string_opt until)
+            with
+            | Some source, Some down_at, Some up_at when down_at < up_at ->
+                if source < 0 || source >= n then begin
+                  Printf.eprintf "--crash source %d out of range [0,%d)\n"
+                    source n;
+                  exit 2
+                end;
+                { Fault.source; down_at; up_at }
+            | _ ->
+                Printf.eprintf "bad --crash %S (want SRC:FROM:UNTIL)\n" spec;
+                exit 2)
+        | _ ->
+            Printf.eprintf "bad --crash %S (want SRC:FROM:UNTIL)\n" spec;
+            exit 2)
+      crashes
+  in
+  List.iter
+    (fun (name, p) ->
+      if p < 0. || p >= 1. then begin
+        Printf.eprintf "--%s must be in [0,1), got %g\n" name p;
+        exit 2
+      end)
+    [ ("drop", drop); ("duplicate", duplicate); ("spike", spike) ];
+  if spike_factor < 1. then begin
+    Printf.eprintf "--spike-factor must be >= 1, got %g\n" spike_factor;
+    exit 2
+  end;
+  let faults =
+    if drop = 0. && duplicate = 0. && spike = 0. && crashes = [] then
+      base.Scenario.faults
+    else
+      { Fault.link = Fault.lossy ~drop ~duplicate ~spike ~spike_factor ();
+        crashes }
+  in
   let scenario =
     { Scenario.name = Option.value preset ~default:"cli";
       n_sources = n;
@@ -56,6 +99,7 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       latency = Latency.Uniform (latency /. 2., latency *. 1.5);
       topology =
         (if centralized then Scenario.Centralized else base.Scenario.topology);
+      faults;
       seed = Int64.of_int seed }
   in
   let alg =
@@ -117,6 +161,19 @@ let domain = Arg.(value & opt int 0 & info [ "domain" ] ~doc:"Join-attribute dom
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs are deterministic per seed).")
 let latency = Arg.(value & opt float 1.0 & info [ "latency" ] ~doc:"Mean channel latency.")
 let centralized = Arg.(value & flag & info [ "centralized" ] ~doc:"Host all base relations at one site (ECA's architecture).")
+let drop = Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Per-frame loss probability; nonzero routes traffic over the reliable transport.")
+let duplicate = Arg.(value & opt float 0.0 & info [ "duplicate" ] ~doc:"Per-frame duplication probability (suppressed by the transport receiver).")
+let spike = Arg.(value & opt float 0.0 & info [ "spike" ] ~doc:"Latency-spike probability per frame.")
+let spike_factor = Arg.(value & opt float 4.0 & info [ "spike-factor" ] ~doc:"Latency multiplier during a spike.")
+
+let crashes =
+  Arg.(
+    value & opt_all string []
+    & info [ "crash" ] ~docv:"SRC:FROM:UNTIL"
+        ~doc:
+          "Crash window: source $(i,SRC) is unreachable for sim times in \
+           [FROM, UNTIL). Repeatable. The warehouse's in-flight queries are \
+           retransmitted with backoff and answered after recovery.")
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
 
@@ -138,6 +195,7 @@ let cmd =
     Term.(
       const run_cmd $ algorithm $ preset $ n $ updates $ gap $ p_insert
       $ txn_size $ placement $ init $ domain $ seed $ latency $ centralized
+      $ drop $ duplicate $ spike $ spike_factor $ crashes
       $ no_check $ show_trace $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

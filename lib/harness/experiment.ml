@@ -1,5 +1,6 @@
 open Repro_relational
 open Repro_sim
+open Repro_protocol
 open Repro_source
 open Repro_warehouse
 open Repro_consistency
@@ -65,28 +66,60 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
     | None -> invalid_arg "Experiment.run: message before wiring complete"
   in
   let n = scenario.n_sources in
+  let faulty = Fault.is_faulty scenario.faults in
+  (* Crash windows close a source's network boundary in both directions;
+     the transport keeps retransmitting into the partition and gets
+     through once it heals. *)
+  let gate i () =
+    not (Fault.crashed scenario.faults ~source:i ~time:(Engine.now engine))
+  in
+  let tconfig = Transport.config_for scenario.latency in
+  (* per-link stat readers, type-erased (up links carry to_warehouse,
+     down links to_source) *)
+  let link_stats : (unit -> Transport.stats * int) list ref = ref [] in
+  let reliable_link i ~deliver =
+    let l =
+      Transport.connect ~config:tconfig ~faults:scenario.faults.Fault.link
+        ~gate:(gate i) engine ~latency:scenario.latency ~rng:(Rng.split rng)
+        ~deliver ()
+    in
+    link_stats :=
+      (fun () -> (Transport.link_stats l, Transport.link_frames_lost l))
+      :: !link_stats;
+    Transport.link_send l
+  in
   (* apply: how the workload performs an update at "source i". *)
   let send_to, apply =
     match scenario.topology with
     | Scenario.Distributed ->
-        let up_channels =
-          Array.init n (fun _ ->
-              Channel.create engine ~latency:scenario.latency
-                ~rng:(Rng.split rng) ~deliver)
+        let up_send =
+          Array.init n (fun i ->
+              if faulty then (reliable_link i ~deliver : Message.to_warehouse -> unit)
+              else
+                let ch =
+                  Channel.create engine ~latency:scenario.latency
+                    ~rng:(Rng.split rng) ~deliver
+                in
+                Channel.send ch)
         in
         let sources =
           Array.init n (fun i ->
               Source_node.create engine ~view ~id:i ~init:initial.(i)
-                ~send:(fun m -> Channel.send up_channels.(i) m)
+                ~send:(fun m -> up_send.(i) m)
                 ~trace)
         in
-        let down_channels =
+        let down_send =
           Array.init n (fun i ->
-              Channel.create engine ~latency:scenario.latency
-                ~rng:(Rng.split rng)
-                ~deliver:(fun m -> Source_node.handle sources.(i) m))
+              let deliver m = Source_node.handle sources.(i) m in
+              if faulty then (reliable_link i ~deliver : Message.to_source -> unit)
+              else
+                let ch =
+                  Channel.create engine ~latency:scenario.latency
+                    ~rng:(Rng.split rng) ~deliver
+                in
+                Channel.send ch)
         in
-        ( (fun i msg -> Channel.send down_channels.(i) msg),
+        ( (fun i msg -> down_send.(i) msg),
           fun ~source ~global delta ->
             let global =
               Option.map
@@ -95,20 +128,22 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
             in
             ignore (Source_node.local_update ?global sources.(source) delta) )
     | Scenario.Centralized ->
-        let up =
-          Channel.create engine ~latency:scenario.latency ~rng:(Rng.split rng)
-            ~deliver
+        (* the single site plays the role of "source 0" for crash windows *)
+        let mk_send i ~deliver =
+          if faulty then reliable_link i ~deliver
+          else
+            let ch =
+              Channel.create engine ~latency:scenario.latency
+                ~rng:(Rng.split rng) ~deliver
+            in
+            Channel.send ch
         in
+        let up = mk_send 0 ~deliver in
         let site =
-          Eca_site.create engine ~view ~inits:initial
-            ~send:(fun m -> Channel.send up m)
-            ~trace
+          Eca_site.create engine ~view ~inits:initial ~send:up ~trace
         in
-        let down =
-          Channel.create engine ~latency:scenario.latency ~rng:(Rng.split rng)
-            ~deliver:(fun m -> Eca_site.handle site m)
-        in
-        ( (fun _i msg -> Channel.send down msg),
+        let down = mk_send 0 ~deliver:(fun m -> Eca_site.handle site m) in
+        ( (fun _i msg -> down msg),
           fun ~source ~global:_ delta ->
             (* the centralized site applies type-3 parts as local updates *)
             ignore (Eca_site.local_update site ~source delta) )
@@ -131,6 +166,19 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
       (Printf.sprintf
          "Experiment.run: %s did not quiesce after the event queue drained"
          (Node.algorithm_name warehouse));
+  (* fold the transport layer's counters into the run's metrics *)
+  let m = Node.metrics warehouse in
+  List.iter
+    (fun read ->
+      let s, lost = read () in
+      m.Metrics.retransmissions <-
+        m.Metrics.retransmissions + s.Transport.retransmissions;
+      m.Metrics.timeouts <- m.Metrics.timeouts + s.Transport.timeouts;
+      m.Metrics.duplicates_suppressed <-
+        m.Metrics.duplicates_suppressed + s.Transport.duplicates_suppressed;
+      m.Metrics.recoveries <- m.Metrics.recoveries + s.Transport.recoveries;
+      m.Metrics.frames_lost <- m.Metrics.frames_lost + lost)
+    !link_stats;
   let verdict =
     if check && completed then
       Checker.check view

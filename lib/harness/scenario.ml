@@ -11,13 +11,14 @@ type t = {
   stream : Update_gen.config;
   latency : Latency.t;
   topology : topology;
+  faults : Fault.t;
   seed : int64;
 }
 
 let default =
   { name = "default"; n_sources = 3; init_size = 40; domain = 16;
     stream = Update_gen.default; latency = Latency.Uniform (0.5, 1.5);
-    topology = Distributed; seed = 42L }
+    topology = Distributed; faults = Fault.none; seed = 42L }
 
 let presets =
   [ (* updates spaced far apart: no concurrency, every algorithm should be
@@ -55,7 +56,19 @@ let presets =
       { default with
         name = "centralized"; topology = Centralized;
         stream = { Update_gen.default with n_updates = 80; mean_gap = 0.7 } }
-    ) ]
+    );
+    (* degraded network: loss, duplication, spikes and one source outage;
+       protocol messages ride the reliable transport layer *)
+    ( "degraded",
+      { default with
+        name = "degraded"; n_sources = 4;
+        stream = { Update_gen.default with n_updates = 80; mean_gap = 1.5 };
+        faults =
+          { Fault.link =
+              Fault.lossy ~drop:0.2 ~duplicate:0.1 ~spike:0.05
+                ~spike_factor:4. ();
+            crashes =
+              [ { Fault.source = 1; down_at = 30.; up_at = 60. } ] } } ) ]
 
 let find_preset name = List.assoc_opt name presets
 
@@ -68,4 +81,6 @@ let pp ppf t =
     (match t.topology with
     | Distributed -> "distributed"
     | Centralized -> "centralized")
-    t.seed
+    t.seed;
+  if Fault.is_faulty t.faults then
+    Format.fprintf ppf " faults[%a]" Fault.pp t.faults

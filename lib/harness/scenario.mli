@@ -18,6 +18,11 @@ type t = {
   stream : Update_gen.config;
   latency : Latency.t;
   topology : topology;
+  faults : Fault.t;
+      (** network fault schedule; {!Fault.none} (the default) wires plain
+          reliable channels, byte-identical to runs predating the fault
+          layer. Anything faulty routes all protocol traffic over
+          {!Repro_protocol.Transport} links instead. *)
   seed : int64;
 }
 
@@ -25,7 +30,7 @@ val default : t
 
 (** [quick_presets] — a few named scenarios used by examples, tests and
     the CLI ([sequential], [concurrent], [bursty], [adversarial],
-    [centralized]). *)
+    [centralized], [degraded]). *)
 val presets : (string * t) list
 
 val find_preset : string -> t option

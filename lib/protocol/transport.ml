@@ -1,0 +1,206 @@
+open Repro_sim
+
+type config = {
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  jitter : float;
+}
+
+let default_config = { rto = 8.0; backoff = 2.0; max_rto = 64.0; jitter = 0.1 }
+
+let config_for latency =
+  (* one query/answer round trip is two hops; leave headroom for latency
+     variance so the timer fires on loss, not on slow delivery *)
+  let rtt = 2. *. Latency.mean latency in
+  { default_config with
+    rto = Float.max (4. *. rtt) 1.0;
+    max_rto = Float.max (32. *. rtt) 8.0 }
+
+type 'a frame = Data of { seq : int; payload : 'a } | Ack of { upto : int }
+
+type stats = {
+  mutable frames_sent : int;
+  mutable retransmissions : int;
+  mutable timeouts : int;
+  mutable recoveries : int;
+  mutable duplicates_suppressed : int;
+  mutable reorders_buffered : int;
+  mutable acks_sent : int;
+}
+
+let fresh_stats () =
+  { frames_sent = 0; retransmissions = 0; timeouts = 0; recoveries = 0;
+    duplicates_suppressed = 0; reorders_buffered = 0; acks_sent = 0 }
+
+(* ————— sender ————— *)
+
+type 'a inflight = { seq : int; payload : 'a; mutable retx : int }
+
+type 'a sender = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  send_frame : 'a frame -> unit;
+  stats : stats;
+  mutable next_seq : int;
+  mutable acked_upto : int;  (* cumulative: all seq <= acked_upto acked *)
+  mutable window : 'a inflight list;  (* unacked, oldest first *)
+  mutable cur_rto : float;
+  mutable epoch : int;  (* stamps timers; a stale timer is a no-op *)
+}
+
+let sender ?(config = default_config) engine ~rng ~send_frame =
+  if config.rto <= 0. || config.backoff < 1. || config.max_rto < config.rto
+  then invalid_arg "Transport.sender: bad config";
+  if config.jitter < 0. then invalid_arg "Transport.sender: jitter < 0";
+  { engine; rng; config; send_frame; stats = fresh_stats (); next_seq = 0;
+    acked_upto = -1; window = []; cur_rto = config.rto; epoch = 0 }
+
+let unacked s = List.length s.window
+let sender_stats s = s.stats
+
+(* One timer guards the whole in-flight window (TCP-style). Timers cannot
+   be cancelled in the engine, so each armed timer carries the epoch it
+   was armed in; bumping the epoch orphans it. *)
+let rec arm s =
+  s.epoch <- s.epoch + 1;
+  let epoch = s.epoch in
+  let delay = s.cur_rto *. (1. +. (s.config.jitter *. Rng.float s.rng)) in
+  Engine.schedule s.engine ~delay (fun () ->
+      if epoch = s.epoch && s.window <> [] then begin
+        s.stats.timeouts <- s.stats.timeouts + 1;
+        List.iter
+          (fun f ->
+            f.retx <- f.retx + 1;
+            s.stats.retransmissions <- s.stats.retransmissions + 1;
+            s.send_frame (Data { seq = f.seq; payload = f.payload }))
+          s.window;
+        s.cur_rto <- Float.min (s.cur_rto *. s.config.backoff) s.config.max_rto;
+        arm s
+      end)
+
+let send s payload =
+  let seq = s.next_seq in
+  s.next_seq <- seq + 1;
+  let was_idle = s.window = [] in
+  s.window <- s.window @ [ { seq; payload; retx = 0 } ];
+  s.stats.frames_sent <- s.stats.frames_sent + 1;
+  s.send_frame (Data { seq; payload });
+  if was_idle then begin
+    s.cur_rto <- s.config.rto;
+    arm s
+  end
+
+let sender_on_frame s = function
+  | Data _ -> invalid_arg "Transport.sender_on_frame: Data on ack channel"
+  | Ack { upto } ->
+      if upto > s.acked_upto then begin
+        let acked, rest = List.partition (fun f -> f.seq <= upto) s.window in
+        List.iter
+          (fun f ->
+            if f.retx > 0 then s.stats.recoveries <- s.stats.recoveries + 1)
+          acked;
+        s.window <- rest;
+        s.acked_upto <- upto;
+        s.cur_rto <- s.config.rto;
+        (* progress: restart the timer for what remains, or go idle *)
+        if s.window = [] then s.epoch <- s.epoch + 1 else arm s
+      end
+
+(* ————— receiver ————— *)
+
+type 'a receiver = {
+  r_send_frame : 'a frame -> unit;
+  deliver : 'a -> unit;
+  r_stats : stats;
+  mutable expected : int;  (* next in-order seq to deliver *)
+  held : (int, 'a) Hashtbl.t;  (* out-of-order frames awaiting the gap *)
+}
+
+let receiver ~send_frame ~deliver =
+  { r_send_frame = send_frame; deliver; r_stats = fresh_stats ();
+    expected = 0; held = Hashtbl.create 16 }
+
+let receiver_stats r = r.r_stats
+
+let ack r =
+  r.r_stats.acks_sent <- r.r_stats.acks_sent + 1;
+  r.r_send_frame (Ack { upto = r.expected - 1 })
+
+let receiver_on_frame r = function
+  | Ack _ -> invalid_arg "Transport.receiver_on_frame: Ack on data channel"
+  | Data { seq; payload } ->
+      (if seq < r.expected || Hashtbl.mem r.held seq then
+         (* already delivered or already held: suppress, but re-ack so a
+            sender whose acks were lost stops retransmitting *)
+         r.r_stats.duplicates_suppressed <- r.r_stats.duplicates_suppressed + 1
+       else begin
+         Hashtbl.replace r.held seq payload;
+         if seq > r.expected then
+           r.r_stats.reorders_buffered <- r.r_stats.reorders_buffered + 1;
+         while Hashtbl.mem r.held r.expected do
+           let p = Hashtbl.find r.held r.expected in
+           Hashtbl.remove r.held r.expected;
+           r.expected <- r.expected + 1;
+           r.deliver p
+         done
+       end);
+      ack r
+
+(* ————— wired links ————— *)
+
+type 'a link = {
+  l_sender : 'a sender;
+  l_receiver : 'a receiver;
+  data_ch : 'a frame Channel.t;
+  ack_ch : 'a frame Channel.t;
+}
+
+let connect ?config ?(faults = Fault.reliable) ?gate engine ~latency ~rng
+    ~deliver () =
+  let config =
+    match config with Some c -> c | None -> config_for latency
+  in
+  let lossy = faults <> Fault.reliable in
+  let spike =
+    if faults.Fault.spike > 0. then
+      Some (faults.Fault.spike, faults.Fault.spike_factor)
+    else None
+  in
+  let recv = ref None in
+  let snd = ref None in
+  let mk deliver =
+    Channel.create ~lossy ~drop:faults.Fault.drop
+      ~duplicate:faults.Fault.duplicate ?spike ?gate engine ~latency
+      ~rng:(Rng.split rng) ~deliver
+  in
+  let data_ch = mk (fun f -> receiver_on_frame (Option.get !recv) f) in
+  let ack_ch = mk (fun f -> sender_on_frame (Option.get !snd) f) in
+  let l_receiver =
+    receiver ~send_frame:(fun f -> Channel.send ack_ch f) ~deliver
+  in
+  recv := Some l_receiver;
+  let l_sender =
+    sender ~config engine ~rng:(Rng.split rng)
+      ~send_frame:(fun f -> Channel.send data_ch f)
+  in
+  snd := Some l_sender;
+  { l_sender; l_receiver; data_ch; ack_ch }
+
+let link_send l payload = send l.l_sender payload
+let link_idle l = l.l_sender.window = []
+
+let link_stats l =
+  let s = l.l_sender.stats and r = l.l_receiver.r_stats in
+  { frames_sent = s.frames_sent + r.frames_sent;
+    retransmissions = s.retransmissions + r.retransmissions;
+    timeouts = s.timeouts + r.timeouts;
+    recoveries = s.recoveries + r.recoveries;
+    duplicates_suppressed = s.duplicates_suppressed + r.duplicates_suppressed;
+    reorders_buffered = s.reorders_buffered + r.reorders_buffered;
+    acks_sent = s.acks_sent + r.acks_sent }
+
+let link_frames_lost l =
+  Channel.dropped l.data_ch + Channel.gated l.data_ch
+  + Channel.dropped l.ack_ch + Channel.gated l.ack_ch

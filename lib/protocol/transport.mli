@@ -1,0 +1,125 @@
+(** Reliable exactly-once FIFO links over lossy channels.
+
+    The maintenance protocol (paper §2) assumes every source↔warehouse
+    channel is reliable and FIFO; {!Repro_sim.Channel} in lossy mode
+    violates both. This module restores the contract so the algorithm
+    layer ([Source_node]/[Node]) runs unchanged over a faulty network:
+
+    - the {e sender} stamps each payload with a per-link monotone
+      sequence number, buffers it until acknowledged, and retransmits on
+      timeout with exponential backoff (capped) plus deterministic
+      jitter, all driven by {!Repro_sim.Engine} timers and the link's
+      {!Repro_sim.Rng} stream — runs replay bit-identically per seed;
+    - the {e receiver} delivers payloads strictly in sequence order
+      (buffering out-of-order arrivals), suppresses duplicates, and
+      returns cumulative acks ([Ack upto] ⇒ all seq ≤ upto received) on
+      its own lossy reverse channel.
+
+    A crashed source (see {!Repro_sim.Fault} windows) simply looks like
+    100% loss for the duration: the warehouse's in-flight [Sweep_query]
+    keeps being retransmitted with backoff and gets through — and is
+    answered — once the source recovers, which is exactly the paper's
+    "re-issue the query" recovery with no algorithm-layer involvement.
+    Delivery requires fault rates < 1 and finite crash windows; under
+    those, every send is eventually delivered exactly once and the
+    engine quiesces. *)
+
+open Repro_sim
+
+(** Retransmission policy. [rto] is the initial retransmission timeout;
+    after each timeout of the same in-flight window the timeout is
+    multiplied by [backoff] (capped at [max_rto]) and the timer re-armed
+    with a uniform extra jitter fraction in [0, jitter). An advancing ack
+    resets the timeout to [rto]. *)
+type config = {
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  jitter : float;
+}
+
+val default_config : config
+
+(** [config_for latency] — a config whose [rto] comfortably exceeds one
+    round trip under the given latency model. *)
+val config_for : Latency.t -> config
+
+(** Wire frames: payloads and cumulative acknowledgements share the
+    channel message type so one lossy channel per direction suffices. *)
+type 'a frame = Data of { seq : int; payload : 'a } | Ack of { upto : int }
+
+(** Counters for one endpoint (sender and receiver fill disjoint
+    fields). *)
+type stats = {
+  mutable frames_sent : int;  (** first transmissions (sender) *)
+  mutable retransmissions : int;  (** frames resent after a timeout *)
+  mutable timeouts : int;  (** retransmission timer expiries *)
+  mutable recoveries : int;  (** frames acked after ≥1 retransmission *)
+  mutable duplicates_suppressed : int;  (** dup frames dropped (receiver) *)
+  mutable reorders_buffered : int;  (** out-of-order frames held (receiver) *)
+  mutable acks_sent : int;  (** ack frames emitted (receiver) *)
+}
+
+(** {2 Endpoints} *)
+
+type 'a sender
+type 'a receiver
+
+(** [sender ?config engine ~rng ~send_frame] — [send_frame] hands a frame
+    to the forward lossy channel. *)
+val sender :
+  ?config:config -> Engine.t -> rng:Rng.t -> send_frame:('a frame -> unit) ->
+  'a sender
+
+(** Reliable FIFO send: buffered until cumulatively acked. *)
+val send : 'a sender -> 'a -> unit
+
+(** Feed the sender a frame from the reverse channel (acks; [Data] frames
+    raise — the link is unidirectional). *)
+val sender_on_frame : 'a sender -> 'a frame -> unit
+
+(** Payloads sent but not yet acknowledged. *)
+val unacked : 'a sender -> int
+
+val sender_stats : 'a sender -> stats
+
+(** [receiver ~send_frame ~deliver] — [send_frame] hands ack frames to
+    the reverse lossy channel; [deliver] receives each payload exactly
+    once, in send order. *)
+val receiver :
+  send_frame:('a frame -> unit) -> deliver:('a -> unit) -> 'a receiver
+
+(** Feed the receiver a frame from the forward channel. *)
+val receiver_on_frame : 'a receiver -> 'a frame -> unit
+
+val receiver_stats : 'a receiver -> stats
+
+(** {2 Wired links}
+
+    [connect] builds both lossy channels (forward data, reverse ack) with
+    the same fault rates and gate, and wires a sender/receiver pair over
+    them — the usual way an experiment assembles a reliable link. *)
+
+type 'a link
+
+val connect :
+  ?config:config ->
+  ?faults:Fault.link ->
+  ?gate:(unit -> bool) ->
+  Engine.t ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a link
+
+val link_send : 'a link -> 'a -> unit
+
+(** True when every payload sent over the link has been acknowledged. *)
+val link_idle : 'a link -> bool
+
+(** Combined sender+receiver counters for the link. *)
+val link_stats : 'a link -> stats
+
+(** Frames lost by the two underlying lossy channels (drop + gate). *)
+val link_frames_lost : 'a link -> int

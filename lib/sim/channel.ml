@@ -2,28 +2,74 @@ type 'a t = {
   engine : Engine.t;
   latency : Latency.t;
   rng : Rng.t;
+  lossy : bool;
   drop : float;
+  duplicate : float;
+  spike : (float * float) option;
+  gate : (unit -> bool) option;
   deliver : 'a -> unit;
   mutable last_delivery : float;
   mutable sent : int;
   mutable dropped : int;
+  mutable duplicated : int;
+  mutable gated : int;
 }
 
-let create ?(drop = 0.) engine ~latency ~rng ~deliver =
+let create ?(lossy = false) ?(drop = 0.) ?(duplicate = 0.) ?spike ?gate engine
+    ~latency ~rng ~deliver =
   if drop < 0. || drop >= 1. then invalid_arg "Channel.create: drop ∉ [0,1)";
-  { engine; latency; rng; drop; deliver; last_delivery = 0.; sent = 0;
-    dropped = 0 }
+  if duplicate < 0. || duplicate >= 1. then
+    invalid_arg "Channel.create: duplicate ∉ [0,1)";
+  (match spike with
+  | Some (p, f) ->
+      if p < 0. || p >= 1. then invalid_arg "Channel.create: spike p ∉ [0,1)";
+      if f < 1. then invalid_arg "Channel.create: spike factor < 1"
+  | None -> ());
+  let spike = match spike with Some (p, _) when p = 0. -> None | s -> s in
+  if (not lossy) && (drop > 0. || duplicate > 0. || spike <> None) then
+    invalid_arg
+      "Channel.create: fault rates require ~lossy:true (the protocol \
+       assumes reliable channels; see channel.mli)";
+  { engine; latency; rng; lossy; drop; duplicate; spike; gate; deliver;
+    last_delivery = 0.; sent = 0; dropped = 0; duplicated = 0; gated = 0 }
+
+(* Delivery-time gating: a closed gate (crash window) swallows the
+   message at the receiver's network boundary. *)
+let deliver_gated ch msg =
+  match ch.gate with
+  | Some g when not (g ()) -> ch.gated <- ch.gated + 1
+  | _ -> ch.deliver msg
+
+let sample_latency ch =
+  let sample = Latency.sample ch.latency ch.rng in
+  match ch.spike with
+  | Some (p, factor) when Rng.bool ch.rng p -> sample *. factor
+  | _ -> sample
 
 let send ch msg =
   ch.sent <- ch.sent + 1;
   if ch.drop > 0. && Rng.bool ch.rng ch.drop then
     ch.dropped <- ch.dropped + 1
+  else if ch.lossy then begin
+    (* lossy mode: no FIFO clamp — spikes and latency variance reorder *)
+    let deliver_copy () =
+      let t = Engine.now ch.engine +. sample_latency ch in
+      Engine.at ch.engine ~time:t (fun () -> deliver_gated ch msg)
+    in
+    deliver_copy ();
+    if ch.duplicate > 0. && Rng.bool ch.rng ch.duplicate then begin
+      ch.duplicated <- ch.duplicated + 1;
+      deliver_copy ()
+    end
+  end
   else begin
     let sample = Latency.sample ch.latency ch.rng in
     let t = Float.max (Engine.now ch.engine +. sample) ch.last_delivery in
     ch.last_delivery <- t;
-    Engine.at ch.engine ~time:t (fun () -> ch.deliver msg)
+    Engine.at ch.engine ~time:t (fun () -> deliver_gated ch msg)
   end
 
 let sent ch = ch.sent
 let dropped ch = ch.dropped
+let duplicated ch = ch.duplicated
+let gated ch = ch.gated

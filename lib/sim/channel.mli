@@ -1,26 +1,60 @@
-(** Reliable FIFO point-to-point channels (paper §2).
+(** Point-to-point simulated channels.
 
-    Messages are never lost and are delivered in send order: a sampled
-    delivery time earlier than the previous message's is clamped forward.
-    SWEEP's exact interference detection (§4, footnote 2) depends on this
-    property, and the tests assert it. *)
+    In the default (reliable) mode messages are never lost and are
+    delivered in send order: a sampled delivery time earlier than the
+    previous message's is clamped forward. SWEEP's exact interference
+    detection (§4, footnote 2) depends on this property, and the tests
+    assert it.
+
+    {b Loss is opt-in and loud.} Passing a nonzero fault rate without
+    [~lossy:true] raises [Invalid_argument]: a silently lossy channel
+    under a protocol that assumes reliability stalls a sweep or corrupts
+    the view with no detection. A lossy channel additionally does {e not}
+    clamp delivery times, so latency variance (and spikes) can reorder
+    frames — restoring the exactly-once FIFO contract on top of such a
+    channel is {!Repro_protocol.Transport}'s job. *)
 
 type 'a t
 
 (** [create engine ~latency ~rng ~deliver] builds a channel whose receive
-    endpoint is the [deliver] callback. [drop] (default 0) is a message
-    loss probability — strictly a violation of the paper's reliability
-    assumption, provided so tests can demonstrate that the assumption is
-    load-bearing (a lossy channel wedges the protocol). *)
+    endpoint is the [deliver] callback.
+
+    Fault knobs (all require [~lossy:true] when nonzero; each is a
+    violation of the paper's §2 reliability assumption):
+    - [drop]: per-message loss probability.
+    - [duplicate]: per-message probability of delivering a second,
+      independently delayed copy.
+    - [spike]: [(p, factor)] — with probability [p] the sampled latency
+      is multiplied by [factor] (congestion burst; the reordering source
+      on lossy channels).
+
+    [gate] is evaluated at delivery time; when it returns [false] the
+    message is discarded (crash/partition windows — see {!Fault}). The
+    gate is independent of [lossy]: it models scripted unreachability,
+    not random loss. *)
 val create :
-  ?drop:float -> Engine.t -> latency:Latency.t -> rng:Rng.t ->
-  deliver:('a -> unit) -> 'a t
+  ?lossy:bool ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?spike:float * float ->
+  ?gate:(unit -> bool) ->
+  Engine.t ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  deliver:('a -> unit) ->
+  'a t
 
-(** Messages lost so far (always 0 with [drop = 0]). *)
-val dropped : 'a t -> int
-
-(** [send ch msg] enqueues [msg] for FIFO delivery. *)
+(** [send ch msg] enqueues [msg] for delivery (FIFO when reliable). *)
 val send : 'a t -> 'a -> unit
 
 (** Messages sent over this channel so far. *)
 val sent : 'a t -> int
+
+(** Messages lost to [drop] so far (always 0 when reliable). *)
+val dropped : 'a t -> int
+
+(** Extra copies injected by [duplicate] so far. *)
+val duplicated : 'a t -> int
+
+(** Messages discarded by the [gate] at delivery time so far. *)
+val gated : 'a t -> int

@@ -1,0 +1,56 @@
+type link = {
+  drop : float;
+  duplicate : float;
+  spike : float;
+  spike_factor : float;
+}
+
+let reliable = { drop = 0.; duplicate = 0.; spike = 0.; spike_factor = 1. }
+
+let check_p name p =
+  if p < 0. || p >= 1. then
+    invalid_arg (Printf.sprintf "Fault.lossy: %s ∉ [0,1)" name)
+
+let lossy ?(drop = 0.) ?(duplicate = 0.) ?(spike = 0.) ?(spike_factor = 4.) ()
+    =
+  check_p "drop" drop;
+  check_p "duplicate" duplicate;
+  check_p "spike" spike;
+  if spike_factor < 1. then invalid_arg "Fault.lossy: spike_factor < 1";
+  { drop; duplicate; spike; spike_factor }
+
+type window = { source : int; down_at : float; up_at : float }
+type t = { link : link; crashes : window list }
+
+let none = { link = reliable; crashes = [] }
+let is_faulty t = t.link <> reliable || t.crashes <> []
+
+let crashed t ~source ~time =
+  List.exists
+    (fun w -> w.source = source && time >= w.down_at && time < w.up_at)
+    t.crashes
+
+let random rng ~n_sources ~horizon =
+  let link =
+    { drop = Rng.uniform rng ~lo:0.0 ~hi:0.3;
+      duplicate = Rng.uniform rng ~lo:0.0 ~hi:0.2;
+      spike = Rng.uniform rng ~lo:0.0 ~hi:0.15;
+      spike_factor = Rng.uniform rng ~lo:2.0 ~hi:6.0 }
+  in
+  let crashes =
+    if Rng.bool rng 0.5 then
+      let source = Rng.int rng n_sources in
+      let down_at = Rng.uniform rng ~lo:0.0 ~hi:(horizon *. 0.6) in
+      let len = Rng.uniform rng ~lo:(horizon *. 0.05) ~hi:(horizon *. 0.3) in
+      [ { source; down_at; up_at = down_at +. len } ]
+    else []
+  in
+  { link; crashes }
+
+let pp ppf t =
+  Format.fprintf ppf "drop=%g dup=%g spike=%g×%g" t.link.drop t.link.duplicate
+    t.link.spike t.link.spike_factor;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf " crash(src%d %g..%g)" w.source w.down_at w.up_at)
+    t.crashes

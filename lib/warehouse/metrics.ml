@@ -15,6 +15,11 @@ type t = {
   mutable negative_installs : int;
   mutable staleness_sum : float;
   mutable staleness_max : float;
+  mutable retransmissions : int;
+  mutable timeouts : int;
+  mutable duplicates_suppressed : int;
+  mutable recoveries : int;
+  mutable frames_lost : int;
 }
 
 let create () =
@@ -22,7 +27,8 @@ let create () =
     answers_received = 0; query_weight = 0; answer_weight = 0;
     notice_weight = 0; installs = 0; compensations = 0; recursions = 0;
     fallbacks = 0; max_depth = 0; max_queue = 0; negative_installs = 0;
-    staleness_sum = 0.; staleness_max = 0. }
+    staleness_sum = 0.; staleness_max = 0.; retransmissions = 0;
+    timeouts = 0; duplicates_suppressed = 0; recoveries = 0; frames_lost = 0 }
 
 let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
 
@@ -44,8 +50,18 @@ let pp ppf t =
      messages: %d queries (%d tuples), %d answers (%d tuples)@,\
      compensations: %d; recursions: %d (max depth %d, %d fallbacks)@,\
      max queue: %d; negative installs: %d@,\
-     staleness: mean %.3f, max %.3f@]"
+     staleness: mean %.3f, max %.3f"
     t.updates_received t.updates_incorporated t.installs t.queries_sent
     t.query_weight t.answers_received t.answer_weight t.compensations
     t.recursions t.max_depth t.fallbacks t.max_queue t.negative_installs
-    (mean_staleness t) t.staleness_max
+    (mean_staleness t) t.staleness_max;
+  if
+    t.retransmissions > 0 || t.timeouts > 0 || t.duplicates_suppressed > 0
+    || t.recoveries > 0 || t.frames_lost > 0
+  then
+    Format.fprintf ppf
+      "@,transport: %d frames lost, %d timeouts, %d retransmissions, %d \
+       dups suppressed, %d recoveries"
+      t.frames_lost t.timeouts t.retransmissions t.duplicates_suppressed
+      t.recoveries;
+  Format.fprintf ppf "@]"

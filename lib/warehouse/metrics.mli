@@ -21,6 +21,11 @@ type t = {
   mutable negative_installs : int;  (** installs driving a count < 0 *)
   mutable staleness_sum : float;  (** Σ (install − arrival) over txns *)
   mutable staleness_max : float;
+  mutable retransmissions : int;  (** transport frames resent on timeout *)
+  mutable timeouts : int;  (** transport retransmission timer expiries *)
+  mutable duplicates_suppressed : int;  (** dup frames dropped by receivers *)
+  mutable recoveries : int;  (** frames acked after ≥1 retransmission *)
+  mutable frames_lost : int;  (** frames lost to drop + crash windows *)
 }
 
 val create : unit -> t

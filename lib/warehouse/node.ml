@@ -20,7 +20,7 @@ type t = {
   mutable algo : Algorithm.packed option;
   mutable rev_installs : install_record list;
   mutable rev_deliveries : Message.update list;
-  mutable listeners : (Delta.t -> unit) list;
+  mutable rev_listeners : (Delta.t -> unit) list;  (* newest first *)
 }
 
 let create engine ~view ~algorithm ~send ~init ?(record_history = true)
@@ -29,7 +29,7 @@ let create engine ~view ~algorithm ~send ~init ?(record_history = true)
   let t =
     { engine; view; data; initial = Bag.copy data; metrics = Metrics.create ();
       queue = Update_queue.create (); record_history; algo = None;
-      rev_installs = []; rev_deliveries = []; listeners = [] }
+      rev_installs = []; rev_deliveries = []; rev_listeners = [] }
   in
   let instrumented_send i msg =
     t.metrics.Metrics.queries_sent <- t.metrics.Metrics.queries_sent + 1;
@@ -63,7 +63,7 @@ let create engine ~view ~algorithm ~send ~init ?(record_history = true)
           txns = List.map (fun e -> e.Update_queue.update.Message.txn) txns;
           view_after = Bag.copy t.data; negative }
         :: t.rev_installs;
-    List.iter (fun f -> f delta) t.listeners
+    List.iter (fun f -> f delta) (List.rev t.rev_listeners)
   in
   let ctx =
     { Algorithm.engine; view; trace; metrics = t.metrics; queue = t.queue;
@@ -100,7 +100,9 @@ let deliver t msg =
         t.metrics.Metrics.answer_weight + Message.weight_to_warehouse msg;
       Algorithm.packed_on_answer (algo t) msg
 
-let add_install_listener t f = t.listeners <- t.listeners @ [ f ]
+(* prepend (O(1) per registration); install reverses so listeners still
+   fire in registration order *)
+let add_install_listener t f = t.rev_listeners <- f :: t.rev_listeners
 let view_contents t = t.data
 let metrics t = t.metrics
 let queue t = t.queue

@@ -1,0 +1,353 @@
+(* Fault-injection suite: Channel/Transport edge cases, then the seeded
+   fault-schedule property harness — SWEEP (resp. Nested SWEEP, Strobe)
+   must keep its complete (resp. strong) consistency verdict and install
+   every update when all protocol traffic rides the reliable transport
+   over a network that drops, duplicates, delays and partitions frames.
+   Everything here is deterministic per seed. *)
+
+open Repro_sim
+open Repro_protocol
+open Repro_warehouse
+open Repro_consistency
+open Repro_harness
+open Repro_workload
+
+(* ————— Channel edge cases ————— *)
+
+(* Zero latency: every delivery ties at the send time; FIFO must still
+   hold via the clamp + the event queue's stable tie order. *)
+let test_zero_latency_ties_fifo () =
+  let e = Engine.create () in
+  let received = ref [] in
+  let ch =
+    Channel.create e ~latency:(Latency.Fixed 0.0) ~rng:(Rng.create 1L)
+      ~deliver:(fun m -> received := m :: !received)
+  in
+  Engine.at e ~time:1.0 (fun () ->
+      for i = 0 to 99 do
+        Channel.send ch i
+      done);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "ties delivered in send order"
+    (List.init 100 (fun i -> i))
+    (List.rev !received)
+
+(* The reliable path is byte-identical to the seed implementation: golden
+   delivery times captured before the fault layer existed. *)
+let test_reliable_channel_golden () =
+  let e = Engine.create ~seed:99L () in
+  let out = ref [] in
+  let ch =
+    Channel.create e
+      ~latency:(Latency.Uniform (0.1, 5.0))
+      ~rng:(Rng.create 3L)
+      ~deliver:(fun i -> out := (i, Engine.now e) :: !out)
+  in
+  for i = 0 to 7 do
+    Engine.schedule e ~delay:(0.5 *. float_of_int i) (fun () ->
+        Channel.send ch i)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int (float 0.))))
+    "delivery times unchanged from seed"
+    [ (0, 0.65590667608005726); (1, 4.0314382166052223);
+      (2, 4.1035759444784592); (3, 4.1035759444784592);
+      (4, 4.1035759444784592); (5, 5.7174893470654737);
+      (6, 5.7174893470654737); (7, 7.9547203271465667) ]
+    (List.rev !out)
+
+let test_loss_requires_lossy_flag () =
+  let e = Engine.create () in
+  let mk ?lossy ?drop ?duplicate ?spike () =
+    ignore
+      (Channel.create ?lossy ?drop ?duplicate ?spike e
+         ~latency:(Latency.Fixed 1.0) ~rng:(Rng.create 1L)
+         ~deliver:(fun (_ : int) -> ()))
+  in
+  let raises f = match f () with exception Invalid_argument _ -> true | () -> false in
+  Alcotest.(check bool) "drop without ~lossy raises" true
+    (raises (fun () -> mk ~drop:0.1 ()));
+  Alcotest.(check bool) "duplicate without ~lossy raises" true
+    (raises (fun () -> mk ~duplicate:0.1 ()));
+  Alcotest.(check bool) "spike without ~lossy raises" true
+    (raises (fun () -> mk ~spike:(0.1, 4.0) ()));
+  Alcotest.(check bool) "opting in is fine" false
+    (raises (fun () -> mk ~lossy:true ~drop:0.1 ~duplicate:0.1 ()));
+  Alcotest.(check bool) "zero rates without ~lossy are fine" false
+    (raises (fun () -> mk ~drop:0.0 ()))
+
+let test_channel_duplicate_and_gate_counters () =
+  let e = Engine.create () in
+  let open_gate = ref true in
+  let delivered = ref 0 in
+  let ch =
+    Channel.create ~lossy:true ~duplicate:0.5
+      ~gate:(fun () -> !open_gate)
+      e ~latency:(Latency.Fixed 1.0) ~rng:(Rng.create 7L)
+      ~deliver:(fun () -> incr delivered)
+  in
+  for _ = 1 to 100 do
+    Channel.send ch ()
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "every copy delivered while the gate is open"
+    (100 + Channel.duplicated ch)
+    !delivered;
+  Alcotest.(check bool) "some duplicates injected" true
+    (Channel.duplicated ch > 0);
+  (* closed gate: copies vanish at the boundary and are counted *)
+  open_gate := false;
+  delivered := 0;
+  for _ = 1 to 50 do
+    Channel.send ch ()
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "gate swallows everything" 0 !delivered;
+  Alcotest.(check bool) "gated counter saw them" true (Channel.gated ch >= 50)
+
+(* ————— Transport edge cases ————— *)
+
+let collect_link ?faults ~latency ~n_msgs seed =
+  let e = Engine.create ~seed () in
+  let rng = Engine.rng e in
+  let received = ref [] in
+  let link =
+    Transport.connect ?faults e ~latency ~rng:(Rng.split rng)
+      ~deliver:(fun m -> received := m :: !received)
+      ()
+  in
+  for i = 0 to n_msgs - 1 do
+    Engine.schedule e ~delay:(0.3 *. float_of_int i) (fun () ->
+        Transport.link_send link i)
+  done;
+  (match Engine.run e with `Drained -> () | _ -> Alcotest.fail "no drain");
+  (List.rev !received, link)
+
+let expect_exactly_once ~name (received, link) ~n_msgs =
+  Alcotest.(check (list int))
+    (name ^ ": exactly once, in order")
+    (List.init n_msgs (fun i -> i))
+    received;
+  Alcotest.(check bool) (name ^ ": link idle") true (Transport.link_idle link)
+
+let test_transport_reliable_passthrough () =
+  let r = collect_link ~latency:(Latency.Fixed 1.0) ~n_msgs:50 5L in
+  expect_exactly_once ~name:"clean network" r ~n_msgs:50;
+  let s = Transport.link_stats (snd r) in
+  Alcotest.(check int) "no retransmissions" 0 s.Transport.retransmissions;
+  Alcotest.(check int) "no timeouts" 0 s.Transport.timeouts;
+  Alcotest.(check int) "no dups suppressed" 0 s.Transport.duplicates_suppressed
+
+let test_transport_suppresses_duplicates_exactly_once () =
+  let r =
+    collect_link
+      ~faults:(Fault.lossy ~duplicate:0.5 ())
+      ~latency:(Latency.Fixed 1.0) ~n_msgs:80 5L
+  in
+  expect_exactly_once ~name:"duplicating network" r ~n_msgs:80;
+  let s = Transport.link_stats (snd r) in
+  Alcotest.(check bool) "duplicates were injected and suppressed" true
+    (s.Transport.duplicates_suppressed > 0)
+
+let test_transport_recovers_from_loss () =
+  let r =
+    collect_link
+      ~faults:(Fault.lossy ~drop:0.4 ())
+      ~latency:(Latency.Fixed 1.0) ~n_msgs:60 5L
+  in
+  expect_exactly_once ~name:"lossy network" r ~n_msgs:60;
+  let s = Transport.link_stats (snd r) in
+  Alcotest.(check bool) "frames were lost" true
+    (Transport.link_frames_lost (snd r) > 0);
+  Alcotest.(check bool) "timeouts fired" true (s.Transport.timeouts > 0);
+  Alcotest.(check bool) "retransmissions sent" true
+    (s.Transport.retransmissions > 0);
+  Alcotest.(check bool) "losses recovered" true (s.Transport.recoveries > 0)
+
+let test_transport_reorders_restored () =
+  (* heavy latency spikes reorder the lossy channel; the receiver must
+     buffer and release in sequence order *)
+  let r =
+    collect_link
+      ~faults:(Fault.lossy ~spike:0.5 ~spike_factor:10. ())
+      ~latency:(Latency.Uniform (0.5, 1.5))
+      ~n_msgs:60 5L
+  in
+  expect_exactly_once ~name:"reordering network" r ~n_msgs:60;
+  let s = Transport.link_stats (snd r) in
+  Alcotest.(check bool) "out-of-order frames were buffered" true
+    (s.Transport.reorders_buffered > 0)
+
+(* The retransmission schedule is a pure function of the seed: exponential
+   backoff doubling from rto to max_rto (jitter 0 here), and two runs with
+   jitter produce bit-identical timelines. *)
+let test_backoff_schedule_deterministic () =
+  let schedule ~jitter ~seed =
+    let e = Engine.create () in
+    let times = ref [] in
+    let s =
+      Transport.sender
+        ~config:{ Transport.rto = 1.0; backoff = 2.0; max_rto = 8.0; jitter }
+        e ~rng:(Rng.create seed)
+        ~send_frame:(function
+          | Transport.Data _ -> times := Engine.now e :: !times
+          | Transport.Ack _ -> ())
+    in
+    Transport.send s "payload";
+    ignore (Engine.run ~until:40.0 e);
+    List.rev !times
+  in
+  Alcotest.(check (list (float 0.)))
+    "jitter-free backoff: 1,2,4 then capped at 8"
+    [ 0.; 1.; 3.; 7.; 15.; 23.; 31.; 39. ]
+    (schedule ~jitter:0. ~seed:3L);
+  Alcotest.(check (list (float 0.)))
+    "jittered schedule replays bit-identically per seed"
+    (schedule ~jitter:0.25 ~seed:9L)
+    (schedule ~jitter:0.25 ~seed:9L);
+  Alcotest.(check bool) "different seeds jitter differently" true
+    (schedule ~jitter:0.25 ~seed:9L <> schedule ~jitter:0.25 ~seed:10L)
+
+(* ————— seeded fault-schedule property harness ————— *)
+
+let n_updates = 20
+
+let degraded_scenario ?(crashes = [ { Fault.source = 1; down_at = 8.; up_at = 25. } ])
+    ?(link = Fault.lossy ~drop:0.2 ~duplicate:0.1 ()) seed =
+  { Scenario.default with
+    Scenario.name = "degraded-prop";
+    init_size = 12;
+    domain = 8;
+    stream =
+      { Update_gen.default with Update_gen.n_updates; mean_gap = 1.5 };
+    faults = { Fault.link; crashes };
+    seed }
+
+let run_one scenario algo =
+  let r = Experiment.run scenario algo in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %Ld quiesces" scenario.Scenario.seed)
+    true r.Experiment.completed;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %Ld installs every update" scenario.Scenario.seed)
+    n_updates r.Experiment.metrics.Metrics.updates_incorporated;
+  r
+
+(* Acceptance criterion: drop 0.2, duplication 0.1, one scripted crash
+   window; SWEEP stays *complete* on 100 distinct seeds and the metrics
+   show the transport actually worked for it. *)
+let test_sweep_complete_under_faults () =
+  let retx = ref 0 and tmo = ref 0 and lost = ref 0 in
+  for seed = 0 to 99 do
+    let r =
+      run_one (degraded_scenario (Int64.of_int seed)) (module Sweep : Algorithm.S)
+    in
+    Alcotest.check Rig.verdict
+      (Printf.sprintf "seed %d complete" seed)
+      Checker.Complete r.Experiment.verdict.Checker.verdict;
+    retx := !retx + r.Experiment.metrics.Metrics.retransmissions;
+    tmo := !tmo + r.Experiment.metrics.Metrics.timeouts;
+    lost := !lost + r.Experiment.metrics.Metrics.frames_lost
+  done;
+  Alcotest.(check bool) "frames were lost across the runs" true (!lost > 0);
+  Alcotest.(check bool) "retransmissions nonzero" true (!retx > 0);
+  Alcotest.(check bool) "timeouts nonzero" true (!tmo > 0)
+
+(* Random schedules (loss + duplication + spikes + maybe a crash) drawn
+   per seed: Nested SWEEP and Strobe must stay at least *strong*. *)
+let random_schedule seed =
+  let rng = Rng.create (Int64.add 7919L (Int64.mul 31L seed)) in
+  Fault.random rng ~n_sources:Scenario.default.Scenario.n_sources
+    ~horizon:(float_of_int n_updates *. 1.5)
+
+let at_least_strong ~tag algo seeds =
+  List.iter
+    (fun seed ->
+      let f = random_schedule seed in
+      let scenario =
+        degraded_scenario ~crashes:f.Fault.crashes ~link:f.Fault.link seed
+      in
+      let r = run_one scenario algo in
+      let v = r.Experiment.verdict.Checker.verdict in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %Ld at least strong (got %s)" tag seed
+           (Checker.verdict_to_string v))
+        true
+        (Checker.compare_verdict v Checker.Strong <= 0))
+    seeds
+
+let seeds n = List.init n Int64.of_int
+
+let test_nested_sweep_strong_under_faults () =
+  at_least_strong ~tag:"nested-sweep" (module Nested_sweep : Algorithm.S)
+    (seeds 50)
+
+let test_strobe_strong_under_faults () =
+  at_least_strong ~tag:"strobe" (module Strobe : Algorithm.S) (seeds 50)
+
+(* Degraded runs replay bit-identically: same seed ⇒ same install history
+   and same transport counters. *)
+let test_faulty_run_deterministic () =
+  let run () = Experiment.run (degraded_scenario 17L) (module Sweep : Algorithm.S) in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same installs"
+    a.Experiment.metrics.Metrics.installs b.Experiment.metrics.Metrics.installs;
+  Alcotest.(check int) "same retransmissions"
+    a.Experiment.metrics.Metrics.retransmissions
+    b.Experiment.metrics.Metrics.retransmissions;
+  Alcotest.(check int) "same duplicate suppressions"
+    a.Experiment.metrics.Metrics.duplicates_suppressed
+    b.Experiment.metrics.Metrics.duplicates_suppressed;
+  Alcotest.(check (float 0.)) "same sim time" a.Experiment.sim_time
+    b.Experiment.sim_time;
+  Alcotest.(check int) "same event count" a.Experiment.events
+    b.Experiment.events
+
+(* The no-fault path through the rewired experiment is byte-identical to
+   the seed implementation: golden numbers captured before this layer
+   existed. *)
+let test_fault_free_experiment_golden () =
+  let r = Experiment.run Scenario.default (module Sweep : Algorithm.S) in
+  Alcotest.(check int) "installs" 100 r.Experiment.metrics.Metrics.installs;
+  Alcotest.(check int) "incorporated" 100
+    r.Experiment.metrics.Metrics.updates_incorporated;
+  Alcotest.(check int) "queries" 200 r.Experiment.metrics.Metrics.queries_sent;
+  Alcotest.(check int) "final view tuples" 346 r.Experiment.final_view_tuples;
+  Alcotest.(check int) "events" 601 r.Experiment.events;
+  Alcotest.(check (float 0.)) "sim time" 423.0719946358177 r.Experiment.sim_time;
+  Alcotest.check Rig.verdict "complete" Checker.Complete
+    r.Experiment.verdict.Checker.verdict;
+  Alcotest.(check int) "no transport traffic at all" 0
+    (r.Experiment.metrics.Metrics.retransmissions
+    + r.Experiment.metrics.Metrics.timeouts
+    + r.Experiment.metrics.Metrics.frames_lost)
+
+let suite =
+  [ Alcotest.test_case "channel: zero-latency ties stay FIFO" `Quick
+      test_zero_latency_ties_fifo;
+    Alcotest.test_case "channel: reliable path matches seed golden" `Quick
+      test_reliable_channel_golden;
+    Alcotest.test_case "channel: loss is opt-in via ~lossy" `Quick
+      test_loss_requires_lossy_flag;
+    Alcotest.test_case "channel: duplicate + gate counters" `Quick
+      test_channel_duplicate_and_gate_counters;
+    Alcotest.test_case "transport: clean passthrough, no retransmission"
+      `Quick test_transport_reliable_passthrough;
+    Alcotest.test_case "transport: duplicates suppressed exactly once" `Quick
+      test_transport_suppresses_duplicates_exactly_once;
+    Alcotest.test_case "transport: loss recovered by retransmission" `Quick
+      test_transport_recovers_from_loss;
+    Alcotest.test_case "transport: reordering restored to FIFO" `Quick
+      test_transport_reorders_restored;
+    Alcotest.test_case "transport: backoff schedule deterministic" `Quick
+      test_backoff_schedule_deterministic;
+    Alcotest.test_case "property: sweep complete on 100 faulty seeds" `Quick
+      test_sweep_complete_under_faults;
+    Alcotest.test_case "property: nested sweep strong on random schedules"
+      `Quick test_nested_sweep_strong_under_faults;
+    Alcotest.test_case "property: strobe strong on random schedules" `Quick
+      test_strobe_strong_under_faults;
+    Alcotest.test_case "property: faulty runs deterministic per seed" `Quick
+      test_faulty_run_deterministic;
+    Alcotest.test_case "property: fault-free run identical to seed" `Quick
+      test_fault_free_experiment_golden ]

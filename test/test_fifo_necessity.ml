@@ -130,8 +130,8 @@ let test_lossy_channel_wedges_sweep () =
   (* every second query/answer hop loses messages *)
   let down =
     Array.init 3 (fun i ->
-        Channel.create ~drop:0.5 engine ~latency:(Latency.Fixed 1.0)
-          ~rng:(Rng.split rng)
+        Channel.create ~lossy:true ~drop:0.5 engine
+          ~latency:(Latency.Fixed 1.0) ~rng:(Rng.split rng)
           ~deliver:(fun m -> Source_node.handle sources.(i) m))
   in
   let warehouse =
@@ -157,7 +157,73 @@ let test_lossy_channel_wedges_sweep () =
   Alcotest.(check bool) "updates stranded" true
     ((Node.metrics warehouse).Metrics.updates_incorporated < 10)
 
+(* Positive control for the wedge: the identical lossy query path, but
+   routed over the reliable transport — retransmission restores the
+   exactly-once FIFO contract and SWEEP completes untouched. *)
+let test_transport_unwedges_sweep () =
+  let engine = Engine.create ~seed:11L () in
+  let rng = Engine.rng engine in
+  let inits = initial () in
+  let initial_copy = Array.map Relation.copy inits in
+  let node = ref None in
+  let deliver msg = Node.deliver (Option.get !node) msg in
+  let up =
+    Array.init 3 (fun _ ->
+        Channel.create engine ~latency:(Latency.Fixed 1.0)
+          ~rng:(Rng.split rng) ~deliver)
+  in
+  let sources =
+    Array.init 3 (fun i ->
+        Source_node.create engine ~view ~id:i ~init:inits.(i)
+          ~send:(fun m -> Channel.send up.(i) m)
+          ~trace:(Trace.create ()))
+  in
+  let down =
+    Array.init 3 (fun i ->
+        Transport.connect ~faults:(Fault.lossy ~drop:0.5 ()) engine
+          ~latency:(Latency.Fixed 1.0) ~rng:(Rng.split rng)
+          ~deliver:(fun m -> Source_node.handle sources.(i) m)
+          ())
+  in
+  let warehouse =
+    Node.create engine ~view ~algorithm:(module Sweep : Algorithm.S)
+      ~send:(fun i msg -> Transport.link_send down.(i) msg)
+      ~init:(Algebra.eval view (fun i -> inits.(i)))
+      ()
+  in
+  node := Some warehouse;
+  for k = 0 to 9 do
+    Engine.at engine
+      ~time:(float_of_int k)
+      (fun () ->
+        ignore
+          (Source_node.local_update sources.(1)
+             (Delta.insertion (Chain.tuple ~key:(k + 1) ~a:1 ~b:2))))
+  done;
+  (match Engine.run engine with `Drained -> () | _ -> assert false);
+  let lost =
+    Array.fold_left (fun acc l -> acc + Transport.link_frames_lost l) 0 down
+  in
+  Alcotest.(check bool) "frames were lost" true (lost > 0);
+  Alcotest.(check bool) "warehouse quiesces" true (Node.idle warehouse);
+  Alcotest.(check int) "all updates incorporated" 10
+    (Node.metrics warehouse).Metrics.updates_incorporated;
+  let verdict =
+    Checker.check view
+      { Checker.initial_sources = initial_copy;
+        deliveries = Node.deliveries warehouse;
+        installs =
+          List.map
+            (fun (r : Node.install_record) -> (r.txns, r.view_after))
+            (Node.installs warehouse);
+        final_view = Node.view_contents warehouse }
+  in
+  Alcotest.check Rig.verdict "still complete" Checker.Complete
+    verdict.Checker.verdict
+
 let suite =
   suite
   @ [ Alcotest.test_case "lossy channels wedge the protocol" `Quick
-        test_lossy_channel_wedges_sweep ]
+        test_lossy_channel_wedges_sweep;
+      Alcotest.test_case "transport un-wedges the same lossy run" `Quick
+        test_transport_unwedges_sweep ]

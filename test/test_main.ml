@@ -25,6 +25,7 @@ let () =
       ("baselines-deep", Test_baselines_deep.suite);
       ("aggregate", Test_aggregate.suite);
       ("fifo-necessity", Test_fifo_necessity.suite);
+      ("faults", Test_faults.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("global-txns", Test_global_txns.suite);
       ("node-keys-report", Test_node_keys_report.suite);
