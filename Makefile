@@ -1,4 +1,4 @@
-.PHONY: all build test faults bench examples doc clean
+.PHONY: all build test faults recover bench examples doc clean
 
 all: build
 
@@ -11,6 +11,10 @@ test:
 # Seeded fault-schedule property suite only (transport + fault injection).
 faults:
 	dune exec test/test_main.exe -- test faults
+
+# Warehouse crash-recovery suite only (WAL + checkpoint + restart).
+recover:
+	dune exec test/test_main.exe -- test recovery
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:

@@ -13,7 +13,7 @@ open Repro_harness
 
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     domain seed latency centralized drop duplicate spike spike_factor crashes
-    no_check show_trace explain_sql =
+    wh_crashes checkpoint_every queue_capacity no_check show_trace explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -69,6 +69,32 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
             exit 2)
       crashes
   in
+  let wh_crashes =
+    List.map
+      (fun spec ->
+        match String.split_on_char ':' spec with
+        | [ from_; until ] -> (
+            match (float_of_string_opt from_, float_of_string_opt until) with
+            | Some wh_down_at, Some wh_up_at when wh_down_at < wh_up_at ->
+                { Fault.wh_down_at; wh_up_at }
+            | _ ->
+                Printf.eprintf "bad --warehouse-crash %S (want FROM:UNTIL)\n"
+                  spec;
+                exit 2)
+        | _ ->
+            Printf.eprintf "bad --warehouse-crash %S (want FROM:UNTIL)\n" spec;
+            exit 2)
+      wh_crashes
+  in
+  if checkpoint_every < 0 then begin
+    Printf.eprintf "--checkpoint-every must be >= 0, got %d\n" checkpoint_every;
+    exit 2
+  end;
+  (match queue_capacity with
+  | Some c when c < 1 ->
+      Printf.eprintf "--queue-capacity must be >= 1, got %d\n" c;
+      exit 2
+  | _ -> ());
   List.iter
     (fun (name, p) ->
       if p < 0. || p >= 1. then begin
@@ -81,11 +107,13 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     exit 2
   end;
   let faults =
-    if drop = 0. && duplicate = 0. && spike = 0. && crashes = [] then
-      base.Scenario.faults
+    if
+      drop = 0. && duplicate = 0. && spike = 0. && crashes = []
+      && wh_crashes = []
+    then base.Scenario.faults
     else
       { Fault.link = Fault.lossy ~drop ~duplicate ~spike ~spike_factor ();
-        crashes }
+        crashes; wh_crashes }
   in
   let scenario =
     { Scenario.name = Option.value preset ~default:"cli";
@@ -100,6 +128,8 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       topology =
         (if centralized then Scenario.Centralized else base.Scenario.topology);
       faults;
+      checkpoint_every;
+      queue_capacity;
       seed = Int64.of_int seed }
   in
   let alg =
@@ -148,7 +178,8 @@ let preset =
     & info [ "preset" ] ~docv:"NAME"
         ~doc:
           "Start from a named scenario (sequential, concurrent, bursty, \
-           adversarial, centralized); other flags override it.")
+           adversarial, centralized, degraded, crashy); other flags \
+           override it.")
 
 let n = Arg.(value & opt int 4 & info [ "n"; "sources" ] ~doc:"Number of data sources.")
 let updates = Arg.(value & opt int 100 & info [ "u"; "updates" ] ~doc:"Update transactions to generate.")
@@ -174,6 +205,35 @@ let crashes =
           "Crash window: source $(i,SRC) is unreachable for sim times in \
            [FROM, UNTIL). Repeatable. The warehouse's in-flight queries are \
            retransmitted with backoff and answered after recovery.")
+
+let wh_crashes =
+  Arg.(
+    value & opt_all string []
+    & info [ "warehouse-crash" ] ~docv:"FROM:UNTIL"
+        ~doc:
+          "Crash the warehouse for sim times in [FROM, UNTIL). Repeatable. \
+           On restart the warehouse reloads its latest checkpoint, replays \
+           the write-ahead log tail and resumes in-flight work — no source \
+           refetch. Implies the durable (WAL + checkpoint) code path.")
+
+let checkpoint_every =
+  Arg.(
+    value & opt int 8
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:
+          "Take a warehouse checkpoint every $(docv) write-ahead-log \
+           records (0 disables checkpoints; recovery then replays the \
+           whole log). Only meaningful with $(b,--warehouse-crash).")
+
+let queue_capacity =
+  Arg.(
+    value & opt (some int) None
+    & info [ "queue-capacity" ] ~docv:"CAP"
+        ~doc:
+          "Bound the warehouse update queue to $(docv) in-flight updates; \
+           further updates wait at their source (backpressure) and no-op \
+           updates are shed under load. Unset = unbounded.")
+
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
 
@@ -196,6 +256,7 @@ let cmd =
       const run_cmd $ algorithm $ preset $ n $ updates $ gap $ p_insert
       $ txn_size $ placement $ init $ domain $ seed $ latency $ centralized
       $ drop $ duplicate $ spike $ spike_factor $ crashes
+      $ wh_crashes $ checkpoint_every $ queue_capacity
       $ no_check $ show_trace $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

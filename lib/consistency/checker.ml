@@ -190,6 +190,13 @@ let check_convergent view obs =
 
 let check view obs =
   let states_checked = List.length obs.installs + 1 in
+  (* A wrong final view is inconsistent no matter what the install
+     history looks like — check it unconditionally first (a vacuously
+     perfect history, e.g. a zero-update run, must not mask it). *)
+  match check_convergent view obs with
+  | Error conv_err ->
+      { verdict = Inconsistent; detail = conv_err; states_checked }
+  | Ok () -> (
   match check_complete view obs with
   | Ok () -> { verdict = Complete; detail = "every update installed in delivery order with exact contents"; states_checked }
   | Error complete_err -> (
@@ -199,11 +206,7 @@ let check view obs =
             detail = "not complete (" ^ complete_err ^ ") but all batches \
                       order-preserving and exact";
             states_checked }
-      | Error strong_err -> (
-          match check_convergent view obs with
-          | Ok () ->
-              { verdict = Convergent;
-                detail = "not strong (" ^ strong_err ^ ") but converged";
-                states_checked }
-          | Error conv_err ->
-              { verdict = Inconsistent; detail = conv_err; states_checked }))
+      | Error strong_err ->
+          { verdict = Convergent;
+            detail = "not strong (" ^ strong_err ^ ") but converged";
+            states_checked }))

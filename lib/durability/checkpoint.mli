@@ -1,0 +1,56 @@
+(** Periodic snapshots of the whole recoverable warehouse state.
+
+    A checkpoint bounds the WAL tail that has to be replayed after a
+    crash. It captures, at a consistent point (between message
+    deliveries):
+
+    - the materialized view contents;
+    - the pending-update queue, with original arrival numbers and
+      timestamps (algorithms compare arrival numbers, and staleness is
+      measured from the original arrival time);
+    - the query-id counter and the algorithm's resumable state as a
+      {!Snap} tree;
+    - transport state: each warehouse-side receiver's next expected
+      sequence number and each warehouse-side sender's [next_seq] /
+      cumulative-ack / unacknowledged window. Restoring the sender
+      counter makes replay regenerate in-flight queries with their
+      {e original} sequence numbers, so the sources' receivers suppress
+      them as duplicates — exactly-once even though recovery resends;
+    - the WAL position [wal_pos] the checkpoint covers: recovery replays
+      only records [wal_pos..].
+
+    Checkpoints round-trip through {!encode}/{!decode} every time one is
+    taken, so serializability is exercised on every run that crashes. *)
+
+open Repro_relational
+
+(** One warehouse→source transport sender, frozen. *)
+type sender_state = {
+  next_seq : int;
+  acked_upto : int;
+  window : (int * Repro_protocol.Message.to_source) list;
+      (** unacked (seq, payload), oldest first *)
+}
+
+type queued = {
+  update : Repro_protocol.Message.update;
+  arrival : int;
+  arrived_at : float;
+}
+
+type t = {
+  taken_at : float;  (** sim time the checkpoint was taken *)
+  wal_pos : int;  (** WAL records covered by this checkpoint *)
+  view : Bag.t;
+  queue : queued list;
+  queue_next_arrival : int;
+  next_qid : int;
+  algo : Snap.t;
+  recv_expected : int array;  (** per up-link receiver state *)
+  senders : sender_state array;  (** per down-link sender state *)
+}
+
+val put : Buffer.t -> t -> unit
+val get : Codec.reader -> t
+val encode : t -> string
+val decode : string -> t

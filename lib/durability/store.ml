@@ -1,0 +1,54 @@
+type t = {
+  wal : Wal.t;
+  checkpoint_every : int;
+  mutable capture : (unit -> Checkpoint.t) option;
+  mutable latest : string option;
+  mutable records_since : int;
+  mutable checkpoints : int;
+  mutable checkpoint_bytes : int;
+}
+
+let create ?(checkpoint_every = 8) () =
+  if checkpoint_every < 0 then invalid_arg "Store.create: checkpoint_every < 0";
+  { wal = Wal.create (); checkpoint_every; capture = None; latest = None;
+    records_since = 0; checkpoints = 0; checkpoint_bytes = 0 }
+
+let set_capture t f = t.capture <- Some f
+let wal_length t = Wal.length t.wal
+let wal_bytes t = Wal.bytes t.wal
+let checkpoints t = t.checkpoints
+let checkpoint_bytes t = t.checkpoint_bytes
+
+let log t record =
+  Wal.append t.wal record;
+  t.records_since <- t.records_since + 1
+
+let checkpoint_now t =
+  match t.capture with
+  | None -> invalid_arg "Store.checkpoint_now: no capture function set"
+  | Some capture ->
+      (* encode immediately: the stored bytes are the durable artifact,
+         and decoding them (rather than keeping the live record) is what
+         recovery does — serializability is exercised on every cycle *)
+      let s = Checkpoint.encode (capture ()) in
+      t.latest <- Some s;
+      t.checkpoints <- t.checkpoints + 1;
+      t.checkpoint_bytes <- t.checkpoint_bytes + String.length s;
+      t.records_since <- 0
+
+let maybe_checkpoint t =
+  if
+    t.checkpoint_every > 0
+    && t.records_since >= t.checkpoint_every
+    && Option.is_some t.capture
+  then checkpoint_now t
+
+let latest_checkpoint t = Option.map Checkpoint.decode t.latest
+
+let tail t =
+  let from =
+    match latest_checkpoint t with
+    | Some c -> c.Checkpoint.wal_pos
+    | None -> 0
+  in
+  Wal.records_from t.wal from

@@ -1,0 +1,57 @@
+type t = {
+  mutable tokens : int;
+  waiting : (unit -> unit) Queue.t array;  (* per-source FIFO *)
+  mutable deferred : int;
+  mutable shed : int;
+}
+
+let create ~n_sources ~capacity =
+  if capacity < 1 then invalid_arg "Backpressure.create: capacity < 1";
+  if n_sources < 1 then invalid_arg "Backpressure.create: n_sources < 1";
+  { tokens = capacity; waiting = Array.init n_sources (fun _ -> Queue.create ());
+    deferred = 0; shed = 0 }
+
+let waiting_count t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.waiting
+
+(* Admit deferred updates lowest source first, one pass per release —
+   deterministic, and per-source FIFO order is preserved because an
+   update only ever waits behind earlier updates of its own source. *)
+let rec pump t =
+  if t.tokens > 0 then
+    let rec find i =
+      if i >= Array.length t.waiting then None
+      else if Queue.is_empty t.waiting.(i) then find (i + 1)
+      else Some (Queue.pop t.waiting.(i))
+    in
+    match find 0 with
+    | None -> ()
+    | Some run ->
+        t.tokens <- t.tokens - 1;
+        run ();
+        pump t
+
+let submit t ~source ~noop run =
+  (* FIFO per source: if earlier updates from this source are still
+     waiting, this one must wait behind them even if a token is free. *)
+  if t.tokens > 0 && Queue.is_empty t.waiting.(source) then begin
+    t.tokens <- t.tokens - 1;
+    run ()
+  end
+  else if noop then
+    (* An empty-delta update changes no source state and no expected
+       view; dropping it at capacity is load shedding with no
+       correctness cost. *)
+    t.shed <- t.shed + 1
+  else begin
+    t.deferred <- t.deferred + 1;
+    Queue.push run t.waiting.(source)
+  end
+
+let release t n =
+  if n < 0 then invalid_arg "Backpressure.release: n < 0";
+  t.tokens <- t.tokens + n;
+  pump t
+
+let deferred t = t.deferred
+let shed t = t.shed

@@ -5,6 +5,7 @@ open Repro_source
 open Repro_warehouse
 open Repro_consistency
 open Repro_workload
+open Repro_durability
 
 type result = {
   scenario : Scenario.t;
@@ -14,6 +15,7 @@ type result = {
   sim_time : float;
   wall_seconds : float;
   final_view_tuples : int;
+  final_view : Bag.t;
   events : int;
   completed : bool;
 }
@@ -60,32 +62,58 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
   let initial_copy = Array.map Relation.copy initial in
   let initial_view = Algebra.eval view (fun i -> initial.(i)) in
   let node = ref None in
-  let deliver msg =
+  let the_node () =
     match !node with
-    | Some n -> Node.deliver n msg
+    | Some n -> n
     | None -> invalid_arg "Experiment.run: message before wiring complete"
   in
+  let deliver msg = Node.deliver (the_node ()) msg in
   let n = scenario.n_sources in
   let faulty = Fault.is_faulty scenario.faults in
+  let wh_crashes = scenario.faults.Fault.wh_crashes in
   (* Crash windows close a source's network boundary in both directions;
      the transport keeps retransmitting into the partition and gets
-     through once it heals. *)
+     through once it heals. A warehouse outage instead closes only the
+     channels that deliver *into* the warehouse — data on up links, acks
+     on down links — while the still-live sources keep receiving. *)
   let gate i () =
     not (Fault.crashed scenario.faults ~source:i ~time:(Engine.now engine))
   in
+  let wh_down = ref false in
+  let wh_ok () = not !wh_down in
   let tconfig = Transport.config_for scenario.latency in
   (* per-link stat readers, type-erased (up links carry to_warehouse,
      down links to_source) *)
   let link_stats : (unit -> Transport.stats * int) list ref = ref [] in
-  let reliable_link i ~deliver =
+  let reliable_link (type a) i ~(dir : [ `Up | `Down ])
+      ~(deliver : a -> unit) : a Transport.link =
+    let data_gate, ack_gate =
+      match dir with
+      | `Up -> ((fun () -> gate i () && wh_ok ()), gate i)
+      | `Down -> (gate i, fun () -> gate i () && wh_ok ())
+    in
     let l =
       Transport.connect ~config:tconfig ~faults:scenario.faults.Fault.link
-        ~gate:(gate i) engine ~latency:scenario.latency ~rng:(Rng.split rng)
-        ~deliver ()
+        ~data_gate ~ack_gate engine ~latency:scenario.latency
+        ~rng:(Rng.split rng) ~deliver ()
     in
     link_stats :=
       (fun () -> (Transport.link_stats l, Transport.link_frames_lost l))
       :: !link_stats;
+    l
+  in
+  (* The warehouse-side transport endpoints, kept for checkpointing and
+     crash recovery: each up link's receiver, each down link's sender. *)
+  let up_links : Message.to_warehouse Transport.link list ref = ref [] in
+  let down_links : Message.to_source Transport.link list ref = ref [] in
+  let mk_up i ~deliver =
+    let l = reliable_link i ~dir:`Up ~deliver in
+    up_links := !up_links @ [ l ];
+    Transport.link_send l
+  in
+  let mk_down i ~deliver =
+    let l = reliable_link i ~dir:`Down ~deliver in
+    down_links := !down_links @ [ l ];
     Transport.link_send l
   in
   (* apply: how the workload performs an update at "source i". *)
@@ -94,7 +122,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
     | Scenario.Distributed ->
         let up_send =
           Array.init n (fun i ->
-              if faulty then (reliable_link i ~deliver : Message.to_warehouse -> unit)
+              if faulty then (mk_up i ~deliver : Message.to_warehouse -> unit)
               else
                 let ch =
                   Channel.create engine ~latency:scenario.latency
@@ -111,7 +139,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
         let down_send =
           Array.init n (fun i ->
               let deliver m = Source_node.handle sources.(i) m in
-              if faulty then (reliable_link i ~deliver : Message.to_source -> unit)
+              if faulty then (mk_down i ~deliver : Message.to_source -> unit)
               else
                 let ch =
                   Channel.create engine ~latency:scenario.latency
@@ -129,8 +157,8 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
             ignore (Source_node.local_update ?global sources.(source) delta) )
     | Scenario.Centralized ->
         (* the single site plays the role of "source 0" for crash windows *)
-        let mk_send i ~deliver =
-          if faulty then reliable_link i ~deliver
+        let up =
+          if faulty then mk_up 0 ~deliver
           else
             let ch =
               Channel.create engine ~latency:scenario.latency
@@ -138,21 +166,142 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
             in
             Channel.send ch
         in
-        let up = mk_send 0 ~deliver in
         let site =
           Eca_site.create engine ~view ~inits:initial ~send:up ~trace
         in
-        let down = mk_send 0 ~deliver:(fun m -> Eca_site.handle site m) in
+        let deliver_down m = Eca_site.handle site m in
+        let down =
+          if faulty then mk_down 0 ~deliver:deliver_down
+          else
+            let ch =
+              Channel.create engine ~latency:scenario.latency
+                ~rng:(Rng.split rng) ~deliver:deliver_down
+            in
+            Channel.send ch
+        in
         ( (fun _i msg -> down msg),
           fun ~source ~global:_ delta ->
             (* the centralized site applies type-3 parts as local updates *)
             ignore (Eca_site.local_update site ~source delta) )
   in
+  let metrics = Metrics.create () in
+  let store =
+    if wh_crashes <> [] then
+      Some (Store.create ~checkpoint_every:scenario.checkpoint_every ())
+    else None
+  in
   let warehouse =
     Node.create engine ~view ~algorithm ~send:send_to ~init:initial_view
+      ?durability:store ~metrics ?queue_capacity:scenario.queue_capacity
       ~record_history:check ~trace ()
   in
   node := Some warehouse;
+  (* Bounded queue: admission control where updates are born. Tokens
+     return when the warehouse reports transactions incorporated; the
+     listener registration survives crash recovery with the node. *)
+  let bp =
+    Option.map
+      (fun capacity -> Backpressure.create ~n_sources:n ~capacity)
+      scenario.queue_capacity
+  in
+  let apply =
+    match bp with
+    | None -> apply
+    | Some bp ->
+        Node.add_incorporate_listener warehouse (fun k ->
+            Backpressure.release bp k);
+        fun ~source ~global delta ->
+          Backpressure.submit bp ~source ~noop:(Delta.is_empty delta)
+            (fun () -> apply ~source ~global delta)
+  in
+  (match store with
+  | None -> ()
+  | Some store ->
+      let ups = Array.of_list !up_links in
+      let downs = Array.of_list !down_links in
+      (* In the centralized topology all traffic shares link 0 even
+         though transactions carry source ids 0..n-1. *)
+      let li j = if Array.length ups = 1 then 0 else j in
+      Store.set_capture store (fun () ->
+          Node.checkpoint (the_node ())
+            ~wal_pos:(Store.wal_length store)
+            ~recv_expected:
+              (Array.map
+                 (fun l ->
+                   Transport.receiver_expected (Transport.link_receiver l))
+                 ups)
+            ~senders:
+              (Array.map
+                 (fun l ->
+                   let next_seq, acked_upto, window =
+                     Transport.sender_state (Transport.link_sender l)
+                   in
+                   { Checkpoint.next_seq; acked_upto; window })
+                 downs));
+      let crash () =
+        wh_down := true;
+        metrics.Metrics.wh_crashes <- metrics.Metrics.wh_crashes + 1;
+        (* the dead warehouse must stop retransmitting queries *)
+        Array.iter
+          (fun l -> Transport.halt_sender (Transport.link_sender l))
+          downs
+      in
+      let recover () =
+        let t0 = Unix.gettimeofday () in
+        wh_down := false;
+        let checkpoint = Store.latest_checkpoint store in
+        let tail = Store.tail store in
+        (* Receivers restart at [checkpointed expected + records replayed
+           on that link]: everything the old incarnation delivered (and
+           acked) is on the WAL; held out-of-order frames were never
+           acked and will be retransmitted. *)
+        let expected =
+          match checkpoint with
+          | Some (c : Checkpoint.t) -> Array.copy c.recv_expected
+          | None -> Array.make (Array.length ups) 0
+        in
+        List.iter
+          (fun r ->
+            match Wal.link_of r with
+            | Some j -> expected.(li j) <- expected.(li j) + 1
+            | None -> ())
+          tail;
+        Array.iteri
+          (fun j l ->
+            Transport.reset_receiver (Transport.link_receiver l)
+              ~expected:expected.(j))
+          ups;
+        (* Senders resume from the checkpoint (or from genesis), so the
+           sends replay regenerates carry their original sequence
+           numbers and the sources suppress them as duplicates. *)
+        Array.iteri
+          (fun j l ->
+            let s = Transport.link_sender l in
+            match checkpoint with
+            | Some (c : Checkpoint.t) ->
+                let st = c.senders.(j) in
+                Transport.restore_sender s ~next_seq:st.Checkpoint.next_seq
+                  ~acked_upto:st.Checkpoint.acked_upto
+                  ~window:st.Checkpoint.window
+            | None ->
+                Transport.restore_sender s ~next_seq:0 ~acked_upto:(-1)
+                  ~window:[])
+          downs;
+        let fresh = Node.recover ~prev:(the_node ()) ?checkpoint () in
+        node := Some fresh;
+        Node.begin_replay fresh;
+        List.iter (Node.replay_record fresh) tail;
+        Node.end_replay fresh;
+        metrics.Metrics.replayed_records <-
+          metrics.Metrics.replayed_records + List.length tail;
+        metrics.Metrics.recovery_seconds <-
+          metrics.Metrics.recovery_seconds +. (Unix.gettimeofday () -. t0)
+      in
+      List.iter
+        (fun (o : Fault.outage) ->
+          Engine.at engine ~time:o.wh_down_at crash;
+          Engine.at engine ~time:o.wh_up_at recover)
+        wh_crashes);
   Update_gen.drive engine (Rng.split rng) scenario.stream ~view
     ~initial:initial_copy ~apply ();
   let completed =
@@ -161,6 +310,8 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
     | `Max_events -> false
     | `Until -> assert false
   in
+  (* the node may have been replaced by crash recovery *)
+  let warehouse = the_node () in
   if completed && not (Node.idle warehouse) then
     invalid_arg
       (Printf.sprintf
@@ -179,6 +330,18 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
       m.Metrics.recoveries <- m.Metrics.recoveries + s.Transport.recoveries;
       m.Metrics.frames_lost <- m.Metrics.frames_lost + lost)
     !link_stats;
+  (match store with
+  | Some store ->
+      m.Metrics.wal_records <- Store.wal_length store;
+      m.Metrics.wal_bytes <- Store.wal_bytes store;
+      m.Metrics.checkpoints <- Store.checkpoints store;
+      m.Metrics.checkpoint_bytes <- Store.checkpoint_bytes store
+  | None -> ());
+  (match bp with
+  | Some bp ->
+      m.Metrics.queue_deferred <- Backpressure.deferred bp;
+      m.Metrics.queue_shed <- Backpressure.shed bp
+  | None -> ());
   let verdict =
     if check && completed then
       Checker.check view
@@ -197,6 +360,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
     metrics = Node.metrics warehouse; verdict; sim_time = Engine.now engine;
     wall_seconds = Unix.gettimeofday () -. wall_start;
     final_view_tuples = Bag.total (Node.view_contents warehouse);
+    final_view = Bag.copy (Node.view_contents warehouse);
     events = Engine.executed engine; completed }
 
 type scripted_outcome = {

@@ -22,6 +22,9 @@ type result = {
   sim_time : float;  (** sim time at drain *)
   wall_seconds : float;  (** host time the run took *)
   final_view_tuples : int;
+  final_view : Repro_relational.Bag.t;
+      (** final materialized view (copied) — lets tests compare runs,
+          e.g. crash-recovery vs crash-free, for bit-identical results *)
   events : int;  (** simulator events executed *)
   completed : bool;
       (** false when the run was cut off by [max_events] — how the harness

@@ -24,7 +24,8 @@ let scenario ?(name = "exp") ?(n = 4) ?(init = 30) ?domain
   let domain = Option.value domain ~default:init in
   { Scenario.name; n_sources = n; init_size = init; domain;
     stream = stream ~updates ~gap; latency = Latency.Uniform (0.5, 1.5);
-    topology; faults = Fault.none; seed }
+    topology; faults = Fault.none; checkpoint_every = 8;
+    queue_capacity = None; seed }
 
 let mpu (r : Experiment.result) =
   (* round trips (query + answer) per incorporated update *)

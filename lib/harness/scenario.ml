@@ -12,13 +12,16 @@ type t = {
   latency : Latency.t;
   topology : topology;
   faults : Fault.t;
+  checkpoint_every : int;
+  queue_capacity : int option;
   seed : int64;
 }
 
 let default =
   { name = "default"; n_sources = 3; init_size = 40; domain = 16;
     stream = Update_gen.default; latency = Latency.Uniform (0.5, 1.5);
-    topology = Distributed; faults = Fault.none; seed = 42L }
+    topology = Distributed; faults = Fault.none; checkpoint_every = 8;
+    queue_capacity = None; seed = 42L }
 
 let presets =
   [ (* updates spaced far apart: no concurrency, every algorithm should be
@@ -67,8 +70,20 @@ let presets =
           { Fault.link =
               Fault.lossy ~drop:0.2 ~duplicate:0.1 ~spike:0.05
                 ~spike_factor:4. ();
-            crashes =
-              [ { Fault.source = 1; down_at = 30.; up_at = 60. } ] } } ) ]
+            crashes = [ { Fault.source = 1; down_at = 30.; up_at = 60. } ];
+            wh_crashes = [] } } );
+    (* warehouse crash/restart mid-run: WAL + checkpoint recovery, twice,
+       over a mildly lossy network *)
+    ( "crashy",
+      { default with
+        name = "crashy"; n_sources = 4;
+        stream = { Update_gen.default with n_updates = 80; mean_gap = 1.5 };
+        faults =
+          { Fault.link = Fault.lossy ~drop:0.05 ~duplicate:0.05 ();
+            crashes = [];
+            wh_crashes =
+              [ { Fault.wh_down_at = 20.; wh_up_at = 40. };
+                { Fault.wh_down_at = 70.; wh_up_at = 85. } ] } } ) ]
 
 let find_preset name = List.assoc_opt name presets
 

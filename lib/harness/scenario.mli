@@ -23,6 +23,13 @@ type t = {
           reliable channels, byte-identical to runs predating the fault
           layer. Anything faulty routes all protocol traffic over
           {!Repro_protocol.Transport} links instead. *)
+  checkpoint_every : int;
+      (** checkpoint every N WAL records (0 = WAL only, full replay).
+          Only meaningful when [faults.wh_crashes] is non-empty — runs
+          without warehouse crashes attach no durability store at all. *)
+  queue_capacity : int option;
+      (** bound on the warehouse update queue; excess updates are held
+          back (or shed when no-ops) at the workload layer. *)
   seed : int64;
 }
 
@@ -30,7 +37,7 @@ val default : t
 
 (** [quick_presets] — a few named scenarios used by examples, tests and
     the CLI ([sequential], [concurrent], [bursty], [adversarial],
-    [centralized], [degraded]). *)
+    [centralized], [degraded], [crashy]). *)
 val presets : (string * t) list
 
 val find_preset : string -> t option

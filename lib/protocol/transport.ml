@@ -108,6 +108,40 @@ let sender_on_frame s = function
         if s.window = [] then s.epoch <- s.epoch + 1 else arm s
       end
 
+(* ————— crash-recovery hooks —————
+
+   A crashed endpoint loses its volatile transport state; recovery
+   restores it from a checkpoint. Restoring [next_seq] means replayed
+   protocol sends regenerate their original sequence numbers, so the
+   peer's receiver suppresses them as duplicates — exactly-once
+   re-application for free. *)
+
+let sender_state s =
+  (s.next_seq, s.acked_upto, List.map (fun f -> (f.seq, f.payload)) s.window)
+
+(* The owner crashed: orphan the retransmission timer and forget the
+   window (it is volatile state; a restore re-seeds it). *)
+let halt_sender s =
+  s.epoch <- s.epoch + 1;
+  s.window <- []
+
+let restore_sender s ~next_seq ~acked_upto ~window =
+  s.epoch <- s.epoch + 1;
+  s.next_seq <- next_seq;
+  s.acked_upto <- acked_upto;
+  s.window <- List.map (fun (seq, payload) -> { seq; payload; retx = 1 }) window;
+  s.cur_rto <- s.config.rto;
+  if s.window <> [] then begin
+    (* retransmit the restored window immediately; the peer re-acks
+       anything it already delivered *)
+    List.iter
+      (fun f ->
+        s.stats.retransmissions <- s.stats.retransmissions + 1;
+        s.send_frame (Data { seq = f.seq; payload = f.payload }))
+      s.window;
+    arm s
+  end
+
 (* ————— receiver ————— *)
 
 type 'a receiver = {
@@ -123,6 +157,15 @@ let receiver ~send_frame ~deliver =
     expected = 0; held = Hashtbl.create 16 }
 
 let receiver_stats r = r.r_stats
+let receiver_expected r = r.expected
+
+(* Recovery: anything below [expected] was logged before the crash and is
+   replayed from the WAL; held out-of-order frames above it were never
+   acknowledged and will be retransmitted by their senders. *)
+let reset_receiver r ~expected =
+  if expected < 0 then invalid_arg "Transport.reset_receiver: expected < 0";
+  Hashtbl.reset r.held;
+  r.expected <- expected
 
 let ack r =
   r.r_stats.acks_sent <- r.r_stats.acks_sent + 1;
@@ -157,8 +200,8 @@ type 'a link = {
   ack_ch : 'a frame Channel.t;
 }
 
-let connect ?config ?(faults = Fault.reliable) ?gate engine ~latency ~rng
-    ~deliver () =
+let connect ?config ?(faults = Fault.reliable) ?gate ?data_gate ?ack_gate
+    engine ~latency ~rng ~deliver () =
   let config =
     match config with Some c -> c | None -> config_for latency
   in
@@ -170,13 +213,18 @@ let connect ?config ?(faults = Fault.reliable) ?gate engine ~latency ~rng
   in
   let recv = ref None in
   let snd = ref None in
-  let mk deliver =
+  let mk ?gate deliver =
     Channel.create ~lossy ~drop:faults.Fault.drop
       ~duplicate:faults.Fault.duplicate ?spike ?gate engine ~latency
       ~rng:(Rng.split rng) ~deliver
   in
-  let data_ch = mk (fun f -> receiver_on_frame (Option.get !recv) f) in
-  let ack_ch = mk (fun f -> sender_on_frame (Option.get !snd) f) in
+  let first o = match o with Some _ -> o | None -> gate in
+  let data_ch =
+    mk ?gate:(first data_gate) (fun f -> receiver_on_frame (Option.get !recv) f)
+  in
+  let ack_ch =
+    mk ?gate:(first ack_gate) (fun f -> sender_on_frame (Option.get !snd) f)
+  in
   let l_receiver =
     receiver ~send_frame:(fun f -> Channel.send ack_ch f) ~deliver
   in
@@ -190,6 +238,8 @@ let connect ?config ?(faults = Fault.reliable) ?gate engine ~latency ~rng
 
 let link_send l payload = send l.l_sender payload
 let link_idle l = l.l_sender.window = []
+let link_sender l = l.l_sender
+let link_receiver l = l.l_receiver
 
 let link_stats l =
   let s = l.l_sender.stats and r = l.l_receiver.r_stats in

@@ -83,6 +83,37 @@ val unacked : 'a sender -> int
 
 val sender_stats : 'a sender -> stats
 
+(** {2 Crash-recovery hooks}
+
+    A warehouse crash loses volatile transport state. {!sender_state}
+    freezes a sender for a checkpoint; {!halt_sender} is called when the
+    owner crashes (orphans the retransmission timer so the simulation
+    does not keep resending on behalf of a dead node);
+    {!restore_sender} reinstates checkpointed state on recovery and
+    immediately retransmits the restored window. Restoring [next_seq]
+    makes replayed sends regenerate their original sequence numbers, so
+    peers suppress them as duplicates — exactly-once across the crash.
+    {!reset_receiver} reinstates a receiver: recovery passes
+    [checkpointed expected + replayed records on that link], because
+    everything the old incarnation delivered (and acked) is replayed
+    from the WAL, while held out-of-order frames were never acked and
+    will be retransmitted. *)
+
+(** [(next_seq, acked_upto, window)] with the window oldest first. *)
+val sender_state : 'a sender -> int * int * (int * 'a) list
+
+val halt_sender : 'a sender -> unit
+
+val restore_sender :
+  'a sender -> next_seq:int -> acked_upto:int -> window:(int * 'a) list ->
+  unit
+
+(** Next in-order sequence number the receiver will deliver. *)
+val receiver_expected : 'a receiver -> int
+
+(** Set [expected] and drop all held out-of-order frames. *)
+val reset_receiver : 'a receiver -> expected:int -> unit
+
 (** [receiver ~send_frame ~deliver] — [send_frame] hands ack frames to
     the reverse lossy channel; [deliver] receives each payload exactly
     once, in send order. *)
@@ -102,10 +133,17 @@ val receiver_stats : 'a receiver -> stats
 
 type 'a link
 
+(** [gate] applies to both directions (a partitioned peer); [data_gate] /
+    [ack_gate] override it per channel, so a warehouse crash can close
+    only the channels that deliver {e into} the warehouse (data on up
+    links, acks on down links) while frames to the still-live peer keep
+    flowing. *)
 val connect :
   ?config:config ->
   ?faults:Fault.link ->
   ?gate:(unit -> bool) ->
+  ?data_gate:(unit -> bool) ->
+  ?ack_gate:(unit -> bool) ->
   Engine.t ->
   latency:Latency.t ->
   rng:Rng.t ->
@@ -117,6 +155,9 @@ val link_send : 'a link -> 'a -> unit
 
 (** True when every payload sent over the link has been acknowledged. *)
 val link_idle : 'a link -> bool
+
+val link_sender : 'a link -> 'a sender
+val link_receiver : 'a link -> 'a receiver
 
 (** Combined sender+receiver counters for the link. *)
 val link_stats : 'a link -> stats

@@ -20,15 +20,24 @@ let lossy ?(drop = 0.) ?(duplicate = 0.) ?(spike = 0.) ?(spike_factor = 4.) ()
   { drop; duplicate; spike; spike_factor }
 
 type window = { source : int; down_at : float; up_at : float }
-type t = { link : link; crashes : window list }
+type outage = { wh_down_at : float; wh_up_at : float }
 
-let none = { link = reliable; crashes = [] }
-let is_faulty t = t.link <> reliable || t.crashes <> []
+type t = { link : link; crashes : window list; wh_crashes : outage list }
+
+let none = { link = reliable; crashes = []; wh_crashes = [] }
+
+let is_faulty t =
+  t.link <> reliable || t.crashes <> [] || t.wh_crashes <> []
 
 let crashed t ~source ~time =
   List.exists
     (fun w -> w.source = source && time >= w.down_at && time < w.up_at)
     t.crashes
+
+let warehouse_crashed t ~time =
+  List.exists
+    (fun o -> time >= o.wh_down_at && time < o.wh_up_at)
+    t.wh_crashes
 
 let random rng ~n_sources ~horizon =
   let link =
@@ -45,7 +54,28 @@ let random rng ~n_sources ~horizon =
       [ { source; down_at; up_at = down_at +. len } ]
     else []
   in
-  { link; crashes }
+  { link; crashes; wh_crashes = [] }
+
+(* Schedules for the crash-recovery property harness: the same moderate
+   link faults as {!random} (drawn first, so the link part of a seed's
+   schedule is unchanged) plus one or two guaranteed warehouse outages
+   inside the horizon. *)
+let random_recovery rng ~n_sources ~horizon =
+  let base = random rng ~n_sources ~horizon in
+  let down_at = Rng.uniform rng ~lo:(horizon *. 0.1) ~hi:(horizon *. 0.45) in
+  let len =
+    Rng.uniform rng ~lo:(horizon *. 0.05) ~hi:(horizon *. 0.2)
+  in
+  let first = { wh_down_at = down_at; wh_up_at = down_at +. len } in
+  let wh_crashes =
+    if Rng.bool rng 0.35 then
+      let gap = Rng.uniform rng ~lo:(horizon *. 0.05) ~hi:(horizon *. 0.2) in
+      let down2 = first.wh_up_at +. gap in
+      let len2 = Rng.uniform rng ~lo:(horizon *. 0.05) ~hi:(horizon *. 0.15) in
+      [ first; { wh_down_at = down2; wh_up_at = down2 +. len2 } ]
+    else [ first ]
+  in
+  { base with wh_crashes }
 
 let pp ppf t =
   Format.fprintf ppf "drop=%g dup=%g spike=%g×%g" t.link.drop t.link.duplicate
@@ -53,4 +83,8 @@ let pp ppf t =
   List.iter
     (fun w ->
       Format.fprintf ppf " crash(src%d %g..%g)" w.source w.down_at w.up_at)
-    t.crashes
+    t.crashes;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf " crash(warehouse %g..%g)" o.wh_down_at o.wh_up_at)
+    t.wh_crashes

@@ -35,8 +35,16 @@ val lossy :
     timers never quiesce. *)
 type window = { source : int; down_at : float; up_at : float }
 
+(** A warehouse outage: the warehouse process is down for sim times in
+    [[wh_down_at, wh_up_at)] — frames delivered to it during the window
+    are lost (sources keep retransmitting), its own retransmission
+    timers die with it, and at [wh_up_at] it restarts and runs crash
+    recovery from its latest checkpoint + WAL tail. Windows must be
+    finite. *)
+type outage = { wh_down_at : float; wh_up_at : float }
+
 (** A complete fault schedule for one run. *)
-type t = { link : link; crashes : window list }
+type t = { link : link; crashes : window list; wh_crashes : outage list }
 
 (** The empty schedule — runs wired with it are byte-identical to runs
     without any fault plumbing. *)
@@ -50,10 +58,20 @@ val is_faulty : t -> bool
     windows at [time]? *)
 val crashed : t -> source:int -> time:float -> bool
 
+(** [warehouse_crashed t ~time] — is the warehouse inside one of its
+    outage windows at [time]? *)
+val warehouse_crashed : t -> time:float -> bool
+
 (** [random rng ~n_sources ~horizon] draws a schedule for the property
     harness: moderate loss/duplication/spike rates and, with probability
     1/2, one crash window per run placed inside [horizon]. Deterministic
     per [rng] state. *)
 val random : Rng.t -> n_sources:int -> horizon:float -> t
+
+(** [random_recovery rng ~n_sources ~horizon] — a {!random} schedule
+    (identical link/source-crash draws) plus one or two guaranteed
+    warehouse outage windows inside [horizon], for the crash-recovery
+    property harness. *)
+val random_recovery : Rng.t -> n_sources:int -> horizon:float -> t
 
 val pp : Format.formatter -> t -> unit

@@ -22,6 +22,16 @@ module type S = sig
   val on_update : t -> Update_queue.entry -> unit
   val on_answer : t -> Message.to_warehouse -> unit
   val idle : t -> bool
+
+  (** Freeze the algorithm's resumable state for a checkpoint. Must be a
+      deep copy: the returned tree may outlive arbitrary further
+      mutation of [t]. *)
+  val snapshot : t -> Repro_durability.Snap.t
+
+  (** Rebuild from a {!snapshot} against a fresh context (crash
+      recovery). [restore ctx (snapshot t)] must behave identically to
+      [t] for all future events. *)
+  val restore : ctx -> Repro_durability.Snap.t -> t
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -31,3 +41,22 @@ let packed_name (Packed ((module A), _)) = A.name
 let packed_on_update (Packed ((module A), st)) e = A.on_update st e
 let packed_on_answer (Packed ((module A), st)) m = A.on_answer st m
 let packed_idle (Packed ((module A), st)) = A.idle st
+let packed_snapshot (Packed ((module A), st)) = A.snapshot st
+
+let restore_packed (module A : S) ctx snap =
+  Packed ((module A), A.restore ctx snap)
+
+(* Shared (de)serialization of queue entries: algorithms checkpoint the
+   entries they hold references to (pending lists, frames) by value. *)
+
+module Snap = Repro_durability.Snap
+
+let snap_of_entry (e : Update_queue.entry) =
+  Snap.List [ Snap.Update e.update; Snap.Int e.arrival; Snap.Float e.arrived_at ]
+
+let entry_of_snap s =
+  match Snap.to_list s with
+  | [ u; a; t ] ->
+      { Update_queue.update = Snap.to_update u; arrival = Snap.to_int a;
+        arrived_at = Snap.to_float t }
+  | _ -> invalid_arg "Algorithm.entry_of_snap: malformed entry"

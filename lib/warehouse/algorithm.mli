@@ -41,6 +41,16 @@ module type S = sig
 
   (** No in-flight work (used by drain loops and sanity checks). *)
   val idle : t -> bool
+
+  (** Freeze the algorithm's resumable state for a checkpoint. Must be a
+      deep copy: the returned tree may outlive arbitrary further
+      mutation of [t]. *)
+  val snapshot : t -> Repro_durability.Snap.t
+
+  (** Rebuild from a {!snapshot} against a fresh context (crash
+      recovery). [restore ctx (snapshot t)] must behave identically to
+      [t] for all future events. *)
+  val restore : ctx -> Repro_durability.Snap.t -> t
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -52,3 +62,13 @@ val packed_name : packed -> string
 val packed_on_update : packed -> Update_queue.entry -> unit
 val packed_on_answer : packed -> Message.to_warehouse -> unit
 val packed_idle : packed -> bool
+val packed_snapshot : packed -> Repro_durability.Snap.t
+
+(** Re-instantiate an algorithm from a checkpointed snapshot. *)
+val restore_packed : (module S) -> ctx -> Repro_durability.Snap.t -> packed
+
+(** {2 Shared snapshot helpers} — queue entries serialized by value, used
+    by every algorithm's [snapshot]/[restore]. *)
+
+val snap_of_entry : Update_queue.entry -> Repro_durability.Snap.t
+val entry_of_snap : Repro_durability.Snap.t -> Update_queue.entry

@@ -239,3 +239,81 @@ let on_answer t msg =
       invalid_arg "C_strobe.on_answer: unexpected message kind"
 
 let idle t = t.current = None && Update_queue.is_empty t.ctx.queue
+
+module Snap = Repro_durability.Snap
+
+let snap_of_job job =
+  Snap.List
+    [ Snap.List
+        (List.map
+           (fun (src, d) ->
+             Snap.List [ Snap.Int src; Snap.Delta (Delta.copy d) ])
+           job.pins);
+      Snap.ints job.pin_ids; Snap.Partial (Partial.copy job.dv);
+      Snap.ints job.pending; Snap.Int job.outstanding; Snap.Int job.qid ]
+
+let job_of_snap s =
+  match Snap.to_list s with
+  | [ pins; pin_ids; dv; pending; outstanding; qid ] ->
+      { pins =
+          List.map
+            (fun p ->
+              match Snap.to_list p with
+              | [ src; d ] -> (Snap.to_int src, Snap.to_delta d)
+              | _ -> invalid_arg "C_strobe: malformed pin snapshot")
+            (Snap.to_list pins);
+        pin_ids = Snap.to_ints pin_ids; dv = Snap.to_partial dv;
+        pending = Snap.to_ints pending; outstanding = Snap.to_int outstanding;
+        qid = Snap.to_int qid }
+  | _ -> invalid_arg "C_strobe: malformed job snapshot"
+
+(* Canonical hashtable dumps: spawned pin-id sets and killed arrivals
+   sorted so equal states encode identically. *)
+let snap_of_current cur =
+  let spawned =
+    Hashtbl.fold (fun ids () acc -> ids :: acc) cur.spawned []
+    |> List.sort compare |> List.map Snap.ints
+  in
+  let killed =
+    Hashtbl.fold (fun a () acc -> a :: acc) cur.killed []
+    |> List.sort Int.compare
+  in
+  Snap.List
+    [ Algorithm.snap_of_entry cur.entry;
+      Snap.List (List.map snap_of_job cur.jobs); Snap.List spawned;
+      Snap.option (fun a -> Snap.Partial (Partial.copy a)) cur.answer;
+      Snap.ints killed;
+      Snap.List
+        (List.map
+           (fun (src, key) ->
+             Snap.List [ Snap.Int src; Snap.Tup (Array.copy key) ])
+           cur.kills);
+      Snap.Bool cur.finished; Snap.Delta (Delta.copy cur.delete_view_delta) ]
+
+let current_of_snap s =
+  match Snap.to_list s with
+  | [ entry; jobs; spawned; answer; killed; kills; finished; dvd ] ->
+      let spawned_tbl = Hashtbl.create 32 in
+      List.iter
+        (fun ids -> Hashtbl.replace spawned_tbl (Snap.to_ints ids) ())
+        (Snap.to_list spawned);
+      let killed_tbl = Hashtbl.create 8 in
+      List.iter (fun a -> Hashtbl.replace killed_tbl a ()) (Snap.to_ints killed);
+      { entry = Algorithm.entry_of_snap entry;
+        jobs = List.map job_of_snap (Snap.to_list jobs); spawned = spawned_tbl;
+        answer = Snap.to_option Snap.to_partial answer; killed = killed_tbl;
+        kills =
+          List.map
+            (fun k ->
+              match Snap.to_list k with
+              | [ src; key ] -> (Snap.to_int src, Snap.to_tuple key)
+              | _ -> invalid_arg "C_strobe: malformed kill snapshot")
+            (Snap.to_list kills);
+        finished = Snap.to_bool finished; delete_view_delta = Snap.to_delta dvd }
+  | _ -> invalid_arg "C_strobe: malformed current snapshot"
+
+let snapshot t = Snap.option snap_of_current t.current
+
+let restore ctx s =
+  Keys.require_keys ~algorithm:"C-strobe" ctx.Algorithm.view;
+  { ctx; current = Snap.to_option current_of_snap s }

@@ -60,3 +60,35 @@ let on_answer t msg =
       invalid_arg "Eca.on_answer: unexpected message kind"
 
 let idle t = t.pending = [] && Update_queue.is_empty t.ctx.queue
+
+module Snap = Repro_durability.Snap
+
+let snap_of_term (term : Message.eca_term) =
+  Snap.List
+    (List.map
+       (fun (src, d) -> Snap.List [ Snap.Int src; Snap.Delta (Delta.copy d) ])
+       term)
+
+let term_of_snap s : Message.eca_term =
+  List.map
+    (fun factor ->
+      match Snap.to_list factor with
+      | [ src; d ] -> (Snap.to_int src, Snap.to_delta d)
+      | _ -> invalid_arg "Eca: malformed term snapshot")
+    (Snap.to_list s)
+
+let snap_of_pending p =
+  Snap.List
+    [ Algorithm.snap_of_entry p.entry;
+      Snap.List (List.map snap_of_term p.terms); Snap.Int p.qid ]
+
+let pending_of_snap s =
+  match Snap.to_list s with
+  | [ entry; terms; qid ] ->
+      { entry = Algorithm.entry_of_snap entry;
+        terms = List.map term_of_snap (Snap.to_list terms);
+        qid = Snap.to_int qid }
+  | _ -> invalid_arg "Eca: malformed pending snapshot"
+
+let snapshot t = Snap.List (List.map snap_of_pending t.pending)
+let restore ctx s = { ctx; pending = List.map pending_of_snap (Snap.to_list s) }

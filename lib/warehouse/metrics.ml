@@ -20,6 +20,16 @@ type t = {
   mutable duplicates_suppressed : int;
   mutable recoveries : int;
   mutable frames_lost : int;
+  mutable wh_crashes : int;
+  mutable wal_records : int;
+  mutable wal_bytes : int;
+  mutable checkpoints : int;
+  mutable checkpoint_bytes : int;
+  mutable replayed_records : int;
+  mutable recovery_seconds : float;
+  mutable snapshots_fetched : int;
+  mutable queue_deferred : int;
+  mutable queue_shed : int;
 }
 
 let create () =
@@ -28,7 +38,10 @@ let create () =
     notice_weight = 0; installs = 0; compensations = 0; recursions = 0;
     fallbacks = 0; max_depth = 0; max_queue = 0; negative_installs = 0;
     staleness_sum = 0.; staleness_max = 0.; retransmissions = 0;
-    timeouts = 0; duplicates_suppressed = 0; recoveries = 0; frames_lost = 0 }
+    timeouts = 0; duplicates_suppressed = 0; recoveries = 0; frames_lost = 0;
+    wh_crashes = 0; wal_records = 0; wal_bytes = 0; checkpoints = 0;
+    checkpoint_bytes = 0; replayed_records = 0; recovery_seconds = 0.;
+    snapshots_fetched = 0; queue_deferred = 0; queue_shed = 0 }
 
 let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
 
@@ -64,4 +77,13 @@ let pp ppf t =
        dups suppressed, %d recoveries"
       t.frames_lost t.timeouts t.retransmissions t.duplicates_suppressed
       t.recoveries;
+  if t.wal_records > 0 || t.wh_crashes > 0 then
+    Format.fprintf ppf
+      "@,durability: %d crashes, %d WAL records (%d B), %d checkpoints (%d \
+       B), %d replayed (%.3fs recovery)"
+      t.wh_crashes t.wal_records t.wal_bytes t.checkpoints t.checkpoint_bytes
+      t.replayed_records t.recovery_seconds;
+  if t.queue_deferred > 0 || t.queue_shed > 0 then
+    Format.fprintf ppf "@,backpressure: %d deferred, %d shed" t.queue_deferred
+      t.queue_shed;
   Format.fprintf ppf "@]"

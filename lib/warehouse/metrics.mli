@@ -26,6 +26,16 @@ type t = {
   mutable duplicates_suppressed : int;  (** dup frames dropped by receivers *)
   mutable recoveries : int;  (** frames acked after ≥1 retransmission *)
   mutable frames_lost : int;  (** frames lost to drop + crash windows *)
+  mutable wh_crashes : int;  (** warehouse crash/restart cycles *)
+  mutable wal_records : int;  (** records appended to the WAL *)
+  mutable wal_bytes : int;  (** encoded WAL size *)
+  mutable checkpoints : int;  (** checkpoints taken *)
+  mutable checkpoint_bytes : int;  (** Σ encoded checkpoint sizes *)
+  mutable replayed_records : int;  (** WAL records replayed during recovery *)
+  mutable recovery_seconds : float;  (** wall-clock time spent recovering *)
+  mutable snapshots_fetched : int;  (** Snapshot answers (full refetches) *)
+  mutable queue_deferred : int;  (** updates held back by backpressure *)
+  mutable queue_shed : int;  (** no-op updates dropped at capacity *)
 }
 
 val create : unit -> t

@@ -172,6 +172,42 @@ struct
         invalid_arg "Nested_sweep.on_answer: unexpected message kind"
 
   let idle t = t.stack = [] && Update_queue.is_empty t.ctx.queue
+
+  module Snap = Repro_durability.Snap
+
+  let snap_of_frame f =
+    Snap.List
+      [ Snap.List (List.map Algorithm.snap_of_entry f.entries);
+        Snap.ints [ f.left; f.src; f.right ];
+        Snap.Partial (Partial.copy f.dv); Snap.Partial (Partial.copy f.temp);
+        Snap.ints f.pending; Snap.Int f.outstanding; Snap.Int f.qid ]
+
+  let frame_of_snap s =
+    match Snap.to_list s with
+    | [ entries; bounds; dv; temp; pending; outstanding; qid ] ->
+        let left, src, right =
+          match Snap.to_ints bounds with
+          | [ l; s; r ] -> (l, s, r)
+          | _ -> invalid_arg "nested-sweep: malformed frame bounds"
+        in
+        { entries = List.map Algorithm.entry_of_snap (Snap.to_list entries);
+          left; src; right; dv = Snap.to_partial dv;
+          temp = Snap.to_partial temp; pending = Snap.to_ints pending;
+          outstanding = Snap.to_int outstanding; qid = Snap.to_int qid }
+    | _ -> invalid_arg "nested-sweep: malformed frame snapshot"
+
+  let snapshot t =
+    Snap.List
+      [ Snap.List (List.map snap_of_frame t.stack);
+        Snap.List (List.map Algorithm.snap_of_entry t.batch) ]
+
+  let restore ctx s =
+    match Snap.to_list s with
+    | [ stack; batch ] ->
+        { ctx; max_depth = Cfg.max_depth;
+          stack = List.map frame_of_snap (Snap.to_list stack);
+          batch = List.map Algorithm.entry_of_snap (Snap.to_list batch) }
+    | _ -> invalid_arg "nested-sweep: malformed snapshot"
 end
 
 module Default = Make (struct

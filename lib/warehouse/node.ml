@@ -1,6 +1,7 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+open Repro_durability
 
 type install_record = {
   at : float;
@@ -12,97 +13,254 @@ type install_record = {
 type t = {
   engine : Engine.t;
   view : View_def.t;
+  algorithm : (module Algorithm.S);
+  send : int -> Message.to_source -> unit;
   data : Bag.t;
   initial : Bag.t;
   metrics : Metrics.t;
   queue : Update_queue.t;
   record_history : bool;
+  trace : Trace.t;
+  store : Store.t option;
+  mutable next_qid : int;
+  mutable replaying : bool;
+  (* Installs regenerated during replay, FIFO; each [Installed] WAL record
+     pops one and must match it — the exactly-once re-application check. *)
+  replay_installs : Delta.t Queue.t;
   mutable algo : Algorithm.packed option;
   mutable rev_installs : install_record list;
   mutable rev_deliveries : Message.update list;
   mutable rev_listeners : (Delta.t -> unit) list;  (* newest first *)
+  mutable rev_incorporate_listeners : (int -> unit) list;
 }
-
-let create engine ~view ~algorithm ~send ~init ?(record_history = true)
-    ?(trace = Trace.create ()) () =
-  let data = Bag.copy (Relation.as_bag init) in
-  let t =
-    { engine; view; data; initial = Bag.copy data; metrics = Metrics.create ();
-      queue = Update_queue.create (); record_history; algo = None;
-      rev_installs = []; rev_deliveries = []; rev_listeners = [] }
-  in
-  let instrumented_send i msg =
-    t.metrics.Metrics.queries_sent <- t.metrics.Metrics.queries_sent + 1;
-    t.metrics.Metrics.query_weight <-
-      t.metrics.Metrics.query_weight + Message.weight_to_source msg;
-    Trace.emit trace ~time:(Engine.now engine) ~who:"warehouse" "send %a"
-      Message.pp_to_source msg;
-    send i msg
-  in
-  let install delta ~txns =
-    let negative =
-      Delta.fold
-        (fun tup c neg -> neg || Bag.count t.data tup + c < 0)
-        delta false
-    in
-    Bag.merge_into ~into:t.data delta;
-    t.metrics.Metrics.installs <- t.metrics.Metrics.installs + 1;
-    t.metrics.Metrics.updates_incorporated <-
-      t.metrics.Metrics.updates_incorporated + List.length txns;
-    if negative then
-      t.metrics.Metrics.negative_installs <-
-        t.metrics.Metrics.negative_installs + 1;
-    let now = Engine.now engine in
-    List.iter
-      (fun e ->
-        Metrics.note_staleness t.metrics (now -. e.Update_queue.arrived_at))
-      txns;
-    if t.record_history then
-      t.rev_installs <-
-        { at = now;
-          txns = List.map (fun e -> e.Update_queue.update.Message.txn) txns;
-          view_after = Bag.copy t.data; negative }
-        :: t.rev_installs;
-    List.iter (fun f -> f delta) (List.rev t.rev_listeners)
-  in
-  let ctx =
-    { Algorithm.engine; view; trace; metrics = t.metrics; queue = t.queue;
-      send = instrumented_send; install;
-      view_contents = (fun () -> t.data);
-      fresh_qid =
-        (let next = ref 0 in
-         fun () ->
-           incr next;
-           !next) }
-  in
-  t.algo <- Some (Algorithm.instantiate algorithm ctx);
-  t
 
 let algo t = Option.get t.algo
 
-let deliver t msg =
-  match msg with
-  | Message.Update_notice update ->
-      t.metrics.Metrics.updates_received <-
-        t.metrics.Metrics.updates_received + 1;
-      t.metrics.Metrics.notice_weight <-
-        t.metrics.Metrics.notice_weight + Delta.weight update.Message.delta;
-      t.rev_deliveries <- update :: t.rev_deliveries;
-      let entry =
-        Update_queue.append t.queue update ~arrived_at:(Engine.now t.engine)
+(* The capabilities handed to the algorithm. Everything observable from
+   outside the node — metrics, history, WAL, listeners — is suppressed
+   while [t.replaying]: replay only rebuilds internal state the crash
+   destroyed; its effects already happened (and were logged) before the
+   crash. Sends are NOT suppressed: replayed queries go out with their
+   original transport sequence numbers (the sender counter is restored
+   from the checkpoint), so peers drop them as duplicates and re-ack. *)
+let wire t =
+  let instrumented_send i msg =
+    if not t.replaying then begin
+      t.metrics.Metrics.queries_sent <- t.metrics.Metrics.queries_sent + 1;
+      t.metrics.Metrics.query_weight <-
+        t.metrics.Metrics.query_weight + Message.weight_to_source msg;
+      Trace.emit t.trace ~time:(Engine.now t.engine) ~who:"warehouse" "send %a"
+        Message.pp_to_source msg
+    end;
+    t.send i msg
+  in
+  let install delta ~txns =
+    if t.replaying then begin
+      Bag.merge_into ~into:t.data delta;
+      Queue.push (Delta.copy delta) t.replay_installs
+    end
+    else begin
+      (match t.store with
+      | Some store ->
+          Store.log store
+            (Wal.Installed
+               { delta;
+                 txns =
+                   List.map
+                     (fun e -> e.Update_queue.update.Message.txn)
+                     txns })
+      | None -> ());
+      let negative =
+        Delta.fold
+          (fun tup c neg -> neg || Bag.count t.data tup + c < 0)
+          delta false
       in
-      Metrics.note_queue_length t.metrics (Update_queue.length t.queue);
-      Algorithm.packed_on_update (algo t) entry
+      Bag.merge_into ~into:t.data delta;
+      t.metrics.Metrics.installs <- t.metrics.Metrics.installs + 1;
+      t.metrics.Metrics.updates_incorporated <-
+        t.metrics.Metrics.updates_incorporated + List.length txns;
+      if negative then
+        t.metrics.Metrics.negative_installs <-
+          t.metrics.Metrics.negative_installs + 1;
+      let now = Engine.now t.engine in
+      List.iter
+        (fun e ->
+          Metrics.note_staleness t.metrics (now -. e.Update_queue.arrived_at))
+        txns;
+      if t.record_history then
+        t.rev_installs <-
+          { at = now;
+            txns = List.map (fun e -> e.Update_queue.update.Message.txn) txns;
+            view_after = Bag.copy t.data; negative }
+          :: t.rev_installs;
+      List.iter (fun f -> f delta) (List.rev t.rev_listeners);
+      List.iter
+        (fun f -> f (List.length txns))
+        (List.rev t.rev_incorporate_listeners)
+    end
+  in
+  { Algorithm.engine = t.engine; view = t.view; trace = t.trace;
+    metrics = t.metrics; queue = t.queue; send = instrumented_send; install;
+    view_contents = (fun () -> t.data);
+    fresh_qid =
+      (fun () ->
+        t.next_qid <- t.next_qid + 1;
+        t.next_qid) }
+
+let create engine ~view ~algorithm ~send ~init ?durability ?metrics
+    ?queue_capacity ?(record_history = true) ?(trace = Trace.create ()) () =
+  let data = Bag.copy (Relation.as_bag init) in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let t =
+    { engine; view; algorithm; send; data; initial = Bag.copy data; metrics;
+      queue = Update_queue.create ?capacity:queue_capacity ();
+      record_history; trace; store = durability; next_qid = 0;
+      replaying = false; replay_installs = Queue.create (); algo = None;
+      rev_installs = []; rev_deliveries = []; rev_listeners = [];
+      rev_incorporate_listeners = [] }
+  in
+  t.algo <- Some (Algorithm.instantiate algorithm (wire t));
+  t
+
+(* Restart after a crash: volatile state (view, queue, algorithm, qid
+   counter) comes from the checkpoint — or from genesis when none was
+   taken — while durable artifacts survive from the previous incarnation:
+   the store, the metrics, the recorded histories (everything in them
+   really happened and was WAL-logged) and the registered listeners. The
+   caller replays the WAL tail afterwards via {!begin_replay} /
+   {!replay_record} / {!end_replay}. *)
+let recover ~prev ?checkpoint () =
+  if Option.is_none prev.store then
+    invalid_arg "Node.recover: node has no store";
+  let data, queue, next_qid =
+    match checkpoint with
+    | Some (c : Checkpoint.t) ->
+        let entries =
+          List.map
+            (fun (q : Checkpoint.queued) ->
+              { Update_queue.update = q.update; arrival = q.arrival;
+                arrived_at = q.arrived_at })
+            c.queue
+        in
+        ( Bag.copy c.view,
+          Update_queue.of_entries
+            ?capacity:(Update_queue.capacity prev.queue)
+            entries ~next_arrival:c.queue_next_arrival,
+          c.next_qid )
+    | None ->
+        ( Bag.copy prev.initial,
+          Update_queue.create ?capacity:(Update_queue.capacity prev.queue) (),
+          0 )
+  in
+  let t =
+    { prev with data; queue; next_qid; replaying = false;
+      replay_installs = Queue.create (); algo = None }
+  in
+  (t.algo <-
+     Some
+       (match checkpoint with
+       | Some c -> Algorithm.restore_packed t.algorithm (wire t) c.algo
+       | None -> Algorithm.instantiate t.algorithm (wire t)));
+  t
+
+let handle_update t update ~arrived_at =
+  if not t.replaying then begin
+    t.metrics.Metrics.updates_received <-
+      t.metrics.Metrics.updates_received + 1;
+    t.metrics.Metrics.notice_weight <-
+      t.metrics.Metrics.notice_weight + Delta.weight update.Message.delta;
+    t.rev_deliveries <- update :: t.rev_deliveries
+  end;
+  let entry = Update_queue.append t.queue update ~arrived_at in
+  if not t.replaying then
+    Metrics.note_queue_length t.metrics (Update_queue.length t.queue);
+  Algorithm.packed_on_update (algo t) entry
+
+let handle_answer t msg =
+  if not t.replaying then begin
+    t.metrics.Metrics.answers_received <-
+      t.metrics.Metrics.answers_received + 1;
+    t.metrics.Metrics.answer_weight <-
+      t.metrics.Metrics.answer_weight + Message.weight_to_warehouse msg;
+    match msg with
+    | Message.Snapshot _ ->
+        t.metrics.Metrics.snapshots_fetched <-
+          t.metrics.Metrics.snapshots_fetched + 1
+    | _ -> ()
+  end;
+  Algorithm.packed_on_answer (algo t) msg
+
+let deliver t msg =
+  if t.replaying then invalid_arg "Node.deliver: node is replaying";
+  (* Log before processing (and the transport acks only after deliver
+     returns): everything acknowledged is on the log. *)
+  (match t.store with
+  | Some store ->
+      let record =
+        match msg with
+        | Message.Update_notice update ->
+            Wal.Update_received { update; arrived_at = Engine.now t.engine }
+        | Message.Answer { source; _ } | Message.Snapshot { source; _ } ->
+            Wal.Answer_received { link = source; msg }
+        | Message.Eca_answer _ -> Wal.Answer_received { link = 0; msg }
+      in
+      Store.log store record
+  | None -> ());
+  (match msg with
+  | Message.Update_notice update ->
+      handle_update t update ~arrived_at:(Engine.now t.engine)
   | Message.Answer _ | Message.Snapshot _ | Message.Eca_answer _ ->
-      t.metrics.Metrics.answers_received <-
-        t.metrics.Metrics.answers_received + 1;
-      t.metrics.Metrics.answer_weight <-
-        t.metrics.Metrics.answer_weight + Message.weight_to_warehouse msg;
-      Algorithm.packed_on_answer (algo t) msg
+      handle_answer t msg);
+  (* A consistent point: the delivery is fully processed. *)
+  match t.store with Some store -> Store.maybe_checkpoint store | None -> ()
+
+(* ————— WAL replay ————— *)
+
+let begin_replay t =
+  Queue.clear t.replay_installs;
+  t.replaying <- true
+
+let replay_record t record =
+  if not t.replaying then invalid_arg "Node.replay_record: not replaying";
+  match record with
+  | Wal.Update_received { update; arrived_at } ->
+      handle_update t update ~arrived_at
+  | Wal.Answer_received { msg; _ } -> handle_answer t msg
+  | Wal.Installed { delta; _ } -> (
+      match Queue.take_opt t.replay_installs with
+      | Some d when Delta.equal d delta -> ()
+      | Some _ ->
+          invalid_arg
+            "Node.replay_record: replayed install diverges from logged install"
+      | None ->
+          invalid_arg "Node.replay_record: logged install was not regenerated")
+
+let end_replay t =
+  if not (Queue.is_empty t.replay_installs) then
+    invalid_arg "Node.end_replay: replay produced unlogged installs";
+  t.replaying <- false
+
+(* ————— checkpoint capture ————— *)
+
+let checkpoint t ~wal_pos ~recv_expected ~senders : Checkpoint.t =
+  { taken_at = Engine.now t.engine; wal_pos; view = Bag.copy t.data;
+    queue =
+      List.map
+        (fun (e : Update_queue.entry) ->
+          { Checkpoint.update = e.update; arrival = e.arrival;
+            arrived_at = e.arrived_at })
+        (Update_queue.entries t.queue);
+    queue_next_arrival = Update_queue.last_arrival t.queue + 1;
+    next_qid = t.next_qid; algo = Algorithm.packed_snapshot (algo t);
+    recv_expected; senders }
 
 (* prepend (O(1) per registration); install reverses so listeners still
    fire in registration order *)
 let add_install_listener t f = t.rev_listeners <- f :: t.rev_listeners
+
+let add_incorporate_listener t f =
+  t.rev_incorporate_listeners <- f :: t.rev_incorporate_listeners
+
 let view_contents t = t.data
 let metrics t = t.metrics
 let queue t = t.queue

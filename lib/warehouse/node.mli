@@ -9,11 +9,23 @@
 
     The view is stored as a signed {!Bag} on purpose: a correct algorithm
     never drives a count negative, and the node records it when one does
-    (the naive baseline's failure mode) instead of crashing. *)
+    (the naive baseline's failure mode) instead of crashing.
+
+    With a durability {!Repro_durability.Store} attached, every delivered
+    message is WAL-logged {e before} it is processed (and the transport
+    acknowledges only after {!deliver} returns, so everything acked is on
+    the log), every install is logged for replay verification, and a
+    checkpoint is taken every [checkpoint_every] records at the end of a
+    delivery — a consistent point. After a crash, {!recover} rebuilds the
+    node from the latest checkpoint and {!replay_record} re-drives the WAL
+    tail through the algorithm with all externally visible effects
+    (metrics, histories, WAL appends, listeners) suppressed — they already
+    happened before the crash. *)
 
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+open Repro_durability
 
 type install_record = {
   at : float;
@@ -28,13 +40,20 @@ type t
     [send i msg] must transmit [msg] to source [i] (or to the centralized
     site); [init] is the initial, correct materialized view (paper §5.1
     assumes V starts correct). [record_history] (default true) keeps
-    per-install snapshots for the checker. *)
+    per-install snapshots for the checker. [durability] attaches a WAL +
+    checkpoint store; [metrics] lets the caller supply the counter record
+    (so it can survive crash/recovery); [queue_capacity] bounds the update
+    queue (admission control must hold updates back — see
+    {!Update_queue.create}). *)
 val create :
   Engine.t ->
   view:View_def.t ->
   algorithm:(module Algorithm.S) ->
   send:(int -> Message.to_source -> unit) ->
   init:Relation.t ->
+  ?durability:Store.t ->
+  ?metrics:Metrics.t ->
+  ?queue_capacity:int ->
   ?record_history:bool ->
   ?trace:Trace.t ->
   unit ->
@@ -43,10 +62,48 @@ val create :
 (** Deliver one message from a source channel. *)
 val deliver : t -> Message.to_warehouse -> unit
 
+(** {2 Crash recovery} *)
+
+(** [recover ~prev ?checkpoint ()] — restart after a crash. Volatile
+    state (view, queue, algorithm, query-id counter) is rebuilt from
+    [checkpoint], or from genesis (initial view, empty queue, fresh
+    algorithm) when no checkpoint was taken; durable artifacts — store,
+    metrics, install/delivery histories, listeners — carry over from
+    [prev]. The caller must then replay the WAL tail:
+    {!begin_replay}, {!replay_record} per record, {!end_replay}. *)
+val recover : prev:t -> ?checkpoint:Checkpoint.t -> unit -> t
+
+val begin_replay : t -> unit
+
+(** Re-drive one WAL record through the algorithm. [Installed] records
+    are not applied — replay regenerates installs; each one is checked
+    against the log (raises [Invalid_argument] on divergence). *)
+val replay_record : t -> Wal.record -> unit
+
+(** Raises if replay regenerated installs the log does not contain. *)
+val end_replay : t -> unit
+
+(** Freeze the node's recoverable state. [wal_pos] is the WAL length at
+    capture; [recv_expected] / [senders] are the transport endpoints'
+    frozen states (supplied by the wiring layer, which owns the links). *)
+val checkpoint :
+  t ->
+  wal_pos:int ->
+  recv_expected:int array ->
+  senders:Checkpoint.sender_state array ->
+  Checkpoint.t
+
+(** {2 Observation} *)
+
 (** [add_install_listener t f] calls [f delta] after every install, with
     the view-level delta just applied — the feed for downstream
-    derivations such as {!Aggregate}. *)
+    derivations such as {!Aggregate}. Not fired during replay. *)
 val add_install_listener : t -> (Delta.t -> unit) -> unit
+
+(** [add_incorporate_listener t f] calls [f n] after every install that
+    incorporated [n] update transactions — the backpressure layer's
+    token-release hook. Not fired during replay. *)
+val add_incorporate_listener : t -> (int -> unit) -> unit
 
 (** Current materialized view contents (live; treat as read-only). *)
 val view_contents : t -> Bag.t

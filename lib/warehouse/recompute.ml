@@ -63,3 +63,37 @@ let on_answer t msg =
       invalid_arg "Recompute.on_answer: unexpected message kind"
 
 let idle t = t.current = None && Update_queue.is_empty t.ctx.queue
+
+module Snap = Repro_durability.Snap
+
+(* Snapshots checkpoint as option deltas (Relation.t has no Snap
+   constructor; a relation is a set, i.e. a non-negative delta). *)
+let snap_of_job job =
+  Snap.List
+    [ Algorithm.snap_of_entry job.entry;
+      Snap.List
+        (Array.to_list job.snapshots
+        |> List.map (Snap.option (fun r -> Snap.Delta (Delta.of_relation r))));
+      Snap.Int job.qid ]
+
+let job_of_snap s =
+  match Snap.to_list s with
+  | [ entry; snapshots; qid ] ->
+      let snapshots =
+        Snap.to_list snapshots
+        |> List.map
+             (Snap.to_option (fun d ->
+                  Relation.of_list (Delta.to_sorted_list (Snap.to_delta d))))
+        |> Array.of_list
+      in
+      let missing =
+        Array.fold_left
+          (fun acc r -> if r = None then acc + 1 else acc)
+          0 snapshots
+      in
+      { entry = Algorithm.entry_of_snap entry; snapshots; missing;
+        qid = Snap.to_int qid }
+  | _ -> invalid_arg "Recompute: malformed job snapshot"
+
+let snapshot t = Snap.option snap_of_job t.current
+let restore ctx s = { ctx; current = Snap.to_option job_of_snap s }

@@ -142,3 +142,59 @@ let on_answer t msg =
       invalid_arg "Strobe.on_answer: unexpected message kind"
 
 let idle t = t.uqs = [] && t.rev_al = [] && Update_queue.is_empty t.ctx.queue
+
+module Snap = Repro_durability.Snap
+
+let snap_of_action = function
+  | Del { source; key } ->
+      Snap.List [ Snap.Int 0; Snap.Int source; Snap.Tup (Array.copy key) ]
+  | Ins { full } -> Snap.List [ Snap.Int 1; Snap.Delta (Delta.copy full) ]
+
+let action_of_snap s =
+  match Snap.to_list s with
+  | [ tag; source; key ] when Snap.to_int tag = 0 ->
+      Del { source = Snap.to_int source; key = Snap.to_tuple key }
+  | [ tag; full ] when Snap.to_int tag = 1 ->
+      Ins { full = Snap.to_delta full }
+  | _ -> invalid_arg "Strobe: malformed action snapshot"
+
+let snap_of_query q =
+  Snap.List
+    [ Algorithm.snap_of_entry q.entry; Snap.Partial (Partial.copy q.dv);
+      Snap.ints q.pending; Snap.Int q.outstanding;
+      Snap.List
+        (List.map
+           (fun (source, key) ->
+             Snap.List [ Snap.Int source; Snap.Tup (Array.copy key) ])
+           q.kill_keys);
+      Snap.Int q.qid ]
+
+let query_of_snap s =
+  match Snap.to_list s with
+  | [ entry; dv; pending; outstanding; kill_keys; qid ] ->
+      { entry = Algorithm.entry_of_snap entry; dv = Snap.to_partial dv;
+        pending = Snap.to_ints pending; outstanding = Snap.to_int outstanding;
+        kill_keys =
+          List.map
+            (fun kk ->
+              match Snap.to_list kk with
+              | [ source; key ] -> (Snap.to_int source, Snap.to_tuple key)
+              | _ -> invalid_arg "Strobe: malformed kill key snapshot")
+            (Snap.to_list kill_keys);
+        qid = Snap.to_int qid }
+  | _ -> invalid_arg "Strobe: malformed query snapshot"
+
+let snapshot t =
+  Snap.List
+    [ Snap.List (List.map snap_of_query t.uqs);
+      Snap.List (List.map snap_of_action t.rev_al);
+      Snap.List (List.map Algorithm.snap_of_entry t.batch) ]
+
+let restore ctx s =
+  match Snap.to_list s with
+  | [ uqs; rev_al; batch ] ->
+      Keys.require_keys ~algorithm:"Strobe" ctx.Algorithm.view;
+      { ctx; uqs = List.map query_of_snap (Snap.to_list uqs);
+        rev_al = List.map action_of_snap (Snap.to_list rev_al);
+        batch = List.map Algorithm.entry_of_snap (Snap.to_list batch) }
+  | _ -> invalid_arg "Strobe: malformed snapshot"

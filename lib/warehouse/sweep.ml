@@ -13,4 +13,6 @@ include Sweep_engine.Make (struct
     ctx.Algorithm.install view_delta ~txns:[ entry ]
 
   let extra_idle () = true
+  let extra_snapshot () = Repro_durability.Snap.Unit
+  let extra_restore _ _ = ()
 end)

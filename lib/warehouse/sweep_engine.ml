@@ -14,7 +14,11 @@ module type POLICY = sig
     Algorithm.ctx -> extra -> Delta.t -> Update_queue.entry -> unit
 
   val extra_idle : extra -> bool
+  val extra_snapshot : extra -> Repro_durability.Snap.t
+  val extra_restore : Algorithm.ctx -> Repro_durability.Snap.t -> extra
 end
+
+module Snap = Repro_durability.Snap
 
 module Make (P : POLICY) = struct
   (* State of the in-progress ViewChange: [pending] is the sweep-order
@@ -123,4 +127,28 @@ module Make (P : POLICY) = struct
     t.current = None
     && Update_queue.is_empty t.ctx.queue
     && P.extra_idle t.extra
+
+  let snap_of_vc vc =
+    Snap.List
+      [ Algorithm.snap_of_entry vc.entry; Snap.Partial (Partial.copy vc.dv);
+        Snap.Partial (Partial.copy vc.temp); Snap.Int vc.outstanding;
+        Snap.ints vc.pending; Snap.Int vc.qid ]
+
+  let vc_of_snap s =
+    match Snap.to_list s with
+    | [ entry; dv; temp; outstanding; pending; qid ] ->
+        { entry = Algorithm.entry_of_snap entry; dv = Snap.to_partial dv;
+          temp = Snap.to_partial temp; outstanding = Snap.to_int outstanding;
+          pending = Snap.to_ints pending; qid = Snap.to_int qid }
+    | _ -> invalid_arg (P.name ^ ": malformed view-change snapshot")
+
+  let snapshot t =
+    Snap.List [ Snap.option snap_of_vc t.current; P.extra_snapshot t.extra ]
+
+  let restore ctx s =
+    match Snap.to_list s with
+    | [ current; extra ] ->
+        { ctx; extra = P.extra_restore ctx extra;
+          current = Snap.to_option vc_of_snap current }
+    | _ -> invalid_arg (P.name ^ ": malformed snapshot")
 end

@@ -28,6 +28,11 @@ module type POLICY = sig
 
   (** Is the policy state quiescent (nothing buffered)? *)
   val extra_idle : extra -> bool
+
+  (** Checkpoint / restore the policy state (crash recovery). *)
+  val extra_snapshot : extra -> Repro_durability.Snap.t
+
+  val extra_restore : Algorithm.ctx -> Repro_durability.Snap.t -> extra
 end
 
 module Make (P : POLICY) : Algorithm.S

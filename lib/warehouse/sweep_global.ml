@@ -49,4 +49,34 @@ include Sweep_engine.Make (struct
 
   let extra_idle ledger =
     Hashtbl.length ledger.open_txns = 0 && ledger.buffered_entries = []
+
+  module Snap = Repro_durability.Snap
+
+  (* Canonical dump: open transactions sorted by gid. *)
+  let extra_snapshot ledger =
+    let open_txns =
+      Hashtbl.fold (fun gid r acc -> (gid, r) :: acc) ledger.open_txns []
+      |> List.sort compare
+      |> List.map (fun (gid, r) -> Snap.ints [ gid; r ])
+    in
+    Snap.List
+      [ Snap.List open_txns; Snap.Delta (Delta.copy ledger.buffered);
+        Snap.List (List.map Algorithm.snap_of_entry ledger.buffered_entries) ]
+
+  let extra_restore _ s =
+    match Snap.to_list s with
+    | [ open_txns; buffered; entries ] ->
+        let ledger =
+          { open_txns = Hashtbl.create 8; buffered = Snap.to_delta buffered;
+            buffered_entries =
+              List.map Algorithm.entry_of_snap (Snap.to_list entries) }
+        in
+        List.iter
+          (fun pair ->
+            match Snap.to_ints pair with
+            | [ gid; r ] -> Hashtbl.replace ledger.open_txns gid r
+            | _ -> invalid_arg "sweep-global: malformed ledger snapshot")
+          (Snap.to_list open_txns);
+        ledger
+    | _ -> invalid_arg "sweep-global: malformed snapshot"
 end)

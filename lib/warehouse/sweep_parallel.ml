@@ -124,3 +124,35 @@ let on_answer t msg =
       invalid_arg "Sweep_parallel.on_answer: unexpected message kind"
 
 let idle t = t.current = None && Update_queue.is_empty t.ctx.queue
+
+module Snap = Repro_durability.Snap
+
+let snap_of_side s =
+  Snap.List
+    [ Snap.Int s.qid; Snap.Partial (Partial.copy s.dv);
+      Snap.Partial (Partial.copy s.temp); Snap.ints s.pending;
+      Snap.Int s.outstanding; Snap.Bool s.finished ]
+
+let side_of_snap s =
+  match Snap.to_list s with
+  | [ qid; dv; temp; pending; outstanding; finished ] ->
+      { qid = Snap.to_int qid; dv = Snap.to_partial dv;
+        temp = Snap.to_partial temp; pending = Snap.to_ints pending;
+        outstanding = Snap.to_int outstanding;
+        finished = Snap.to_bool finished }
+  | _ -> invalid_arg "Sweep_parallel: malformed side snapshot"
+
+let snap_of_vc vc =
+  Snap.List
+    [ Algorithm.snap_of_entry vc.entry; Snap.Int vc.src; snap_of_side vc.left;
+      snap_of_side vc.right ]
+
+let vc_of_snap s =
+  match Snap.to_list s with
+  | [ entry; src; left; right ] ->
+      { entry = Algorithm.entry_of_snap entry; src = Snap.to_int src;
+        left = side_of_snap left; right = side_of_snap right }
+  | _ -> invalid_arg "Sweep_parallel: malformed snapshot"
+
+let snapshot t = Snap.option snap_of_vc t.current
+let restore ctx s = { ctx; current = Snap.to_option vc_of_snap s }

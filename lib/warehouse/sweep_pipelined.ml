@@ -137,6 +137,29 @@ struct
         invalid_arg "Sweep_pipelined.on_answer: unexpected message kind"
 
   let idle t = t.pipeline = [] && Update_queue.is_empty t.ctx.queue
+
+  module Snap = Repro_durability.Snap
+
+  let snap_of_vc vc =
+    Snap.List
+      [ Algorithm.snap_of_entry vc.entry; Snap.Partial (Partial.copy vc.dv);
+        Snap.Partial (Partial.copy vc.temp); Snap.ints vc.pending;
+        Snap.Int vc.outstanding; Snap.Bool vc.completed; Snap.Int vc.qid ]
+
+  let vc_of_snap s =
+    match Snap.to_list s with
+    | [ entry; dv; temp; pending; outstanding; completed; qid ] ->
+        { entry = Algorithm.entry_of_snap entry; dv = Snap.to_partial dv;
+          temp = Snap.to_partial temp; pending = Snap.to_ints pending;
+          outstanding = Snap.to_int outstanding;
+          completed = Snap.to_bool completed; qid = Snap.to_int qid }
+    | _ -> invalid_arg "Sweep_pipelined: malformed snapshot"
+
+  let snapshot t = Snap.List (List.map snap_of_vc t.pipeline)
+
+  let restore ctx s =
+    { ctx; window = Cfg.window;
+      pipeline = List.map vc_of_snap (Snap.to_list s) }
 end
 
 module Default = Make (struct

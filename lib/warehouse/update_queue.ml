@@ -5,15 +5,39 @@ type entry = { update : Message.update; arrival : int; arrived_at : float }
 (* Entries are kept oldest-first in a plain list: queues stay short (the
    max length is itself a reported metric) and algorithms need mid-queue
    removal, which a functional list does simply. *)
-type t = { mutable items : entry list; mutable next_arrival : int }
+type t = {
+  mutable items : entry list;
+  mutable next_arrival : int;
+  capacity : int option;
+}
 
-let create () = { items = []; next_arrival = 0 }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Update_queue.create: capacity <= 0"
+  | _ -> ());
+  { items = []; next_arrival = 0; capacity }
+
+let capacity t = t.capacity
 
 let append t update ~arrived_at =
+  (match t.capacity with
+  | Some c when List.length t.items >= c ->
+      (* Admission control lives above the queue (the harness defers or
+         sheds before delivery); reaching this point is a wiring bug. *)
+      invalid_arg "Update_queue.append: over capacity"
+  | _ -> ());
   let entry = { update; arrival = t.next_arrival; arrived_at } in
   t.next_arrival <- t.next_arrival + 1;
   t.items <- t.items @ [ entry ];
   entry
+
+(* Crash recovery: rebuild a queue from checkpointed entries, preserving
+   their original arrival numbers and the next number to assign. *)
+let of_entries ?capacity entries ~next_arrival =
+  let t = create ?capacity () in
+  t.items <- entries;
+  t.next_arrival <- next_arrival;
+  t
 
 let pop t =
   match t.items with

@@ -16,10 +16,21 @@ type entry = {
 
 type t
 
-val create : unit -> t
+(** [capacity] bounds the queue length; admission control (the harness's
+    backpressure layer) must defer or shed before delivery, so an
+    over-capacity {!append} is a wiring bug and raises. Unbounded when
+    omitted. *)
+val create : ?capacity:int -> unit -> t
 
-(** Append in delivery order; returns the new entry. *)
+val capacity : t -> int option
+
+(** Append in delivery order; returns the new entry. Raises
+    [Invalid_argument] when the queue is at capacity. *)
 val append : t -> Message.update -> arrived_at:float -> entry
+
+(** Rebuild a queue from checkpointed entries (crash recovery),
+    preserving original arrival numbers. *)
+val of_entries : ?capacity:int -> entry list -> next_arrival:int -> t
 
 (** Oldest entry, removed / not removed. *)
 val pop : t -> entry option

@@ -200,9 +200,85 @@ let test_mutation_dropped_install () =
   Alcotest.(check bool) "missing install caught" true
     (degraded (Checker.check view (obs installs Paper_example.v3)))
 
+(* Degenerate inputs: the checker must classify trivial runs correctly
+   rather than crash or misgrade them — empty initial database, runs with
+   no updates at all, and runs whose every delta is a no-op. *)
+
+let test_degenerate_empty_initial () =
+  let n = Repro_relational.View_def.n_sources view in
+  let initial = Array.init n (fun _ -> Relation.create ()) in
+  let states = Checker.expected_states view ~initial ~deliveries:[] in
+  Alcotest.(check int) "one state (the initial view)" 1 (Array.length states);
+  Alcotest.(check bool) "empty sources give an empty view" true
+    (Bag.is_empty states.(0));
+  let r =
+    Checker.check view
+      { Checker.initial_sources = initial; deliveries = []; installs = [];
+        final_view = Bag.create () }
+  in
+  Alcotest.check Rig.verdict "empty run is complete" Checker.Complete
+    r.Checker.verdict
+
+let test_degenerate_zero_updates () =
+  let r =
+    Checker.check view
+      { Checker.initial_sources = Paper_example.initial (); deliveries = [];
+        installs = []; final_view = Paper_example.v0 }
+  in
+  Alcotest.check Rig.verdict "no-update run is complete" Checker.Complete
+    r.Checker.verdict;
+  let wrong = Bag.of_list [ (Tuple.ints [ 1; 2 ], 1) ] in
+  let r =
+    Checker.check view
+      { Checker.initial_sources = Paper_example.initial (); deliveries = [];
+        installs = []; final_view = wrong }
+  in
+  Alcotest.check Rig.verdict "wrong final view still caught"
+    Checker.Inconsistent r.Checker.verdict
+
+let test_degenerate_all_noop_deltas () =
+  let mk source seq =
+    { Message.txn = { Message.source; seq }; delta = Delta.empty ();
+      occurred_at = 0.; global = None }
+  in
+  let deliveries = [ mk 0 0; mk 1 0; mk 0 1 ] in
+  let states =
+    Checker.expected_states view ~initial:(Paper_example.initial ())
+      ~deliveries
+  in
+  Array.iter
+    (fun s -> Alcotest.check Rig.bag "every state is the initial view"
+        Paper_example.v0 s)
+    states;
+  let txn k = (List.nth deliveries k).Message.txn in
+  let r =
+    Checker.check view
+      { Checker.initial_sources = Paper_example.initial (); deliveries;
+        installs =
+          [ ([ txn 0 ], Paper_example.v0); ([ txn 1 ], Paper_example.v0);
+            ([ txn 2 ], Paper_example.v0) ];
+        final_view = Paper_example.v0 }
+  in
+  Alcotest.check Rig.verdict "per-update no-op installs are complete"
+    Checker.Complete r.Checker.verdict;
+  let r =
+    Checker.check view
+      { Checker.initial_sources = Paper_example.initial (); deliveries;
+        installs = [ ([ txn 0; txn 1; txn 2 ], Paper_example.v0) ];
+        final_view = Paper_example.v0 }
+  in
+  Alcotest.(check bool) "batched no-op install at least strong" true
+    (Checker.compare_verdict r.Checker.verdict Checker.Strong <= 0)
+
 let suite =
   suite
-  @ [ Alcotest.test_case "mutant: spurious tuple" `Quick
+  @ [ Alcotest.test_case "degenerate: empty initial database" `Quick
+        test_degenerate_empty_initial;
+      Alcotest.test_case "degenerate: zero updates" `Quick
+        test_degenerate_zero_updates;
+      Alcotest.test_case "degenerate: all no-op deltas" `Quick
+        test_degenerate_all_noop_deltas;
+      Alcotest.test_case "mutant: spurious tuple" `Quick
         test_mutation_snapshot_tuple;
       Alcotest.test_case "mutant: multiplicity off by one" `Quick
         test_mutation_count_off_by_one;

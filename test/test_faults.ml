@@ -178,6 +178,32 @@ let test_transport_reorders_restored () =
   Alcotest.(check bool) "out-of-order frames were buffered" true
     (s.Transport.reorders_buffered > 0)
 
+(* Spike-only property: no loss, no duplication — just aggressive latency
+   spikes scrambling frame arrival order. Every seed must deliver exactly
+   once, in order, with nothing lost at the channel and at least one seed
+   actually exercising the reorder buffer. *)
+let test_spike_only_exactly_once_in_order () =
+  let buffered = ref 0 in
+  for seed = 0 to 19 do
+    let r =
+      collect_link
+        ~faults:(Fault.lossy ~drop:0.0 ~duplicate:0.0 ~spike:0.4 ~spike_factor:8. ())
+        ~latency:(Latency.Uniform (0.5, 2.0))
+        ~n_msgs:60
+        (Int64.of_int (100 + seed))
+    in
+    expect_exactly_once
+      ~name:(Printf.sprintf "spike-only seed %d" seed)
+      r ~n_msgs:60;
+    let s = Transport.link_stats (snd r) in
+    Alcotest.(check int)
+      (Printf.sprintf "spike-only seed %d loses nothing" seed)
+      0
+      (Transport.link_frames_lost (snd r));
+    buffered := !buffered + s.Transport.reorders_buffered
+  done;
+  Alcotest.(check bool) "spikes actually reordered frames" true (!buffered > 0)
+
 (* The retransmission schedule is a pure function of the seed: exponential
    backoff doubling from rto to max_rto (jitter 0 here), and two runs with
    jitter produce bit-identical timelines. *)
@@ -220,7 +246,7 @@ let degraded_scenario ?(crashes = [ { Fault.source = 1; down_at = 8.; up_at = 25
     domain = 8;
     stream =
       { Update_gen.default with Update_gen.n_updates; mean_gap = 1.5 };
-    faults = { Fault.link; crashes };
+    faults = { Fault.link; crashes; wh_crashes = [] };
     seed }
 
 let run_one scenario algo =
@@ -339,6 +365,8 @@ let suite =
       test_transport_recovers_from_loss;
     Alcotest.test_case "transport: reordering restored to FIFO" `Quick
       test_transport_reorders_restored;
+    Alcotest.test_case "property: spike-only reordering exactly once in order"
+      `Quick test_spike_only_exactly_once_in_order;
     Alcotest.test_case "transport: backoff schedule deterministic" `Quick
       test_backoff_schedule_deterministic;
     Alcotest.test_case "property: sweep complete on 100 faulty seeds" `Quick

@@ -26,6 +26,7 @@ let () =
       ("aggregate", Test_aggregate.suite);
       ("fifo-necessity", Test_fifo_necessity.suite);
       ("faults", Test_faults.suite);
+      ("recovery", Test_recovery.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("global-txns", Test_global_txns.suite);
       ("node-keys-report", Test_node_keys_report.suite);

@@ -1,0 +1,499 @@
+(* Warehouse crash-recovery suite: durability-layer unit tests (codec /
+   Snap / WAL / checkpoint round trips, the store's checkpoint cadence,
+   backpressure admission), then the seeded warehouse-crash property
+   harness — kill the warehouse mid-run, restart it from its latest
+   checkpoint plus the WAL tail, and demand the same consistency verdict
+   the algorithm earns without crashes, with a bit-identical final view
+   and zero source refetch. Everything is deterministic per seed. *)
+
+open Repro_sim
+open Repro_relational
+open Repro_protocol
+open Repro_durability
+open Repro_warehouse
+open Repro_consistency
+open Repro_harness
+open Repro_workload
+
+(* ————— codec round trips ————— *)
+
+let roundtrip put get x = Codec.decode get (Codec.encode put x)
+
+let test_codec_primitives () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int) (Printf.sprintf "int %d" i) i
+        (roundtrip Codec.put_int Codec.get_int i))
+    [ 0; 1; -1; 255; -256; 1 lsl 40; min_int; max_int ];
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.)) (Printf.sprintf "float %g" f) f
+        (roundtrip Codec.put_float Codec.get_float f))
+    [ 0.; -1.5; 3.141592653589793; 1e300; -1e-300 ];
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "string" s
+        (roundtrip Codec.put_string Codec.get_string s))
+    [ ""; "x"; String.make 300 'q'; "emb\000edded" ];
+  Alcotest.(check (list int)) "int list" [ 3; 1; 2 ]
+    (roundtrip
+       (fun b -> Codec.put_list b Codec.put_int)
+       (fun r -> Codec.get_list r Codec.get_int)
+       [ 3; 1; 2 ])
+
+let test_codec_corrupt_raises () =
+  let raises f =
+    match f () with exception Codec.Corrupt _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "truncated int" true
+    (raises (fun () -> Codec.decode Codec.get_int "ab"));
+  Alcotest.(check bool) "trailing garbage" true
+    (raises (fun () ->
+         Codec.decode Codec.get_bool (Codec.encode Codec.put_bool true ^ "z")));
+  Alcotest.(check bool) "bad bool tag" true
+    (raises (fun () -> Codec.decode Codec.get_bool "\007"))
+
+let test_codec_bag_canonical () =
+  (* same bag content built in different insertion orders encodes to the
+     same bytes — checkpoints of equal states are bit-identical *)
+  let a = Bag.create () and b = Bag.create () in
+  Bag.add a (Tuple.ints [ 1; 2 ]) 2;
+  Bag.add a (Tuple.ints [ 3; 4 ]) 1;
+  Bag.add b (Tuple.ints [ 3; 4 ]) 1;
+  Bag.add b (Tuple.ints [ 1; 2 ]) 1;
+  Bag.add b (Tuple.ints [ 1; 2 ]) 1;
+  Alcotest.(check string) "equal bags, equal bytes"
+    (Codec.encode Codec.put_bag a)
+    (Codec.encode Codec.put_bag b);
+  Alcotest.(check bool) "round trip preserves content" true
+    (Bag.equal a (roundtrip Codec.put_bag Codec.get_bag a))
+
+let test_snap_roundtrip () =
+  let d = Delta.of_list [ (Tuple.ints [ 1; 2 ], 1); (Tuple.ints [ 5; 6 ], -2) ] in
+  let u =
+    { Message.txn = { Message.source = 2; seq = 7 }; delta = Delta.copy d;
+      occurred_at = 4.25; global = Some { Message.gid = 3; parts = 2 } }
+  in
+  let s =
+    Snap.List
+      [ Snap.Unit; Snap.Bool true; Snap.Int (-42); Snap.Float 1.5;
+        Snap.Str "state"; Snap.ints [ 1; 2; 3 ];
+        Snap.Tup (Tuple.ints [ 9; 9 ]); Snap.Delta d; Snap.Update u;
+        Snap.option (fun i -> Snap.Int i) None;
+        Snap.option (fun i -> Snap.Int i) (Some 5) ]
+  in
+  Alcotest.(check bool) "snap round trip equal" true
+    (Snap.equal s (Snap.decode (Snap.encode s)));
+  Alcotest.(check bool) "distinct snaps differ" false
+    (Snap.equal s (Snap.Int 0))
+
+let test_wal_roundtrip_and_tail () =
+  let u =
+    { Message.txn = { Message.source = 0; seq = 3 };
+      delta = Delta.insertion (Tuple.ints [ 1; 2 ]); occurred_at = 2.0;
+      global = None }
+  in
+  let records =
+    [ Wal.Update_received { update = u; arrived_at = 2.5 };
+      Wal.Answer_received
+        { link = 1;
+          msg =
+            Message.Answer
+              { qid = 4; source = 1;
+                partial =
+                  Partial.of_source_delta Paper_example.view 1
+                    (snd Paper_example.d_r2) } };
+      Wal.Installed
+        { delta = Delta.insertion (Tuple.ints [ 7; 8 ]);
+          txns = [ { Message.source = 0; seq = 3 } ] } ]
+  in
+  List.iter
+    (fun r ->
+      let r' = Wal.decode_record (Wal.encode_record r) in
+      Alcotest.(check string) "record round trip"
+        (Wal.encode_record r) (Wal.encode_record r'))
+    records;
+  Alcotest.(check (list (option int))) "link_of"
+    [ Some 0; Some 1; None ]
+    (List.map Wal.link_of records);
+  let w = Wal.create () in
+  List.iter (Wal.append w) records;
+  Alcotest.(check int) "length" 3 (Wal.length w);
+  Alcotest.(check bool) "bytes counted" true (Wal.bytes w > 0);
+  Alcotest.(check int) "tail from 1" 2 (List.length (Wal.records_from w 1));
+  Alcotest.(check (list string)) "tail decodes in order"
+    (List.map Wal.encode_record (List.tl records))
+    (List.map Wal.encode_record (Wal.records_from w 1))
+
+let test_checkpoint_roundtrip () =
+  let view = Bag.of_list [ (Tuple.ints [ 1; 2; 3 ], 2) ] in
+  let u =
+    { Message.txn = { Message.source = 1; seq = 0 };
+      delta = Delta.deletion (Tuple.ints [ 4; 5 ]); occurred_at = 1.0;
+      global = None }
+  in
+  let c =
+    { Checkpoint.taken_at = 12.5; wal_pos = 9; view;
+      queue = [ { Checkpoint.update = u; arrival = 4; arrived_at = 1.75 } ];
+      queue_next_arrival = 5; next_qid = 17;
+      algo = Snap.List [ Snap.Int 1; Snap.Str "x" ];
+      recv_expected = [| 3; 0; 8 |];
+      senders =
+        [| { Checkpoint.next_seq = 2; acked_upto = 1; window = [] };
+           { Checkpoint.next_seq = 5; acked_upto = 2;
+             window = [ (3, Message.Fetch { qid = 1; target = 0 }) ] };
+           { Checkpoint.next_seq = 0; acked_upto = -1; window = [] } |] }
+  in
+  let c' = Checkpoint.decode (Checkpoint.encode c) in
+  Alcotest.(check string) "checkpoint bytes stable"
+    (Checkpoint.encode c) (Checkpoint.encode c');
+  Alcotest.(check bool) "view preserved" true (Bag.equal c.Checkpoint.view c'.Checkpoint.view);
+  Alcotest.(check int) "wal_pos" 9 c'.Checkpoint.wal_pos;
+  Alcotest.(check int) "queue length" 1 (List.length c'.Checkpoint.queue);
+  Alcotest.(check int) "sender next_seq" 5 c'.Checkpoint.senders.(1).Checkpoint.next_seq;
+  Alcotest.(check int) "sender window" 1
+    (List.length c'.Checkpoint.senders.(1).Checkpoint.window)
+
+let dummy_capture () =
+  { Checkpoint.taken_at = 0.; wal_pos = 0; view = Bag.create (); queue = [];
+    queue_next_arrival = 0; next_qid = 0; algo = Snap.Unit;
+    recv_expected = [||]; senders = [||] }
+
+let test_store_checkpoint_cadence () =
+  let s = Store.create ~checkpoint_every:3 () in
+  let wal_pos = ref 0 in
+  Store.set_capture s (fun () -> { (dummy_capture ()) with wal_pos = !wal_pos });
+  let record =
+    Wal.Installed { delta = Delta.empty (); txns = [] }
+  in
+  for i = 1 to 10 do
+    Store.log s record;
+    wal_pos := i;
+    Store.maybe_checkpoint s
+  done;
+  Alcotest.(check int) "10 records" 10 (Store.wal_length s);
+  Alcotest.(check int) "checkpoints every 3 records" 3 (Store.checkpoints s);
+  (match Store.latest_checkpoint s with
+  | Some c -> Alcotest.(check int) "latest covers 9 records" 9 c.Checkpoint.wal_pos
+  | None -> Alcotest.fail "no checkpoint");
+  Alcotest.(check int) "tail after latest checkpoint" 1
+    (List.length (Store.tail s));
+  let off = Store.create ~checkpoint_every:0 () in
+  Store.set_capture off dummy_capture;
+  for _ = 1 to 10 do
+    Store.log off record;
+    Store.maybe_checkpoint off
+  done;
+  Alcotest.(check int) "0 disables checkpoints" 0 (Store.checkpoints off);
+  Alcotest.(check int) "recovery would replay the whole log" 10
+    (List.length (Store.tail off))
+
+(* ————— backpressure + bounded queue units ————— *)
+
+let test_update_queue_capacity () =
+  let q = Update_queue.create ~capacity:2 () in
+  let u seq =
+    { Message.txn = { Message.source = 0; seq }; delta = Delta.empty ();
+      occurred_at = 0.; global = None }
+  in
+  ignore (Update_queue.append q (u 0) ~arrived_at:0.);
+  ignore (Update_queue.append q (u 1) ~arrived_at:0.);
+  Alcotest.(check bool) "over-capacity append raises" true
+    (match Update_queue.append q (u 2) ~arrived_at:0. with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "capacity <= 0 rejected" true
+    (match Update_queue.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_backpressure_fifo_and_shed () =
+  let bp = Backpressure.create ~n_sources:2 ~capacity:2 in
+  let ran = ref [] in
+  let submit source ~noop tag =
+    Backpressure.submit bp ~source ~noop (fun () -> ran := tag :: !ran)
+  in
+  submit 0 ~noop:false "a0";
+  submit 1 ~noop:false "b0";
+  (* capacity exhausted: these wait *)
+  submit 0 ~noop:false "a1";
+  submit 1 ~noop:false "b1";
+  (* a no-op at capacity is shed, not queued *)
+  submit 0 ~noop:true "a-noop";
+  (* a no-op with a token free must still wait behind its source's
+     earlier waiters — shed again *)
+  Alcotest.(check (list string)) "only first two ran" [ "b0"; "a0" ] !ran;
+  Alcotest.(check int) "two deferred" 2 (Backpressure.deferred bp);
+  Alcotest.(check int) "one shed" 1 (Backpressure.shed bp);
+  Alcotest.(check int) "two waiting" 2 (Backpressure.waiting_count bp);
+  Backpressure.release bp 1;
+  Alcotest.(check (list string)) "lowest source admitted first"
+    [ "a1"; "b0"; "a0" ] !ran;
+  Backpressure.release bp 1;
+  Alcotest.(check (list string)) "then the next source" [ "b1"; "a1"; "b0"; "a0" ]
+    !ran;
+  Alcotest.(check int) "queues drained" 0 (Backpressure.waiting_count bp)
+
+(* ————— seeded warehouse-crash property harness ————— *)
+
+let n_updates = 20
+
+(* Base scenario: lossy links + one or two scripted warehouse outages
+   (or none, for the crash-free twin). *)
+let crashy_scenario ?(wh_crashes = [ { Fault.wh_down_at = 8.; wh_up_at = 20. } ])
+    ?(crashes = []) ?(link = Fault.lossy ~drop:0.1 ~duplicate:0.05 ())
+    ?(checkpoint_every = 4) seed =
+  { Scenario.default with
+    Scenario.name = "crashy-prop";
+    init_size = 12;
+    domain = 8;
+    stream = { Update_gen.default with Update_gen.n_updates; mean_gap = 1.5 };
+    faults = { Fault.link; crashes; wh_crashes };
+    checkpoint_every;
+    seed }
+
+let run_one scenario algo =
+  let r = Experiment.run scenario algo in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %Ld quiesces" scenario.Scenario.seed)
+    true r.Experiment.completed;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %Ld installs every update" scenario.Scenario.seed)
+    n_updates r.Experiment.metrics.Metrics.updates_incorporated;
+  (* Recovery must come from the checkpoint + WAL tail alone: no
+     Snapshot-style refetch of base relations, ever. *)
+  Alcotest.(check int)
+    (Printf.sprintf "seed %Ld never refetches a base relation"
+       scenario.Scenario.seed)
+    0 r.Experiment.metrics.Metrics.snapshots_fetched;
+  r
+
+let random_recovery_schedule seed =
+  let rng = Rng.create (Int64.add 104729L (Int64.mul 31L seed)) in
+  Fault.random_recovery rng ~n_sources:Scenario.default.Scenario.n_sources
+    ~horizon:(float_of_int n_updates *. 1.5)
+
+(* Acceptance criterion: SWEEP stays *complete* across 50 random
+   warehouse-crash schedules (each with guaranteed outages plus random
+   link faults / source crashes), and the aggregate metrics show recovery
+   actually ran — records replayed, checkpoints taken, crashes counted. *)
+let test_sweep_complete_across_crashes () =
+  let crashes = ref 0 and replayed = ref 0 and ckpts = ref 0 in
+  for seed = 0 to 49 do
+    let f = random_recovery_schedule (Int64.of_int seed) in
+    let scenario =
+      crashy_scenario ~wh_crashes:f.Fault.wh_crashes ~crashes:f.Fault.crashes
+        ~link:f.Fault.link (Int64.of_int seed)
+    in
+    let r = run_one scenario (module Sweep : Algorithm.S) in
+    Alcotest.check Rig.verdict
+      (Printf.sprintf "seed %d complete" seed)
+      Checker.Complete r.Experiment.verdict.Checker.verdict;
+    crashes := !crashes + r.Experiment.metrics.Metrics.wh_crashes;
+    replayed := !replayed + r.Experiment.metrics.Metrics.replayed_records;
+    ckpts := !ckpts + r.Experiment.metrics.Metrics.checkpoints
+  done;
+  Alcotest.(check bool) "warehouse actually crashed" true (!crashes >= 50);
+  Alcotest.(check bool) "WAL records were replayed" true (!replayed > 0);
+  Alcotest.(check bool) "checkpoints were taken" true (!ckpts > 0)
+
+let at_least_strong ~tag algo seeds =
+  List.iter
+    (fun seed ->
+      let f = random_recovery_schedule seed in
+      let scenario =
+        crashy_scenario ~wh_crashes:f.Fault.wh_crashes ~crashes:f.Fault.crashes
+          ~link:f.Fault.link seed
+      in
+      let r = run_one scenario algo in
+      let v = r.Experiment.verdict.Checker.verdict in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %Ld at least strong (got %s)" tag seed
+           (Checker.verdict_to_string v))
+        true
+        (Checker.compare_verdict v Checker.Strong <= 0))
+    seeds
+
+let seeds n = List.init n Int64.of_int
+
+let test_nested_sweep_strong_across_crashes () =
+  at_least_strong ~tag:"nested-sweep" (module Nested_sweep : Algorithm.S)
+    (seeds 25)
+
+let test_strobe_strong_across_crashes () =
+  at_least_strong ~tag:"strobe" (module Strobe : Algorithm.S) (seeds 25)
+
+(* Exactly-once across the crash: for each seed, the run with mid-run
+   crash-restarts must end with a final view bit-identical to its
+   crash-free twin (same seed, same link faults, no outages). A lost or
+   double-applied update would leave a different bag. *)
+let test_final_view_identical_with_and_without_crash () =
+  for seed = 0 to 11 do
+    let seed = Int64.of_int seed in
+    let crashed =
+      Experiment.run
+        (crashy_scenario
+           ~wh_crashes:
+             [ { Fault.wh_down_at = 6.; wh_up_at = 14. };
+               { Fault.wh_down_at = 22.; wh_up_at = 30. } ]
+           seed)
+        (module Sweep : Algorithm.S)
+    in
+    let clean =
+      Experiment.run (crashy_scenario ~wh_crashes:[] seed)
+        (module Sweep : Algorithm.S)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %Ld crashed run quiesces" seed)
+      true crashed.Experiment.completed;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %Ld final views bit-identical" seed)
+      true
+      (Bag.equal crashed.Experiment.final_view clean.Experiment.final_view);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %Ld crash path exercised" seed)
+      true
+      (crashed.Experiment.metrics.Metrics.wh_crashes = 2
+      && clean.Experiment.metrics.Metrics.wh_crashes = 0)
+  done
+
+(* Crash-recovery runs replay bit-identically per seed. *)
+let test_crashy_run_deterministic () =
+  let run () =
+    Experiment.run (crashy_scenario 17L) (module Sweep : Algorithm.S)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same installs"
+    a.Experiment.metrics.Metrics.installs b.Experiment.metrics.Metrics.installs;
+  Alcotest.(check int) "same WAL records"
+    a.Experiment.metrics.Metrics.wal_records
+    b.Experiment.metrics.Metrics.wal_records;
+  Alcotest.(check int) "same replayed records"
+    a.Experiment.metrics.Metrics.replayed_records
+    b.Experiment.metrics.Metrics.replayed_records;
+  Alcotest.(check int) "same checkpoint bytes"
+    a.Experiment.metrics.Metrics.checkpoint_bytes
+    b.Experiment.metrics.Metrics.checkpoint_bytes;
+  Alcotest.(check (float 0.)) "same sim time" a.Experiment.sim_time
+    b.Experiment.sim_time;
+  Alcotest.(check int) "same event count" a.Experiment.events
+    b.Experiment.events
+
+(* WAL-only recovery: checkpointing disabled, the whole log replays. *)
+let test_recovery_without_checkpoints () =
+  let r =
+    run_one (crashy_scenario ~checkpoint_every:0 3L) (module Sweep : Algorithm.S)
+  in
+  Alcotest.check Rig.verdict "still complete" Checker.Complete
+    r.Experiment.verdict.Checker.verdict;
+  Alcotest.(check int) "no checkpoints taken" 0
+    r.Experiment.metrics.Metrics.checkpoints;
+  Alcotest.(check bool) "replay happened from the log alone" true
+    (r.Experiment.metrics.Metrics.replayed_records > 0)
+
+(* The remaining algorithms survive a crash window too (smoke level):
+   C-strobe on the distributed topology, ECA on the centralized one. *)
+let test_c_strobe_crashy_smoke () =
+  let scenario = crashy_scenario ~link:Fault.reliable 5L in
+  let r = Experiment.run scenario (module C_strobe : Algorithm.S) in
+  Alcotest.(check bool) "quiesces" true r.Experiment.completed;
+  Alcotest.(check int) "all updates incorporated" n_updates
+    r.Experiment.metrics.Metrics.updates_incorporated;
+  Alcotest.(check bool) "not inconsistent" true
+    (r.Experiment.verdict.Checker.verdict <> Checker.Inconsistent);
+  Alcotest.(check bool) "crashed and recovered" true
+    (r.Experiment.metrics.Metrics.wh_crashes = 1
+    && r.Experiment.metrics.Metrics.replayed_records >= 0)
+
+let test_eca_crashy_smoke () =
+  let scenario =
+    { (crashy_scenario ~link:Fault.reliable 7L) with
+      Scenario.topology = Scenario.Centralized }
+  in
+  let r = Experiment.run scenario (module Eca : Algorithm.S) in
+  Alcotest.(check bool) "quiesces" true r.Experiment.completed;
+  Alcotest.(check int) "all updates incorporated" n_updates
+    r.Experiment.metrics.Metrics.updates_incorporated;
+  Alcotest.(check bool) "not inconsistent" true
+    (r.Experiment.verdict.Checker.verdict <> Checker.Inconsistent);
+  Alcotest.(check int) "crashed once" 1 r.Experiment.metrics.Metrics.wh_crashes
+
+(* ————— bounded queue under load ————— *)
+
+let test_bounded_queue_backpressure () =
+  let n = 60 in
+  let scenario =
+    { Scenario.default with
+      Scenario.name = "bounded-queue";
+      stream =
+        { Update_gen.default with Update_gen.n_updates = n; mean_gap = 0.2 };
+      queue_capacity = Some 4 }
+  in
+  let r = Experiment.run scenario (module Sweep : Algorithm.S) in
+  Alcotest.(check bool) "quiesces" true r.Experiment.completed;
+  Alcotest.check Rig.verdict "still complete" Checker.Complete
+    r.Experiment.verdict.Checker.verdict;
+  Alcotest.(check bool) "queue bounded by capacity" true
+    (r.Experiment.metrics.Metrics.max_queue <= 4);
+  Alcotest.(check bool) "high-watermark recorded" true
+    (r.Experiment.metrics.Metrics.max_queue >= 1);
+  Alcotest.(check bool) "backpressure engaged" true
+    (r.Experiment.metrics.Metrics.queue_deferred > 0);
+  Alcotest.(check int) "every admitted update incorporated" n
+    (r.Experiment.metrics.Metrics.updates_incorporated
+    + r.Experiment.metrics.Metrics.queue_shed)
+
+(* An unbounded twin of the same workload incorporates everything and
+   defers nothing — the knob defaults to off. *)
+let test_unbounded_queue_untouched () =
+  let scenario =
+    { Scenario.default with
+      Scenario.name = "unbounded-queue";
+      stream =
+        { Update_gen.default with Update_gen.n_updates = 60; mean_gap = 0.2 } }
+  in
+  let r = Experiment.run scenario (module Sweep : Algorithm.S) in
+  Alcotest.(check int) "nothing deferred" 0
+    r.Experiment.metrics.Metrics.queue_deferred;
+  Alcotest.(check int) "nothing shed" 0 r.Experiment.metrics.Metrics.queue_shed;
+  Alcotest.(check int) "all incorporated" 60
+    r.Experiment.metrics.Metrics.updates_incorporated
+
+let suite =
+  [ Alcotest.test_case "codec: primitive round trips" `Quick
+      test_codec_primitives;
+    Alcotest.test_case "codec: malformed bytes raise Corrupt" `Quick
+      test_codec_corrupt_raises;
+    Alcotest.test_case "codec: equal bags encode identically" `Quick
+      test_codec_bag_canonical;
+    Alcotest.test_case "snap: tree round trip" `Quick test_snap_roundtrip;
+    Alcotest.test_case "wal: record round trip and tail" `Quick
+      test_wal_roundtrip_and_tail;
+    Alcotest.test_case "checkpoint: full round trip" `Quick
+      test_checkpoint_roundtrip;
+    Alcotest.test_case "store: checkpoint cadence and tail" `Quick
+      test_store_checkpoint_cadence;
+    Alcotest.test_case "queue: capacity enforced" `Quick
+      test_update_queue_capacity;
+    Alcotest.test_case "backpressure: per-source FIFO, shed, release" `Quick
+      test_backpressure_fifo_and_shed;
+    Alcotest.test_case "property: sweep complete on 50 crashy seeds" `Quick
+      test_sweep_complete_across_crashes;
+    Alcotest.test_case "property: nested sweep strong on 25 crashy seeds"
+      `Quick test_nested_sweep_strong_across_crashes;
+    Alcotest.test_case "property: strobe strong on 25 crashy seeds" `Quick
+      test_strobe_strong_across_crashes;
+    Alcotest.test_case "property: final view identical with/without crash"
+      `Quick test_final_view_identical_with_and_without_crash;
+    Alcotest.test_case "property: crashy runs deterministic per seed" `Quick
+      test_crashy_run_deterministic;
+    Alcotest.test_case "recovery works with checkpoints disabled" `Quick
+      test_recovery_without_checkpoints;
+    Alcotest.test_case "smoke: c-strobe across a crash window" `Quick
+      test_c_strobe_crashy_smoke;
+    Alcotest.test_case "smoke: eca (centralized) across a crash window" `Quick
+      test_eca_crashy_smoke;
+    Alcotest.test_case "bounded queue: backpressure keeps run complete" `Quick
+      test_bounded_queue_backpressure;
+    Alcotest.test_case "unbounded queue: knob off changes nothing" `Quick
+      test_unbounded_queue_untouched ]
