@@ -1,4 +1,4 @@
-.PHONY: all build test faults recover bench examples doc clean
+.PHONY: all build test faults recover bench bench-json examples doc clean
 
 all: build
 
@@ -19,6 +19,12 @@ recover:
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable benchmark document at reduced scale, then the CI
+# perf gate: re-read BENCH.json and fail on any missing/malformed field.
+bench-json:
+	dune exec bench/main.exe -- micro --json-out BENCH.json --scale 0.2
+	dune exec bin/bench_check.exe -- BENCH.json
 
 examples:
 	for e in quickstart figure5_walkthrough retail_warehouse \

@@ -3,7 +3,15 @@
    With no arguments it regenerates every table and figure of the paper
    (T1, F5, F2, E1–E6; see DESIGN.md §4) and then runs the Bechamel
    micro-benchmarks of the hot paths. A single argument selects one
-   experiment ("t1", "f5", "f2", "e1".."e6", "micro"). *)
+   experiment ("t1", "f5", "f2", "e1".."e6", "micro").
+
+   With --json-out FILE it instead emits the machine-readable BENCH.json
+   (schema "repro-bench/1"): micro-benchmark estimates plus one registry
+   entry (counters + latency histograms) per algorithm on the concurrent
+   and centralized presets. --scale F shrinks both the workloads and the
+   Bechamel quota, for the CI perf gate:
+
+     dune exec bench/main.exe -- micro --json-out BENCH.json --scale 0.2 *)
 
 open Repro_relational
 open Repro_sim
@@ -91,37 +99,78 @@ let micro_tests () =
   [ bench_hash_join; bench_sweep_step; bench_indexed_probe; bench_compensate;
     bench_full_eval; bench_delta_apply; bench_parser; bench_sim_round ]
 
-let run_micro () =
+(* Run the micro-benchmarks and return (name, ns-per-run) estimates;
+   tests whose OLS fit fails are dropped. *)
+let micro_estimates ?(quota = 0.5) () =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
-  let tests = micro_tests () in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.fold
+        (fun name ols acc ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] when Float.is_finite est -> (name, est) :: acc
+          | _ -> acc)
+        analyzed []
+      |> List.sort compare)
+    (micro_tests ())
+
+let run_micro () =
   print_endline
     "MICRO. Bechamel micro-benchmarks of the hot paths (monotonic clock).";
   let rows =
-    List.concat_map
-      (fun test ->
-        let results = Benchmark.all cfg instances test in
-        let analyzed = Analyze.all ols (List.hd instances) results in
-        Hashtbl.fold
-          (fun name ols acc ->
-            let ns =
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> Printf.sprintf "%.0f" est
-              | _ -> "n/a"
-            in
-            [ name; ns ] :: acc)
-          analyzed []
-        |> List.sort compare)
-      tests
+    List.map
+      (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ])
+      (micro_estimates ())
   in
   print_string
     (Report.table ~title:"" ~headers:[ "benchmark"; "ns/run" ] ~rows ())
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json emission (the machine-readable document; see Bench_doc)   *)
+(* ------------------------------------------------------------------ *)
+
+let run_bench_json ~scale path =
+  let module Obs = Repro_observability.Obs in
+  let registry = Repro_observability.Registry.create () in
+  let scaled sc =
+    let stream = sc.Scenario.stream in
+    let n_updates =
+      max 5
+        (int_of_float (float_of_int stream.Update_gen.n_updates *. scale))
+    in
+    { sc with Scenario.stream = { stream with Update_gen.n_updates } }
+  in
+  let scenarios =
+    List.filter_map
+      (fun name -> Option.map scaled (Scenario.find_preset name))
+      [ "concurrent"; "centralized" ]
+  in
+  let experiments =
+    List.concat_map
+      (fun sc ->
+        List.map
+          (fun (name, alg) ->
+            let obs = Obs.create () in
+            let r = Experiment.run ~check:false ~obs sc alg in
+            ignore (Bench_doc.register registry ~obs r);
+            ( Printf.sprintf "%s/%s" name sc.Scenario.name,
+              r.Experiment.wall_seconds ))
+          (Experiment.algorithms_for sc))
+      scenarios
+  in
+  let micro = micro_estimates ~quota:(Float.max 0.05 (0.5 *. scale)) () in
+  Report.write_json path (Bench_doc.make ~scale ~experiments ~micro registry);
+  Printf.printf "wrote %s (%d algorithm entries, %d micro rows)\n" path
+    (List.length experiments) (List.length micro)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                             *)
@@ -140,9 +189,34 @@ let run_one id =
             (String.concat ", " known);
           exit 2)
 
+let usage () =
+  Printf.eprintf "usage: main.exe [%s] [--json-out FILE] [--scale F]\n"
+    (String.concat "|" known);
+  exit 2
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] ->
+  let rec parse ids scale json = function
+    | [] -> (List.rev ids, scale, json)
+    | "--json-out" :: file :: rest -> parse ids scale (Some file) rest
+    | "--scale" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some s when s > 0. && Float.is_finite s -> parse ids s json rest
+        | _ ->
+            Printf.eprintf "bad --scale %S (want a positive float)\n" f;
+            exit 2)
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        usage ()
+    | id :: rest -> parse (id :: ids) scale json rest
+  in
+  let ids, scale, json =
+    parse [] 1.0 None (List.tl (Array.to_list Sys.argv))
+  in
+  match (json, ids) with
+  | Some path, ([] | [ "micro" ]) -> run_bench_json ~scale path
+  | Some _, _ ->
+      prerr_endline "--json-out only applies to the micro/default mode";
+      exit 2
+  | None, [] ->
       print_endline
         "Reproduction benchmarks: Efficient View Maintenance at Data \
          Warehouses (SIGMOD'97)";
@@ -154,7 +228,5 @@ let () =
           run_one id;
           print_newline ())
         known
-  | [ _; id ] -> run_one id
-  | _ ->
-      Printf.eprintf "usage: main.exe [%s]\n" (String.concat "|" known);
-      exit 2
+  | None, [ id ] -> run_one id
+  | None, _ -> usage ()

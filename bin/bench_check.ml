@@ -1,0 +1,40 @@
+(* bench_check — the CI perf gate. Reads a BENCH.json file through the
+   independent Jsonr decoder and validates it against the
+   "repro-bench/1" schema (Bench_doc.validate). Exit 0 iff the document
+   is well-formed and carries every required counter and histogram
+   statistic. *)
+
+open Repro_observability
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: bench_check BENCH.json";
+        exit 2
+  in
+  let text =
+    try read_file path
+    with Sys_error msg ->
+      Printf.eprintf "bench_check: %s\n" msg;
+      exit 1
+  in
+  match Jsonr.parse text with
+  | Error msg ->
+      Printf.eprintf "bench_check: %s: invalid JSON: %s\n" path msg;
+      exit 1
+  | Ok doc -> (
+      match Repro_harness.Bench_doc.validate doc with
+      | Ok () ->
+          Printf.printf "bench_check: %s: OK (schema %s)\n" path
+            Repro_harness.Bench_doc.schema
+      | Error msg ->
+          Printf.eprintf "bench_check: %s: %s\n" path msg;
+          exit 1)

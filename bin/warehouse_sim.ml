@@ -13,7 +13,8 @@ open Repro_harness
 
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     domain seed latency centralized drop duplicate spike spike_factor crashes
-    wh_crashes checkpoint_every queue_capacity no_check show_trace explain_sql =
+    wh_crashes checkpoint_every queue_capacity no_check show_trace trace_spans
+    json_out explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -148,9 +149,12 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     exit 2
   end;
   let trace = Trace.create ~enabled:show_trace () in
+  let module Obs = Repro_observability.Obs in
+  let want_obs = trace_spans || json_out <> None in
+  let obs = if want_obs then Obs.create () else Obs.disabled () in
   let result =
-    Experiment.run ~check:(not no_check) ~trace ~max_events:2_000_000 scenario
-      alg
+    Experiment.run ~check:(not no_check) ~trace ~obs ~max_events:2_000_000
+      scenario alg
   in
   if show_trace then
     List.iter
@@ -158,6 +162,16 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
         Format.printf "[%8.3f] %-10s %s@." l.Trace.time l.Trace.who
           l.Trace.text)
       (Trace.lines trace);
+  if trace_spans then
+    print_string (Repro_observability.Tracer.render (Obs.tracer obs));
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let registry = Repro_observability.Registry.create () in
+      let entry = Bench_doc.register registry ~obs result in
+      Report.write_json path
+        (Repro_observability.Registry.entry_json ~spans:trace_spans entry);
+      Format.printf "wrote %s@." path);
   Format.printf "%a@." Experiment.pp_result result;
   if not result.Experiment.completed then
     Format.printf
@@ -237,6 +251,24 @@ let queue_capacity =
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
 
+let trace_spans =
+  Arg.(
+    value & flag
+    & info [ "trace-spans" ]
+        ~doc:
+          "Record structured spans (one tree per update transaction: \
+           notice, sweep legs, compensations, install) and print the \
+           rendered tree. With $(b,--json-out), spans are embedded in the \
+           JSON document.")
+
+let json_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's counters and latency histograms (staleness, \
+           queue length, message weights) to $(docv) as JSON.")
+
 let explain_sql =
   Arg.(
     value & opt (some string) None
@@ -257,6 +289,6 @@ let cmd =
       $ txn_size $ placement $ init $ domain $ seed $ latency $ centralized
       $ drop $ duplicate $ spike $ spike_factor $ crashes
       $ wh_crashes $ checkpoint_every $ queue_capacity
-      $ no_check $ show_trace $ explain_sql)
+      $ no_check $ show_trace $ trace_spans $ json_out $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

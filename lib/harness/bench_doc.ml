@@ -1,0 +1,145 @@
+(* The machine-readable benchmark document (BENCH.json, schema
+   "repro-bench/1"): per-experiment wall-clock timings, microbenchmark
+   throughputs and one registry entry per (algorithm, scenario) run with
+   the full Metrics counter set plus latency histograms. The CI perf gate
+   re-reads the file through the independent Jsonr decoder and runs
+   [validate]. *)
+
+open Repro_warehouse
+open Repro_observability
+
+let schema = "repro-bench/1"
+
+(* One registry entry per completed run: every Metrics counter (flat,
+   declaration order), the run-level outcome fields, and the run's
+   histograms when observability was attached. *)
+let register registry ?obs (r : Experiment.result) =
+  let counters =
+    List.map
+      (fun (k, v) ->
+        (k, (v :> Registry.counter)))
+      (Metrics.fields r.metrics)
+    @ [ ("sim_time", `Float r.sim_time);
+        ("wall_seconds", `Float r.wall_seconds);
+        ("events", `Int r.events);
+        ("final_view_tuples", `Int r.final_view_tuples);
+        ("completed", `Str (if r.completed then "true" else "false"));
+        ("verdict",
+         `Str
+           (Format.asprintf "%a" Repro_consistency.Checker.pp_verdict
+              r.verdict.Repro_consistency.Checker.verdict)) ]
+  in
+  Registry.add registry ~algorithm:r.algorithm
+    ~scenario:r.scenario.Scenario.name ?obs ~counters ()
+
+let make ~scale ~experiments ~micro registry =
+  Jsonw.obj
+    [ ("schema", Jsonw.str schema);
+      ("scale", Jsonw.float scale);
+      ("experiments",
+       Jsonw.list
+         (List.map
+            (fun (id, wall) ->
+              Jsonw.obj
+                [ ("id", Jsonw.str id); ("wall_seconds", Jsonw.float wall) ])
+            experiments));
+      ("micro",
+       Jsonw.list
+         (List.map
+            (fun (name, ns) ->
+              Jsonw.obj
+                [ ("name", Jsonw.str name); ("ns_per_run", Jsonw.float ns) ])
+            micro));
+      ("algorithms", Registry.to_json registry) ]
+
+(* ————— validation (the CI perf gate) ————— *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Jsonw.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let want_string name j =
+  match Jsonw.member name j with
+  | Some (Jsonw.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let want_list name j =
+  match Jsonw.member name j with
+  | Some (Jsonw.List l) -> Ok l
+  | Some _ -> Error (Printf.sprintf "field %S is not a list" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let want_number name j =
+  match Jsonw.member name j with
+  | Some (Jsonw.Int _) -> Ok ()
+  | Some (Jsonw.Float f) when Float.is_finite f -> Ok ()
+  | Some (Jsonw.Float _) ->
+      Error (Printf.sprintf "field %S is not finite" name)
+  | Some _ -> Error (Printf.sprintf "field %S is not a number" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let iter_all f l =
+  List.fold_left (fun acc x -> match acc with Ok () -> f x | e -> e) (Ok ()) l
+
+let in_context ctx = Result.map_error (fun e -> ctx ^ ": " ^ e)
+
+(* The counters every algorithm entry must report, whatever the run. *)
+let required_counters =
+  [ "updates_incorporated"; "queries_sent"; "answers_received";
+    "query_weight"; "answer_weight"; "installs" ]
+
+let required_histogram_stats = [ "count"; "p50"; "p90"; "p99"; "max" ]
+
+let validate_histograms entry =
+  match Jsonw.member "histograms" entry with
+  | None -> Ok ()  (* a run without obs attached reports none *)
+  | Some (Jsonw.Obj hists) ->
+      iter_all
+        (fun (hname, h) ->
+          in_context (Printf.sprintf "histogram %S" hname)
+            (iter_all (fun s -> want_number s h) required_histogram_stats))
+        hists
+  | Some _ -> Error "field \"histograms\" is not an object"
+
+let validate_algorithm entry =
+  let* algorithm = want_string "algorithm" entry in
+  let* _ = want_string "scenario" entry in
+  in_context
+    (Printf.sprintf "algorithm %S" algorithm)
+    (let* counters = field "counters" entry in
+     let* () = iter_all (fun c -> want_number c counters) required_counters in
+     validate_histograms entry)
+
+let validate doc =
+  let* s = want_string "schema" doc in
+  if s <> schema then
+    Error (Printf.sprintf "schema %S, expected %S" s schema)
+  else
+    let* () = want_number "scale" doc in
+    let* experiments = want_list "experiments" doc in
+    let* () =
+      iter_all
+        (fun e ->
+          let* id = want_string "id" e in
+          in_context
+            (Printf.sprintf "experiment %S" id)
+            (want_number "wall_seconds" e))
+        experiments
+    in
+    let* micro = want_list "micro" doc in
+    let* () =
+      iter_all
+        (fun m ->
+          let* name = want_string "name" m in
+          in_context
+            (Printf.sprintf "micro %S" name)
+            (want_number "ns_per_run" m))
+        micro
+    in
+    let* algorithms = want_list "algorithms" doc in
+    if algorithms = [] then Error "no algorithm entries"
+    else iter_all validate_algorithm algorithms

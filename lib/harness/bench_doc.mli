@@ -1,0 +1,46 @@
+(** The machine-readable benchmark document (BENCH.json).
+
+    Schema ["repro-bench/1"]:
+    {v
+    { "schema": "repro-bench/1",
+      "scale": 1.0,
+      "experiments": [ { "id": "e1", "wall_seconds": 0.42 }, … ],
+      "micro":       [ { "name": "join/eval", "ns_per_run": 812.3 }, … ],
+      "algorithms":  [ { "algorithm": "sweep", "scenario": "concurrent",
+                         "counters": { …all Metrics fields, run outcome… },
+                         "histograms": { "staleness": { count, mean, min,
+                           max, p50, p90, p99, buckets_per_decade }, … },
+                         "span_count": 123 }, … ] }
+    v}
+
+    [validate] is the CI perf gate: it re-reads the document (through the
+    independent {!Repro_observability.Jsonr} decoder) and fails on any
+    missing or malformed required field. *)
+
+open Repro_observability
+
+val schema : string
+
+(** Register one completed run: all {!Repro_warehouse.Metrics.fields}
+    counters plus the
+    run-level outcome (sim time, wall clock, events, view size, verdict),
+    and — when [obs] is given — the run's histograms and span count. *)
+val register :
+  Registry.t -> ?obs:Obs.t -> Experiment.result -> Registry.entry
+
+(** Assemble the document. [experiments] are [(id, wall_seconds)];
+    [micro] are [(name, ns_per_run)]. *)
+val make :
+  scale:float ->
+  experiments:(string * float) list ->
+  micro:(string * float) list ->
+  Registry.t ->
+  Jsonw.t
+
+(** [validate doc] checks the schema tag, that every experiment / micro
+    row has its timing, that at least one algorithm entry exists, and
+    that each entry carries the required counters
+    (updates_incorporated, queries_sent, answers_received, query_weight,
+    answer_weight, installs) and, for each histogram present, finite
+    count/p50/p90/p99/max. *)
+val validate : Jsonw.t -> (unit, string) result

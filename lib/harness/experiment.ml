@@ -6,6 +6,7 @@ open Repro_warehouse
 open Repro_consistency
 open Repro_workload
 open Repro_durability
+module Obs = Repro_observability.Obs
 
 type result = {
   scenario : Scenario.t;
@@ -48,10 +49,11 @@ let algorithms_for (s : Scenario.t) =
   | Scenario.Distributed -> base
   | Scenario.Centralized -> base @ [ ("eca", (module Eca : Algorithm.S)) ]
 
-let run ?(check = true) ?(trace = Trace.create ()) ?max_events
-    (scenario : Scenario.t) (algorithm : (module Algorithm.S)) =
+let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
+    ?max_events (scenario : Scenario.t) (algorithm : (module Algorithm.S)) =
   let wall_start = Unix.gettimeofday () in
   let engine = Engine.create ~seed:scenario.seed () in
+  Obs.set_clock obs (Engine.clock engine);
   let rng = Engine.rng engine in
   let view = Chain.view ~n:scenario.n_sources () in
   let data_rng = Rng.split rng in
@@ -92,9 +94,12 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
       | `Up -> ((fun () -> gate i () && wh_ok ()), gate i)
       | `Down -> (gate i, fun () -> gate i () && wh_ok ())
     in
+    let label =
+      Printf.sprintf "%s%d" (match dir with `Up -> "up" | `Down -> "down") i
+    in
     let l =
       Transport.connect ~config:tconfig ~faults:scenario.faults.Fault.link
-        ~data_gate ~ack_gate engine ~latency:scenario.latency
+        ~data_gate ~ack_gate ~obs ~label engine ~latency:scenario.latency
         ~rng:(Rng.split rng) ~deliver ()
     in
     link_stats :=
@@ -193,7 +198,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?max_events
   let warehouse =
     Node.create engine ~view ~algorithm ~send:send_to ~init:initial_view
       ?durability:store ~metrics ?queue_capacity:scenario.queue_capacity
-      ~record_history:check ~trace ()
+      ~record_history:check ~trace ~obs ()
   in
   node := Some warehouse;
   (* Bounded queue: admission control where updates are born. Tokens
@@ -372,9 +377,10 @@ type scripted_outcome = {
 }
 
 let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
-    ~algorithm ~view ~initial ~updates () =
+    ?(obs = Obs.disabled ()) ~algorithm ~view ~initial ~updates () =
   let open Repro_relational in
   let engine = Engine.create ~seed () in
+  Obs.set_clock obs (Engine.clock engine);
   let rng = Engine.rng engine in
   let trace = Trace.create ~enabled:trace_enabled () in
   let initial_copy = Array.map Relation.copy initial in
@@ -402,7 +408,7 @@ let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
   let warehouse =
     Node.create engine ~view ~algorithm
       ~send:(fun i msg -> Channel.send down.(i) msg)
-      ~init:initial_view ~trace ()
+      ~init:initial_view ~trace ~obs ()
   in
   node := Some warehouse;
   List.iter

@@ -49,6 +49,7 @@ val run_scripted :
   ?latency:float ->
   ?seed:int64 ->
   ?trace_enabled:bool ->
+  ?obs:Repro_observability.Obs.t ->
   algorithm:(module Repro_warehouse.Algorithm.S) ->
   view:Repro_relational.View_def.t ->
   initial:Repro_relational.Relation.t array ->
@@ -63,11 +64,20 @@ val check_scripted : scripted_outcome -> Checker.result
     [check] (default true) runs the consistency checker (it needs
     per-install snapshots; disable for very long runs).
     [trace] collects a simulation trace when provided.
+    [obs] attaches structured observability (spans, histograms,
+    transport events); its clock is bound to the engine's virtual time.
+    Recording never consumes randomness or schedules events, so enabling
+    it cannot perturb the simulation.
     [max_events] bounds the simulation; a run cut off by it has
     [completed = false] and skips the checker. *)
 val run :
-  ?check:bool -> ?trace:Trace.t -> ?max_events:int -> Scenario.t ->
-  (module Algorithm.S) -> result
+  ?check:bool ->
+  ?trace:Trace.t ->
+  ?obs:Repro_observability.Obs.t ->
+  ?max_events:int ->
+  Scenario.t ->
+  (module Algorithm.S) ->
+  result
 
 (** All algorithms applicable to a scenario (ECA only in the centralized
     topology; every algorithm is available there). *)

@@ -85,3 +85,9 @@ let csv ~headers ~rows =
 let f1 x = Printf.sprintf "%.1f" x
 let f2 x = Printf.sprintf "%.2f" x
 let f3 x = Printf.sprintf "%.3f" x
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Repro_observability.Jsonw.to_channel ~indent:2 oc json)

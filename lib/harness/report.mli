@@ -15,3 +15,6 @@ val f1 : float -> string
 
 val f2 : float -> string
 val f3 : float -> string
+
+(** Write a JSON document to [path] (2-space indent, trailing newline). *)
+val write_json : string -> Repro_observability.Jsonw.t -> unit

@@ -1,0 +1,119 @@
+(* Log-bucketed (HDR-style) histogram for latency / staleness / weight
+   distributions.
+
+   Positive values land in geometric buckets: bucket [i] covers
+   [10^(i/bpd), 10^((i+1)/bpd)) where [bpd] (buckets per decade) is the
+   precision knob. A quantile is answered with the geometric midpoint of
+   the bucket holding that rank, so its relative error is bounded by half
+   a bucket width — 10^(1/(2*bpd)) ≈ 5.9% at the default bpd = 20.
+   Values ≤ 0 are counted in a dedicated zero bucket (simulated staleness
+   can be exactly 0 when delivery and install tie). State is mergeable:
+   two histograms with the same precision add bucket-wise. *)
+
+type t = {
+  bpd : int;
+  counts : (int, int) Hashtbl.t;
+  mutable zero : int;  (* values <= 0 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let default_buckets_per_decade = 20
+
+let create ?(buckets_per_decade = default_buckets_per_decade) () =
+  if buckets_per_decade < 1 then
+    invalid_arg "Histogram.create: buckets_per_decade < 1";
+  { bpd = buckets_per_decade; counts = Hashtbl.create 32; zero = 0;
+    count = 0; sum = 0.; vmin = Float.infinity; vmax = Float.neg_infinity }
+
+let buckets_per_decade t = t.bpd
+
+let bucket_of t v =
+  (* v > 0; indexes go negative below 1.0, the Hashtbl doesn't mind *)
+  int_of_float (Float.floor (Float.log10 v *. float_of_int t.bpd))
+
+(* Geometric midpoint of bucket [i]. *)
+let bucket_mid t i =
+  Float.pow 10. ((float_of_int i +. 0.5) /. float_of_int t.bpd)
+
+let record t v =
+  if Float.is_nan v then invalid_arg "Histogram.record: NaN";
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  if v <= 0. then t.zero <- t.zero + 1
+  else
+    let i = bucket_of t v in
+    Hashtbl.replace t.counts i
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts i))
+
+let count t = t.count
+let total t = t.sum
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0. else t.vmin
+let max_value t = if t.count = 0 then 0. else t.vmax
+
+let sorted_buckets t =
+  Hashtbl.fold (fun i c acc -> (i, c) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let quantile t p =
+  if p < 0. || p > 1. then invalid_arg "Histogram.quantile: p outside [0,1]";
+  if t.count = 0 then 0.
+  else if p >= 1. then t.vmax
+  else
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int t.count)))
+    in
+    if rank <= t.zero then 0.
+    else
+      let rec walk seen = function
+        | [] -> t.vmax (* numerical slack: the last bucket absorbs it *)
+        | (i, c) :: rest ->
+            if seen + c >= rank then
+              (* clamp the bucket estimate into the observed range so a
+                 sparse histogram never reports beyond its true extremes *)
+              Float.min (Float.max (bucket_mid t i) t.vmin) t.vmax
+            else walk (seen + c) rest
+      in
+      walk t.zero (sorted_buckets t)
+
+let p50 t = quantile t 0.50
+let p90 t = quantile t 0.90
+let p99 t = quantile t 0.99
+
+let merge a b =
+  if a.bpd <> b.bpd then invalid_arg "Histogram.merge: precision mismatch";
+  let m = create ~buckets_per_decade:a.bpd () in
+  let add src =
+    Hashtbl.iter
+      (fun i c ->
+        Hashtbl.replace m.counts i
+          (c + Option.value ~default:0 (Hashtbl.find_opt m.counts i)))
+      src.counts;
+    m.zero <- m.zero + src.zero;
+    m.count <- m.count + src.count;
+    m.sum <- m.sum +. src.sum;
+    if src.count > 0 then begin
+      if src.vmin < m.vmin then m.vmin <- src.vmin;
+      if src.vmax > m.vmax then m.vmax <- src.vmax
+    end
+  in
+  add a;
+  add b;
+  m
+
+let to_json t =
+  Jsonw.obj
+    [ ("count", Jsonw.int t.count); ("mean", Jsonw.float (mean t));
+      ("min", Jsonw.float (min_value t)); ("max", Jsonw.float (max_value t));
+      ("p50", Jsonw.float (p50 t)); ("p90", Jsonw.float (p90 t));
+      ("p99", Jsonw.float (p99 t));
+      ("buckets_per_decade", Jsonw.int t.bpd) ]
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    t.count (mean t) (p50 t) (p90 t) (p99 t) (max_value t)

@@ -1,0 +1,111 @@
+(* Dependency-free JSON writer. Values are ordinary OCaml data; [to_string]
+   renders them deterministically: object keys keep their insertion order,
+   floats use the shortest representation that round-trips, and non-finite
+   floats are rejected (JSON has no encoding for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let obj fields = Obj fields
+let list items = List items
+let str s = String s
+let int i = Int i
+let float f = Float f
+let bool b = Bool b
+
+(* Shortest decimal form that parses back to the same double. "%g" alone
+   can emit "1" (valid JSON, reads back as an int — fine) but also drops
+   precision, so widen until the round trip is exact. *)
+let float_repr f =
+  if not (Float.is_finite f) then
+    invalid_arg
+      (Printf.sprintf "Jsonw: non-finite float %s has no JSON encoding"
+         (Float.to_string f));
+  let rec shortest p =
+    if p > 17 then Printf.sprintf "%.17g" f
+    else
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then s else shortest (p + 1)
+  in
+  shortest 1
+
+(* Escape per RFC 8259: quote, backslash and control characters. Any other
+   byte passes through, so well-formed UTF-8 stays well-formed UTF-8. *)
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec write buf ~indent ~level v =
+  let nl_pad lv =
+    match indent with
+    | None -> ()
+    | Some n ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (n * lv) ' ')
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl_pad (level + 1);
+          write buf ~indent ~level:(level + 1) item)
+        items;
+      nl_pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl_pad (level + 1);
+          Buffer.add_char buf '"';
+          escape_into buf k;
+          Buffer.add_string buf "\":";
+          if indent <> None then Buffer.add_char buf ' ';
+          write buf ~indent ~level:(level + 1) item)
+        fields;
+      nl_pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  write buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_channel ?indent oc v =
+  output_string oc (to_string ?indent v);
+  output_char oc '\n'
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None

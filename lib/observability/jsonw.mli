@@ -1,0 +1,36 @@
+(** Dependency-free JSON writer.
+
+    Deterministic output: object keys keep their insertion order, floats
+    render as the shortest decimal that round-trips, and non-finite
+    floats raise [Invalid_argument] (JSON cannot encode them). Strings
+    are escaped per RFC 8259; bytes outside the control range pass
+    through, so UTF-8 input stays UTF-8 output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** rendered in list order *)
+
+(** Constructors, for readable document-building code. *)
+val obj : (string * t) list -> t
+
+val list : t list -> t
+val str : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+
+(** Render. [indent] pretty-prints with that many spaces per level;
+    omitted = compact single line. Raises [Invalid_argument] on NaN or
+    infinite floats anywhere in the tree. *)
+val to_string : ?indent:int -> t -> string
+
+(** [to_channel oc v] writes [to_string v] and a trailing newline. *)
+val to_channel : ?indent:int -> out_channel -> t -> unit
+
+(** Field lookup on [Obj] (None on missing field or non-object). *)
+val member : string -> t -> t option

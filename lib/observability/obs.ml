@@ -1,0 +1,73 @@
+(* The per-run observability handle threaded through the stack: one
+   tracer plus a set of named histograms, stamped by a caller-supplied
+   clock (the simulator's virtual time). Disabled handles keep the
+   one-branch-when-disabled contract the old free-text Trace had: every
+   entry point tests [active] once and returns.
+
+   [mute]/[unmute] bracket WAL replay after a warehouse crash: the
+   replayed work's spans and samples were already recorded by the
+   previous incarnation. *)
+
+type t = {
+  enabled : bool;
+  mutable muted : bool;
+  mutable clock : unit -> float;
+  tracer : Tracer.t;
+  buckets_per_decade : int;
+  hists : (string, Histogram.t) Hashtbl.t;
+  mutable rev_names : string list;  (* registration order *)
+}
+
+let create ?(enabled = true) ?buckets_per_decade ?clock () =
+  { enabled; muted = false;
+    clock = (match clock with Some f -> f | None -> fun () -> 0.);
+    tracer = Tracer.create ();
+    buckets_per_decade =
+      Option.value buckets_per_decade
+        ~default:Histogram.default_buckets_per_decade;
+    hists = Hashtbl.create 8; rev_names = [] }
+
+let disabled () = create ~enabled:false ()
+let enabled t = t.enabled
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+let mute t = t.muted <- true
+let unmute t = t.muted <- false
+let active t = t.enabled && not t.muted
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create ~buckets_per_decade:t.buckets_per_decade () in
+      Hashtbl.replace t.hists name h;
+      t.rev_names <- name :: t.rev_names;
+      h
+
+let observe t name v = if active t then Histogram.record (histogram t name) v
+
+let span t ?parent name attrs =
+  if active t then
+    Tracer.start t.tracer ~time:(t.clock ()) ?parent ~name ~attrs ()
+  else Tracer.none
+
+let finish t id = if active t then Tracer.finish t.tracer ~time:(t.clock ()) id
+
+let event t ?span name attrs =
+  if active t then
+    Tracer.event t.tracer ~time:(t.clock ()) ?span ~name ~attrs ()
+
+let tracer t = t.tracer
+
+let histograms t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.hists name)) t.rev_names
+
+let histograms_json t =
+  Jsonw.Obj
+    (List.map (fun (name, h) -> (name, Histogram.to_json h)) (histograms t))
+
+let to_json ?(spans = false) t =
+  Jsonw.obj
+    (("histograms", histograms_json t)
+    :: ("span_count", Jsonw.int (Tracer.span_count t.tracer))
+    :: (if spans then [ ("trace", Tracer.to_json t.tracer) ] else []))

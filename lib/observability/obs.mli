@@ -1,0 +1,59 @@
+(** The per-run observability handle threaded through the node, the
+    algorithms, the transport and the harness: one {!Tracer} plus named
+    {!Histogram}s, stamped by a caller-supplied clock (the simulator's
+    virtual time).
+
+    A disabled handle costs one branch per emission — the same contract
+    as the legacy free-text [Trace]. {!mute} suspends recording during
+    WAL replay (the replayed work was observed before the crash). *)
+
+type t
+
+(** [create ()] — an enabled handle. [clock] supplies timestamps (wire
+    the simulation engine's clock; defaults to a constant 0). *)
+val create :
+  ?enabled:bool -> ?buckets_per_decade:int -> ?clock:(unit -> float) ->
+  unit -> t
+
+(** A never-recording handle (the default everywhere). *)
+val disabled : unit -> t
+
+val enabled : t -> bool
+val set_clock : t -> (unit -> float) -> unit
+val now : t -> float
+
+(** Suspend / resume recording (crash-replay bracket). *)
+val mute : t -> unit
+
+val unmute : t -> unit
+
+(** Enabled and not muted. *)
+val active : t -> bool
+
+(** Get-or-create a named histogram (registration order is remembered
+    and drives JSON key order). *)
+val histogram : t -> string -> Histogram.t
+
+(** Record a sample into the named histogram (no-op when inactive). *)
+val observe : t -> string -> float -> unit
+
+(** Open a span at the clock's current time; {!Tracer.none} when
+    inactive. *)
+val span : t -> ?parent:Tracer.id -> string -> (string * Tracer.attr) list -> Tracer.id
+
+(** Close a span at the clock's current time. *)
+val finish : t -> Tracer.id -> unit
+
+(** Record a point event (no-op when inactive). *)
+val event : t -> ?span:Tracer.id -> string -> (string * Tracer.attr) list -> unit
+
+val tracer : t -> Tracer.t
+
+(** Histograms in registration order. *)
+val histograms : t -> (string * Histogram.t) list
+
+val histograms_json : t -> Jsonw.t
+
+(** Canonical export: histograms + span count (+ full trace when
+    [spans]). *)
+val to_json : ?spans:bool -> t -> Jsonw.t

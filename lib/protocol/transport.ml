@@ -1,4 +1,6 @@
 open Repro_sim
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 type config = {
   rto : float;
@@ -43,6 +45,8 @@ type 'a sender = {
   config : config;
   send_frame : 'a frame -> unit;
   stats : stats;
+  obs : Obs.t;
+  label : string;
   mutable next_seq : int;
   mutable acked_upto : int;  (* cumulative: all seq <= acked_upto acked *)
   mutable window : 'a inflight list;  (* unacked, oldest first *)
@@ -50,12 +54,14 @@ type 'a sender = {
   mutable epoch : int;  (* stamps timers; a stale timer is a no-op *)
 }
 
-let sender ?(config = default_config) engine ~rng ~send_frame =
+let sender ?(config = default_config) ?(obs = Obs.disabled ()) ?(label = "")
+    engine ~rng ~send_frame =
   if config.rto <= 0. || config.backoff < 1. || config.max_rto < config.rto
   then invalid_arg "Transport.sender: bad config";
   if config.jitter < 0. then invalid_arg "Transport.sender: jitter < 0";
-  { engine; rng; config; send_frame; stats = fresh_stats (); next_seq = 0;
-    acked_upto = -1; window = []; cur_rto = config.rto; epoch = 0 }
+  { engine; rng; config; send_frame; stats = fresh_stats (); obs; label;
+    next_seq = 0; acked_upto = -1; window = []; cur_rto = config.rto;
+    epoch = 0 }
 
 let unacked s = List.length s.window
 let sender_stats s = s.stats
@@ -70,10 +76,19 @@ let rec arm s =
   Engine.schedule s.engine ~delay (fun () ->
       if epoch = s.epoch && s.window <> [] then begin
         s.stats.timeouts <- s.stats.timeouts + 1;
+        if Obs.active s.obs then
+          Obs.event s.obs "transport.timeout"
+            [ ("link", Tracer.S s.label);
+              ("window", Tracer.I (List.length s.window));
+              ("rto", Tracer.F s.cur_rto) ];
         List.iter
           (fun f ->
             f.retx <- f.retx + 1;
             s.stats.retransmissions <- s.stats.retransmissions + 1;
+            if Obs.active s.obs then
+              Obs.event s.obs "transport.retransmit"
+                [ ("link", Tracer.S s.label); ("seq", Tracer.I f.seq);
+                  ("retx", Tracer.I f.retx) ];
             s.send_frame (Data { seq = f.seq; payload = f.payload }))
           s.window;
         s.cur_rto <- Float.min (s.cur_rto *. s.config.backoff) s.config.max_rto;
@@ -99,7 +114,13 @@ let sender_on_frame s = function
         let acked, rest = List.partition (fun f -> f.seq <= upto) s.window in
         List.iter
           (fun f ->
-            if f.retx > 0 then s.stats.recoveries <- s.stats.recoveries + 1)
+            if f.retx > 0 then begin
+              s.stats.recoveries <- s.stats.recoveries + 1;
+              if Obs.active s.obs then
+                Obs.event s.obs "transport.recovery"
+                  [ ("link", Tracer.S s.label); ("seq", Tracer.I f.seq);
+                    ("retx", Tracer.I f.retx) ]
+            end)
           acked;
         s.window <- rest;
         s.acked_upto <- upto;
@@ -148,13 +169,15 @@ type 'a receiver = {
   r_send_frame : 'a frame -> unit;
   deliver : 'a -> unit;
   r_stats : stats;
+  r_obs : Obs.t;
+  r_label : string;
   mutable expected : int;  (* next in-order seq to deliver *)
   held : (int, 'a) Hashtbl.t;  (* out-of-order frames awaiting the gap *)
 }
 
-let receiver ~send_frame ~deliver =
+let receiver ?(obs = Obs.disabled ()) ?(label = "") ~send_frame ~deliver () =
   { r_send_frame = send_frame; deliver; r_stats = fresh_stats ();
-    expected = 0; held = Hashtbl.create 16 }
+    r_obs = obs; r_label = label; expected = 0; held = Hashtbl.create 16 }
 
 let receiver_stats r = r.r_stats
 let receiver_expected r = r.expected
@@ -174,14 +197,23 @@ let ack r =
 let receiver_on_frame r = function
   | Ack _ -> invalid_arg "Transport.receiver_on_frame: Ack on data channel"
   | Data { seq; payload } ->
-      (if seq < r.expected || Hashtbl.mem r.held seq then
+      (if seq < r.expected || Hashtbl.mem r.held seq then begin
          (* already delivered or already held: suppress, but re-ack so a
             sender whose acks were lost stops retransmitting *)
-         r.r_stats.duplicates_suppressed <- r.r_stats.duplicates_suppressed + 1
+         r.r_stats.duplicates_suppressed <- r.r_stats.duplicates_suppressed + 1;
+         if Obs.active r.r_obs then
+           Obs.event r.r_obs "transport.dup"
+             [ ("link", Tracer.S r.r_label); ("seq", Tracer.I seq) ]
+       end
        else begin
          Hashtbl.replace r.held seq payload;
-         if seq > r.expected then
+         if seq > r.expected then begin
            r.r_stats.reorders_buffered <- r.r_stats.reorders_buffered + 1;
+           if Obs.active r.r_obs then
+             Obs.event r.r_obs "transport.reorder"
+               [ ("link", Tracer.S r.r_label); ("seq", Tracer.I seq);
+                 ("expected", Tracer.I r.expected) ]
+         end;
          while Hashtbl.mem r.held r.expected do
            let p = Hashtbl.find r.held r.expected in
            Hashtbl.remove r.held r.expected;
@@ -201,7 +233,7 @@ type 'a link = {
 }
 
 let connect ?config ?(faults = Fault.reliable) ?gate ?data_gate ?ack_gate
-    engine ~latency ~rng ~deliver () =
+    ?(obs = Obs.disabled ()) ?(label = "") engine ~latency ~rng ~deliver () =
   let config =
     match config with Some c -> c | None -> config_for latency
   in
@@ -226,11 +258,12 @@ let connect ?config ?(faults = Fault.reliable) ?gate ?data_gate ?ack_gate
     mk ?gate:(first ack_gate) (fun f -> sender_on_frame (Option.get !snd) f)
   in
   let l_receiver =
-    receiver ~send_frame:(fun f -> Channel.send ack_ch f) ~deliver
+    receiver ~obs ~label ~send_frame:(fun f -> Channel.send ack_ch f) ~deliver
+      ()
   in
   recv := Some l_receiver;
   let l_sender =
-    sender ~config engine ~rng:(Rng.split rng)
+    sender ~config ~obs ~label engine ~rng:(Rng.split rng)
       ~send_frame:(fun f -> Channel.send data_ch f)
   in
   snd := Some l_sender;

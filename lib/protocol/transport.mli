@@ -66,9 +66,16 @@ type 'a sender
 type 'a receiver
 
 (** [sender ?config engine ~rng ~send_frame] — [send_frame] hands a frame
-    to the forward lossy channel. *)
+    to the forward lossy channel. [obs]/[label] attach structured
+    observability: timeout / retransmit / recovery events tagged with the
+    link label. *)
 val sender :
-  ?config:config -> Engine.t -> rng:Rng.t -> send_frame:('a frame -> unit) ->
+  ?config:config ->
+  ?obs:Repro_observability.Obs.t ->
+  ?label:string ->
+  Engine.t ->
+  rng:Rng.t ->
+  send_frame:('a frame -> unit) ->
   'a sender
 
 (** Reliable FIFO send: buffered until cumulatively acked. *)
@@ -114,11 +121,18 @@ val receiver_expected : 'a receiver -> int
 (** Set [expected] and drop all held out-of-order frames. *)
 val reset_receiver : 'a receiver -> expected:int -> unit
 
-(** [receiver ~send_frame ~deliver] — [send_frame] hands ack frames to
+(** [receiver ~send_frame ~deliver ()] — [send_frame] hands ack frames to
     the reverse lossy channel; [deliver] receives each payload exactly
-    once, in send order. *)
+    once, in send order. [obs]/[label] attach structured observability:
+    duplicate-suppression / reorder-buffering events tagged with the link
+    label. *)
 val receiver :
-  send_frame:('a frame -> unit) -> deliver:('a -> unit) -> 'a receiver
+  ?obs:Repro_observability.Obs.t ->
+  ?label:string ->
+  send_frame:('a frame -> unit) ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a receiver
 
 (** Feed the receiver a frame from the forward channel. *)
 val receiver_on_frame : 'a receiver -> 'a frame -> unit
@@ -144,6 +158,8 @@ val connect :
   ?gate:(unit -> bool) ->
   ?data_gate:(unit -> bool) ->
   ?ack_gate:(unit -> bool) ->
+  ?obs:Repro_observability.Obs.t ->
+  ?label:string ->
   Engine.t ->
   latency:Latency.t ->
   rng:Rng.t ->

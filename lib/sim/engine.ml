@@ -10,6 +10,7 @@ let create ?(seed = 0x5EEDL) () =
     root_rng = Rng.create seed }
 
 let now t = t.clock
+let clock t () = t.clock
 let rng t = t.root_rng
 
 let at t ~time f =

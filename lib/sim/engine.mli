@@ -12,6 +12,10 @@ val create : ?seed:int64 -> unit -> t
 (** Current simulation time. *)
 val now : t -> float
 
+(** [clock t] — {!now} as a closure: the virtual-time source handed to
+    observability (span timestamps, staleness samples). *)
+val clock : t -> unit -> float
+
 (** The engine's root PRNG (split it per component). *)
 val rng : t -> Rng.t
 

@@ -6,6 +6,7 @@ type ctx = {
   engine : Engine.t;
   view : View_def.t;
   trace : Trace.t;
+  obs : Repro_observability.Obs.t;
   metrics : Metrics.t;
   queue : Update_queue.t;
   send : int -> Message.to_source -> unit;

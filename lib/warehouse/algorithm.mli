@@ -14,6 +14,9 @@ type ctx = {
   engine : Engine.t;
   view : View_def.t;
   trace : Trace.t;
+  obs : Repro_observability.Obs.t;
+      (** structured spans + histograms (disabled by default; one branch
+          per emission when off) *)
   metrics : Metrics.t;
   queue : Update_queue.t;  (** the UpdateMessageQueue of Fig. 4 *)
   send : int -> Message.to_source -> unit;

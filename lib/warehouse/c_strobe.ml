@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 let name = "c-strobe"
 
@@ -15,6 +17,9 @@ type job = {
   mutable pending : int list;  (* next positions to incorporate, in order *)
   mutable outstanding : int;
   qid : int;
+  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
+  mutable span : Tracer.id;
+  mutable leg : Tracer.id;
 }
 
 type current = {
@@ -26,6 +31,7 @@ type current = {
   mutable kills : (int * Tuple.t) list;  (* (source, key) kills to apply *)
   mutable finished : bool;  (* finalize-once guard *)
   delete_view_delta : Delta.t;  (* local handling of the delete part *)
+  mutable span : Tracer.id;  (* volatile, like the jobs' *)
 }
 
 type t = { ctx : Algorithm.ctx; mutable current : current option }
@@ -54,7 +60,8 @@ let make_job t ~pins ~pin_ids =
   { pins; pin_ids;
     dv = Partial.of_source_delta t.ctx.Algorithm.view start start_delta;
     pending = job_order ~n ~start; outstanding = -1;
-    qid = t.ctx.Algorithm.fresh_qid () }
+    qid = t.ctx.Algorithm.fresh_qid (); span = Tracer.none;
+    leg = Tracer.none }
 
 let rec advance t cur job =
   match job.pending with
@@ -70,12 +77,18 @@ let rec advance t cur job =
           advance t cur job
       | None ->
           job.outstanding <- j;
+          job.leg <-
+            (if Obs.active t.ctx.obs then
+               Obs.span t.ctx.obs ~parent:job.span "query"
+                 [ ("source", Tracer.I j); ("qid", Tracer.I job.qid) ]
+             else Tracer.none);
           t.ctx.send j
             (Message.Sweep_query
                { qid = job.qid; target = j; partial = Partial.copy job.dv }))
   | [] -> complete t cur job
 
 and complete t cur job =
+  Obs.finish t.ctx.obs job.span;
   cur.jobs <- List.filter (fun j -> j.qid <> job.qid) cur.jobs;
   cur.answer <-
     Some
@@ -121,6 +134,12 @@ and complete t cur job =
           in
           trace t "c-strobe: compensating query %d (pins %s)" child.qid
             (String.concat "," (List.map string_of_int pin_ids));
+          if Obs.active t.ctx.obs then
+            child.span <-
+              Obs.span t.ctx.obs ~parent:cur.span "job"
+                [ ("qid", Tracer.I child.qid);
+                  ("pins", Tracer.I (List.length child.pins));
+                  ("compensating", Tracer.B true) ];
           children := child :: !children
         end
       end)
@@ -176,6 +195,7 @@ and finalize t cur =
   let entry = cur.entry in
   t.current <- None;
   t.ctx.install delta ~txns:[ entry ];
+  Obs.finish t.ctx.obs cur.span;
   start_next t
 
 and start_next t =
@@ -201,10 +221,19 @@ and start_next t =
                 (Keys.view_deletion view ~contents:(t.ctx.view_contents ())
                    ~source:i ~key))
             deletes;
+          let span =
+            if Obs.active t.ctx.obs then
+              Obs.span t.ctx.obs "c-strobe.txn"
+                [ ("txn",
+                   Tracer.S
+                     (Format.asprintf "%a" Message.pp_txn_id
+                        entry.update.Message.txn)) ]
+            else Tracer.none
+          in
           let cur =
             { entry; jobs = []; spawned = Hashtbl.create 32; answer = None;
               killed = Hashtbl.create 8; kills = []; finished = false;
-              delete_view_delta }
+              delete_view_delta; span }
           in
           t.current <- Some cur;
           if Delta.is_empty inserts then begin
@@ -215,6 +244,11 @@ and start_next t =
             let job =
               make_job t ~pins:[ (i, inserts) ] ~pin_ids:[ entry.arrival ]
             in
+            if Obs.active t.ctx.obs then
+              job.span <-
+                Obs.span t.ctx.obs ~parent:cur.span "job"
+                  [ ("qid", Tracer.I job.qid);
+                    ("pins", Tracer.I 1) ];
             Hashtbl.replace cur.spawned [ entry.arrival ] ();
             cur.jobs <- [ job ];
             advance t cur job
@@ -228,6 +262,8 @@ let on_answer t msg =
       match List.find_opt (fun job -> job.qid = qid) cur.jobs with
       | Some job when job.outstanding = j ->
           job.outstanding <- -1;
+          Obs.finish t.ctx.obs job.leg;
+          job.leg <- Tracer.none;
           job.dv <- partial;
           advance t cur job
       | Some _ | None ->
@@ -264,7 +300,7 @@ let job_of_snap s =
             (Snap.to_list pins);
         pin_ids = Snap.to_ints pin_ids; dv = Snap.to_partial dv;
         pending = Snap.to_ints pending; outstanding = Snap.to_int outstanding;
-        qid = Snap.to_int qid }
+        qid = Snap.to_int qid; span = Tracer.none; leg = Tracer.none }
   | _ -> invalid_arg "C_strobe: malformed job snapshot"
 
 (* Canonical hashtable dumps: spawned pin-id sets and killed arrivals
@@ -309,7 +345,8 @@ let current_of_snap s =
               | [ src; key ] -> (Snap.to_int src, Snap.to_tuple key)
               | _ -> invalid_arg "C_strobe: malformed kill snapshot")
             (Snap.to_list kills);
-        finished = Snap.to_bool finished; delete_view_delta = Snap.to_delta dvd }
+        finished = Snap.to_bool finished;
+        delete_view_delta = Snap.to_delta dvd; span = Tracer.none }
   | _ -> invalid_arg "C_strobe: malformed current snapshot"
 
 let snapshot t = Snap.option snap_of_current t.current

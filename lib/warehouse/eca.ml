@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 let name = "eca"
 
@@ -8,6 +10,8 @@ type pending = {
   entry : Update_queue.entry;
   terms : Message.eca_term list;
   qid : int;
+  (* volatile span id: never checkpointed, [Tracer.none] after restore *)
+  span : Tracer.id;
 }
 
 type t = { ctx : Algorithm.ctx; mutable pending : pending list }
@@ -41,7 +45,17 @@ let on_update t (entry : Update_queue.entry) =
   let qid = t.ctx.fresh_qid () in
   trace t "eca: query %d with %d terms for %a" qid (List.length terms)
     Message.pp_txn_id entry.update.Message.txn;
-  t.pending <- t.pending @ [ { entry; terms; qid } ];
+  let span =
+    if Obs.active t.ctx.obs then
+      Obs.span t.ctx.obs "eca.txn"
+        [ ("txn",
+           Tracer.S
+             (Format.asprintf "%a" Message.pp_txn_id entry.update.Message.txn));
+          ("terms", Tracer.I (List.length terms));
+          ("qid", Tracer.I qid) ]
+    else Tracer.none
+  in
+  t.pending <- t.pending @ [ { entry; terms; qid; span } ];
   (* The centralized site is addressed as source 0 by convention. *)
   t.ctx.send 0 (Message.Eca_query { qid; terms })
 
@@ -55,7 +69,8 @@ let on_answer t msg =
       | Some p ->
           t.pending <- List.filter (fun p' -> p'.qid <> qid) t.pending;
           let view_delta = Algebra.select_project t.ctx.view partial in
-          t.ctx.install view_delta ~txns:[ p.entry ])
+          t.ctx.install view_delta ~txns:[ p.entry ];
+          Obs.finish t.ctx.obs p.span)
   | Message.Answer _ | Message.Snapshot _ | Message.Update_notice _ ->
       invalid_arg "Eca.on_answer: unexpected message kind"
 
@@ -87,7 +102,7 @@ let pending_of_snap s =
   | [ entry; terms; qid ] ->
       { entry = Algorithm.entry_of_snap entry;
         terms = List.map term_of_snap (Snap.to_list terms);
-        qid = Snap.to_int qid }
+        qid = Snap.to_int qid; span = Tracer.none }
   | _ -> invalid_arg "Eca: malformed pending snapshot"
 
 let snapshot t = Snap.List (List.map snap_of_pending t.pending)

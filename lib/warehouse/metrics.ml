@@ -57,6 +57,43 @@ let queries_per_update t =
   if t.updates_incorporated = 0 then 0.
   else float_of_int t.queries_sent /. float_of_int t.updates_incorporated
 
+(* Canonical flat export for the observability registry / BENCH.json.
+   Order is the declaration order above; derived means go last. *)
+let fields t : (string * [ `Int of int | `Float of float ]) list =
+  [ ("updates_received", `Int t.updates_received);
+    ("updates_incorporated", `Int t.updates_incorporated);
+    ("queries_sent", `Int t.queries_sent);
+    ("answers_received", `Int t.answers_received);
+    ("query_weight", `Int t.query_weight);
+    ("answer_weight", `Int t.answer_weight);
+    ("notice_weight", `Int t.notice_weight);
+    ("installs", `Int t.installs);
+    ("compensations", `Int t.compensations);
+    ("recursions", `Int t.recursions);
+    ("fallbacks", `Int t.fallbacks);
+    ("max_depth", `Int t.max_depth);
+    ("max_queue", `Int t.max_queue);
+    ("negative_installs", `Int t.negative_installs);
+    ("staleness_sum", `Float t.staleness_sum);
+    ("staleness_max", `Float t.staleness_max);
+    ("retransmissions", `Int t.retransmissions);
+    ("timeouts", `Int t.timeouts);
+    ("duplicates_suppressed", `Int t.duplicates_suppressed);
+    ("recoveries", `Int t.recoveries);
+    ("frames_lost", `Int t.frames_lost);
+    ("wh_crashes", `Int t.wh_crashes);
+    ("wal_records", `Int t.wal_records);
+    ("wal_bytes", `Int t.wal_bytes);
+    ("checkpoints", `Int t.checkpoints);
+    ("checkpoint_bytes", `Int t.checkpoint_bytes);
+    ("replayed_records", `Int t.replayed_records);
+    ("recovery_seconds", `Float t.recovery_seconds);
+    ("snapshots_fetched", `Int t.snapshots_fetched);
+    ("queue_deferred", `Int t.queue_deferred);
+    ("queue_shed", `Int t.queue_shed);
+    ("mean_staleness", `Float (mean_staleness t));
+    ("queries_per_update", `Float (queries_per_update t)) ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>updates: %d received, %d incorporated in %d installs@,\

@@ -53,4 +53,8 @@ val mean_staleness : t -> float
     update). *)
 val queries_per_update : t -> float
 
+(** Canonical flat export (declaration order, derived means last) for
+    the observability registry and BENCH.json. *)
+val fields : t -> (string * [ `Int of int | `Float of float ]) list
+
 val pp : Format.formatter -> t -> unit

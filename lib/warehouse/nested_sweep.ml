@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 (* One activation of the recursive ViewChange(ΔR, left, src, right).
    [pending] lists the sources this frame still has to query, left sweep
@@ -16,6 +18,9 @@ type frame = {
   mutable pending : int list;
   mutable outstanding : int;
   qid : int;
+  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
+  mutable span : Tracer.id;
+  mutable leg : Tracer.id;
 }
 
 type state = {
@@ -38,7 +43,7 @@ let make_frame ctx ~entries ~left ~src ~right =
   let dv = Partial.of_source_delta ctx.Algorithm.view src merged in
   { entries; left; src; right; dv; temp = dv;
     pending = frame_order ~left ~src ~right; outstanding = -1;
-    qid = ctx.Algorithm.fresh_qid () }
+    qid = ctx.Algorithm.fresh_qid (); span = Tracer.none; leg = Tracer.none }
 
 module Make (Cfg : sig
   val max_depth : int
@@ -65,6 +70,11 @@ struct
             frame.pending <- rest;
             frame.outstanding <- j;
             frame.temp <- frame.dv;
+            frame.leg <-
+              (if Obs.active t.ctx.obs then
+                 Obs.span t.ctx.obs ~parent:frame.span "query"
+                   [ ("source", Tracer.I j); ("qid", Tracer.I frame.qid) ]
+               else Tracer.none);
             t.ctx.send j
               (Message.Sweep_query
                  { qid = frame.qid; target = j;
@@ -78,6 +88,7 @@ struct
                 parent.dv <- Partial.add parent.dv frame.dv;
                 trace t "frame for src %d returns to src %d" frame.src
                   parent.src;
+                Obs.finish t.ctx.obs frame.span;
                 advance t
             | [] ->
                 let view_delta = Algebra.select_project t.ctx.view frame.dv in
@@ -87,6 +98,7 @@ struct
                 trace t "install batch of %d update(s): %a" (List.length txns)
                   Delta.pp view_delta;
                 t.ctx.install view_delta ~txns;
+                Obs.finish t.ctx.obs frame.span;
                 start_next t))
 
   and start_next t =
@@ -104,6 +116,13 @@ struct
             in
             trace t "ViewChange(%a, 0, %d, %d) begins" Message.pp_txn_id
               entry.update.Message.txn i (n - 1);
+            if Obs.active t.ctx.obs then
+              frame.span <-
+                Obs.span t.ctx.obs (name ^ ".txn")
+                  [ ("txn",
+                     Tracer.S
+                       (Format.asprintf "%a" Message.pp_txn_id
+                          entry.update.Message.txn)) ];
             t.stack <- [ frame ];
             t.batch <- [ entry ];
             advance t)
@@ -115,6 +134,8 @@ struct
     | Message.Answer { qid; source = j; partial }, frame :: _
       when qid = frame.qid && j = frame.outstanding ->
         frame.outstanding <- -1;
+        Obs.finish t.ctx.obs frame.leg;
+        frame.leg <- Tracer.none;
         let interfering = Update_queue.from_source t.ctx.queue j in
         (match interfering with
         | [] -> frame.dv <- partial
@@ -126,6 +147,10 @@ struct
             in
             t.ctx.metrics.Metrics.compensations <-
               t.ctx.metrics.Metrics.compensations + 1;
+            if Obs.active t.ctx.obs then
+              Obs.event t.ctx.obs ~span:frame.span "compensate"
+                [ ("source", Tracer.I j);
+                  ("interfering", Tracer.I (List.length interfering)) ];
             frame.dv <-
               Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
                 ~temp:frame.temp;
@@ -136,7 +161,10 @@ struct
               t.ctx.metrics.Metrics.fallbacks <-
                 t.ctx.metrics.Metrics.fallbacks + 1;
               trace t "depth limit: leaving %d update(s) from %d queued"
-                (List.length interfering) j
+                (List.length interfering) j;
+              if Obs.active t.ctx.obs then
+                Obs.event t.ctx.obs ~span:frame.span "fallback"
+                  [ ("source", Tracer.I j); ("depth", Tracer.I depth) ]
             end
             else begin
               let absorbed = Update_queue.take_from_source t.ctx.queue j in
@@ -160,6 +188,13 @@ struct
                 t.ctx.metrics.Metrics.max_depth <- new_depth;
               trace t "recurse: ViewChange(ΔR%d, %d, %d, %d) at depth %d" j
                 child.left child.src child.right new_depth;
+              if Obs.active t.ctx.obs then
+                child.span <-
+                  Obs.span t.ctx.obs ~parent:frame.span "frame"
+                    [ ("src", Tracer.I child.src);
+                      ("left", Tracer.I child.left);
+                      ("right", Tracer.I child.right);
+                      ("depth", Tracer.I new_depth) ];
               t.stack <- child :: t.stack
             end);
         advance t
@@ -193,7 +228,8 @@ struct
         { entries = List.map Algorithm.entry_of_snap (Snap.to_list entries);
           left; src; right; dv = Snap.to_partial dv;
           temp = Snap.to_partial temp; pending = Snap.to_ints pending;
-          outstanding = Snap.to_int outstanding; qid = Snap.to_int qid }
+          outstanding = Snap.to_int outstanding; qid = Snap.to_int qid;
+          span = Tracer.none; leg = Tracer.none }
     | _ -> invalid_arg "nested-sweep: malformed frame snapshot"
 
   let snapshot t =

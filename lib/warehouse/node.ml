@@ -2,6 +2,8 @@ open Repro_relational
 open Repro_sim
 open Repro_protocol
 open Repro_durability
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 type install_record = {
   at : float;
@@ -21,6 +23,7 @@ type t = {
   queue : Update_queue.t;
   record_history : bool;
   trace : Trace.t;
+  obs : Obs.t;
   store : Store.t option;
   mutable next_qid : int;
   mutable replaying : bool;
@@ -50,7 +53,10 @@ let wire t =
       t.metrics.Metrics.query_weight <-
         t.metrics.Metrics.query_weight + Message.weight_to_source msg;
       Trace.emit t.trace ~time:(Engine.now t.engine) ~who:"warehouse" "send %a"
-        Message.pp_to_source msg
+        Message.pp_to_source msg;
+      if Obs.active t.obs then
+        Obs.observe t.obs "query_weight"
+          (float_of_int (Message.weight_to_source msg))
     end;
     t.send i msg
   in
@@ -85,8 +91,15 @@ let wire t =
       let now = Engine.now t.engine in
       List.iter
         (fun e ->
-          Metrics.note_staleness t.metrics (now -. e.Update_queue.arrived_at))
+          Metrics.note_staleness t.metrics (now -. e.Update_queue.arrived_at);
+          if Obs.active t.obs then
+            Obs.observe t.obs "staleness" (now -. e.Update_queue.arrived_at))
         txns;
+      if Obs.active t.obs then
+        Obs.event t.obs "install"
+          [ ("txns", Tracer.I (List.length txns));
+            ("weight", Tracer.I (Delta.weight delta));
+            ("negative", Tracer.B negative) ];
       if t.record_history then
         t.rev_installs <-
           { at = now;
@@ -99,7 +112,7 @@ let wire t =
         (List.rev t.rev_incorporate_listeners)
     end
   in
-  { Algorithm.engine = t.engine; view = t.view; trace = t.trace;
+  { Algorithm.engine = t.engine; view = t.view; trace = t.trace; obs = t.obs;
     metrics = t.metrics; queue = t.queue; send = instrumented_send; install;
     view_contents = (fun () -> t.data);
     fresh_qid =
@@ -108,13 +121,14 @@ let wire t =
         t.next_qid) }
 
 let create engine ~view ~algorithm ~send ~init ?durability ?metrics
-    ?queue_capacity ?(record_history = true) ?(trace = Trace.create ()) () =
+    ?queue_capacity ?(record_history = true) ?(trace = Trace.create ())
+    ?(obs = Obs.disabled ()) () =
   let data = Bag.copy (Relation.as_bag init) in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let t =
     { engine; view; algorithm; send; data; initial = Bag.copy data; metrics;
       queue = Update_queue.create ?capacity:queue_capacity ();
-      record_history; trace; store = durability; next_qid = 0;
+      record_history; trace; obs; store = durability; next_qid = 0;
       replaying = false; replay_installs = Queue.create (); algo = None;
       rev_installs = []; rev_deliveries = []; rev_listeners = [];
       rev_incorporate_listeners = [] }
@@ -172,8 +186,17 @@ let handle_update t update ~arrived_at =
     t.rev_deliveries <- update :: t.rev_deliveries
   end;
   let entry = Update_queue.append t.queue update ~arrived_at in
-  if not t.replaying then
+  if not t.replaying then begin
     Metrics.note_queue_length t.metrics (Update_queue.length t.queue);
+    if Obs.active t.obs then begin
+      Obs.observe t.obs "queue_length"
+        (float_of_int (Update_queue.length t.queue));
+      Obs.event t.obs "update.delivered"
+        [ ("txn", Tracer.S (Format.asprintf "%a" Message.pp_txn_id
+                              update.Message.txn));
+          ("weight", Tracer.I (Delta.weight update.Message.delta)) ]
+    end
+  end;
   Algorithm.packed_on_update (algo t) entry
 
 let handle_answer t msg =
@@ -182,6 +205,9 @@ let handle_answer t msg =
       t.metrics.Metrics.answers_received + 1;
     t.metrics.Metrics.answer_weight <-
       t.metrics.Metrics.answer_weight + Message.weight_to_warehouse msg;
+    if Obs.active t.obs then
+      Obs.observe t.obs "answer_weight"
+        (float_of_int (Message.weight_to_warehouse msg));
     match msg with
     | Message.Snapshot _ ->
         t.metrics.Metrics.snapshots_fetched <-
@@ -218,6 +244,7 @@ let deliver t msg =
 
 let begin_replay t =
   Queue.clear t.replay_installs;
+  Obs.mute t.obs;
   t.replaying <- true
 
 let replay_record t record =
@@ -238,6 +265,7 @@ let replay_record t record =
 let end_replay t =
   if not (Queue.is_empty t.replay_installs) then
     invalid_arg "Node.end_replay: replay produced unlogged installs";
+  Obs.unmute t.obs;
   t.replaying <- false
 
 (* ————— checkpoint capture ————— *)
@@ -262,6 +290,7 @@ let add_incorporate_listener t f =
   t.rev_incorporate_listeners <- f :: t.rev_incorporate_listeners
 
 let view_contents t = t.data
+let obs t = t.obs
 let metrics t = t.metrics
 let queue t = t.queue
 let algorithm_name t = Algorithm.packed_name (algo t)

@@ -44,7 +44,10 @@ type t
     checkpoint store; [metrics] lets the caller supply the counter record
     (so it can survive crash/recovery); [queue_capacity] bounds the update
     queue (admission control must hold updates back — see
-    {!Update_queue.create}). *)
+    {!Update_queue.create}); [obs] attaches structured spans + latency
+    histograms (a disabled handle by default — one branch per emission).
+    Observability is muted during WAL replay: replayed work was already
+    observed before the crash. *)
 val create :
   Engine.t ->
   view:View_def.t ->
@@ -56,6 +59,7 @@ val create :
   ?queue_capacity:int ->
   ?record_history:bool ->
   ?trace:Trace.t ->
+  ?obs:Repro_observability.Obs.t ->
   unit ->
   t
 
@@ -109,6 +113,11 @@ val add_incorporate_listener : t -> (int -> unit) -> unit
 val view_contents : t -> Bag.t
 
 val metrics : t -> Metrics.t
+
+(** The structured-observability handle passed at {!create} (a disabled
+    one when none was). *)
+val obs : t -> Repro_observability.Obs.t
+
 val queue : t -> Update_queue.t
 val algorithm_name : t -> string
 

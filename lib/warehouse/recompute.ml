@@ -1,5 +1,7 @@
 open Repro_relational
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 let name = "recompute"
 
@@ -8,6 +10,8 @@ type job = {
   snapshots : Relation.t option array;
   mutable missing : int;
   qid : int;
+  (* volatile span id: never checkpointed, [Tracer.none] after restore *)
+  mutable span : Tracer.id;
 }
 
 type t = { ctx : Algorithm.ctx; mutable current : job option }
@@ -22,12 +26,25 @@ let rec start_next t =
       | None -> ()
       | Some entry ->
           let n = View_def.n_sources t.ctx.view in
+          let span =
+            if Obs.active t.ctx.obs then
+              Obs.span t.ctx.obs "recompute.txn"
+                [ ("txn",
+                   Tracer.S
+                     (Format.asprintf "%a" Message.pp_txn_id
+                        entry.update.Message.txn));
+                  ("sources", Tracer.I n) ]
+            else Tracer.none
+          in
           let job =
             { entry; snapshots = Array.make n None; missing = n;
-              qid = t.ctx.fresh_qid () }
+              qid = t.ctx.fresh_qid (); span }
           in
           t.current <- Some job;
           for j = 0 to n - 1 do
+            if Obs.active t.ctx.obs then
+              Obs.event t.ctx.obs ~span:job.span "fetch"
+                [ ("source", Tracer.I j); ("qid", Tracer.I job.qid) ];
             t.ctx.send j (Message.Fetch { qid = job.qid; target = j })
           done)
 
@@ -43,6 +60,7 @@ and finish t job =
   Bag.diff_into ~into:delta current;
   t.current <- None;
   t.ctx.install delta ~txns:[ job.entry ];
+  Obs.finish t.ctx.obs job.span;
   start_next t
 
 let on_update t (_ : Update_queue.entry) = start_next t
@@ -53,7 +71,11 @@ let on_answer t msg =
       (match job.snapshots.(source) with
       | None ->
           job.snapshots.(source) <- Some relation;
-          job.missing <- job.missing - 1
+          job.missing <- job.missing - 1;
+          if Obs.active t.ctx.obs then
+            Obs.event t.ctx.obs ~span:job.span "snapshot"
+              [ ("source", Tracer.I source);
+                ("missing", Tracer.I job.missing) ]
       | Some _ -> invalid_arg "Recompute.on_answer: duplicate snapshot");
       if job.missing = 0 then finish t job
   | Message.Snapshot { qid; _ }, _ ->
@@ -92,7 +114,7 @@ let job_of_snap s =
           0 snapshots
       in
       { entry = Algorithm.entry_of_snap entry; snapshots; missing;
-        qid = Snap.to_int qid }
+        qid = Snap.to_int qid; span = Tracer.none }
   | _ -> invalid_arg "Recompute: malformed job snapshot"
 
 let snapshot t = Snap.option snap_of_job t.current

@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 let name = "strobe"
 
@@ -18,6 +20,9 @@ type query = {
   (* key-deletes delivered while this query was in flight *)
   mutable kill_keys : (int * Tuple.t) list;
   qid : int;
+  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
+  mutable span : Tracer.id;
+  mutable leg : Tracer.id;
 }
 
 type t = {
@@ -69,6 +74,9 @@ let flush t =
     t.rev_al <- [];
     t.batch <- [];
     trace t "strobe: flush AL (%d txns)" (List.length txns);
+    if Obs.active t.ctx.obs then
+      Obs.event t.ctx.obs "strobe.flush"
+        [ ("txns", Tracer.I (List.length txns)) ];
     t.ctx.install delta ~txns
   end
 
@@ -79,6 +87,11 @@ let advance t q =
   | j :: rest ->
       q.pending <- rest;
       q.outstanding <- j;
+      q.leg <-
+        (if Obs.active t.ctx.obs then
+           Obs.span t.ctx.obs ~parent:q.span "query"
+             [ ("source", Tracer.I j); ("qid", Tracer.I q.qid) ]
+         else Tracer.none);
       t.ctx.send j
         (Message.Sweep_query
            { qid = q.qid; target = j; partial = Partial.copy q.dv })
@@ -94,6 +107,7 @@ let advance t q =
         q.kill_keys;
       t.uqs <- List.filter (fun q' -> q'.qid <> q.qid) t.uqs;
       t.rev_al <- Ins { full } :: t.rev_al;
+      Obs.finish t.ctx.obs q.span;
       maybe_flush t
 
 let on_update t (entry : Update_queue.entry) =
@@ -117,10 +131,19 @@ let on_update t (entry : Update_queue.entry) =
   (* Inserts: launch a query over the other sources. *)
   if not (Delta.is_empty inserts) then begin
     let n = View_def.n_sources t.ctx.view in
+    let span =
+      if Obs.active t.ctx.obs then
+        Obs.span t.ctx.obs "strobe.txn"
+          [ ("txn",
+             Tracer.S
+               (Format.asprintf "%a" Message.pp_txn_id
+                  entry.update.Message.txn)) ]
+      else Tracer.none
+    in
     let q =
       { entry; dv = Partial.of_source_delta t.ctx.view i inserts;
         pending = Sweep.sweep_order ~n ~i; outstanding = -1;
-        kill_keys = []; qid = t.ctx.fresh_qid () }
+        kill_keys = []; qid = t.ctx.fresh_qid (); span; leg = Tracer.none }
     in
     t.uqs <- t.uqs @ [ q ];
     advance t q
@@ -133,6 +156,8 @@ let on_answer t msg =
       match List.find_opt (fun q -> q.qid = qid) t.uqs with
       | Some q when q.outstanding = j ->
           q.outstanding <- -1;
+          Obs.finish t.ctx.obs q.leg;
+          q.leg <- Tracer.none;
           q.dv <- partial;
           advance t q
       | Some _ | None ->
@@ -181,7 +206,7 @@ let query_of_snap s =
               | [ source; key ] -> (Snap.to_int source, Snap.to_tuple key)
               | _ -> invalid_arg "Strobe: malformed kill key snapshot")
             (Snap.to_list kill_keys);
-        qid = Snap.to_int qid }
+        qid = Snap.to_int qid; span = Tracer.none; leg = Tracer.none }
   | _ -> invalid_arg "Strobe: malformed query snapshot"
 
 let snapshot t =

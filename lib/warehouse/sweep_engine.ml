@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 module type POLICY = sig
   val name : string
@@ -31,6 +33,10 @@ module Make (P : POLICY) = struct
     mutable outstanding : int;
     mutable pending : int list;
     qid : int;
+    (* span ids are volatile: never checkpointed, [Tracer.none] after a
+       crash restore (recovery truncates the span tree). *)
+    mutable span : Tracer.id;
+    mutable leg : Tracer.id;
   }
 
   type t = {
@@ -55,6 +61,11 @@ module Make (P : POLICY) = struct
             vc.pending <- rest;
             vc.outstanding <- j;
             vc.temp <- vc.dv;
+            vc.leg <-
+              (if Obs.active t.ctx.obs then
+                 Obs.span t.ctx.obs ~parent:vc.span "query"
+                   [ ("source", Tracer.I j); ("qid", Tracer.I vc.qid) ]
+               else Tracer.none);
             t.ctx.send j
               (Message.Sweep_query
                  { qid = vc.qid; target = j; partial = Partial.copy vc.dv })
@@ -64,6 +75,7 @@ module Make (P : POLICY) = struct
               vc.entry.update.Message.txn Delta.pp view_delta;
             t.current <- None;
             P.on_complete t.ctx t.extra view_delta vc.entry;
+            Obs.finish t.ctx.obs vc.span;
             start_next t)
 
   (* The UpdateView process of Fig. 4: take the oldest queued update and
@@ -80,9 +92,19 @@ module Make (P : POLICY) = struct
             let dv =
               Partial.of_source_delta t.ctx.view i entry.update.Message.delta
             in
+            let span =
+              if Obs.active t.ctx.obs then
+                Obs.span t.ctx.obs (P.name ^ ".txn")
+                  [ ("txn",
+                     Tracer.S
+                       (Format.asprintf "%a" Message.pp_txn_id
+                          entry.update.Message.txn)) ]
+              else Tracer.none
+            in
             let vc =
               { entry; dv; temp = dv; outstanding = -1;
-                pending = Sweep_order.order ~n ~i; qid = t.ctx.fresh_qid () }
+                pending = Sweep_order.order ~n ~i; qid = t.ctx.fresh_qid ();
+                span; leg = Tracer.none }
             in
             t.current <- Some vc;
             advance t)
@@ -94,6 +116,8 @@ module Make (P : POLICY) = struct
     | Message.Answer { qid; source = j; partial }, Some vc
       when qid = vc.qid && j = vc.outstanding ->
         vc.outstanding <- -1;
+        Obs.finish t.ctx.obs vc.leg;
+        vc.leg <- Tracer.none;
         (* On-line error correction (paper §4): any update from j still in
            the queue was applied at j before our query was evaluated. *)
         let interfering =
@@ -111,6 +135,10 @@ module Make (P : POLICY) = struct
               t.ctx.metrics.Metrics.compensations + 1;
             trace t "compensate answer from %d for %d interfering update(s)" j
               (List.length interfering);
+            if Obs.active t.ctx.obs then
+              Obs.event t.ctx.obs ~span:vc.span "compensate"
+                [ ("source", Tracer.I j);
+                  ("interfering", Tracer.I (List.length interfering)) ];
             vc.dv <-
               Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
                 ~temp:vc.temp);
@@ -139,7 +167,8 @@ module Make (P : POLICY) = struct
     | [ entry; dv; temp; outstanding; pending; qid ] ->
         { entry = Algorithm.entry_of_snap entry; dv = Snap.to_partial dv;
           temp = Snap.to_partial temp; outstanding = Snap.to_int outstanding;
-          pending = Snap.to_ints pending; qid = Snap.to_int qid }
+          pending = Snap.to_ints pending; qid = Snap.to_int qid;
+          span = Tracer.none; leg = Tracer.none }
     | _ -> invalid_arg (P.name ^ ": malformed view-change snapshot")
 
   let snapshot t =

@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 let name = "sweep-parallel"
 
@@ -13,6 +15,9 @@ type side = {
   mutable pending : int list;
   mutable outstanding : int;
   mutable finished : bool;
+  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
+  mutable span : Tracer.id;
+  mutable leg : Tracer.id;
 }
 
 type view_change = {
@@ -20,6 +25,7 @@ type view_change = {
   src : int;
   left : side;
   right : side;
+  mutable span : Tracer.id;  (* volatile, like the sides' *)
 }
 
 type t = { ctx : Algorithm.ctx; mutable current : view_change option }
@@ -36,10 +42,17 @@ let advance_side t side =
       side.pending <- rest;
       side.outstanding <- j;
       side.temp <- side.dv;
+      side.leg <-
+        (if Obs.active t.ctx.obs then
+           Obs.span t.ctx.obs ~parent:side.span "query"
+             [ ("source", Tracer.I j); ("qid", Tracer.I side.qid) ]
+         else Tracer.none);
       t.ctx.send j
         (Message.Sweep_query
            { qid = side.qid; target = j; partial = Partial.copy side.dv })
-  | [] -> side.finished <- true
+  | [] ->
+      if not side.finished then Obs.finish t.ctx.obs side.span;
+      side.finished <- true
 
 let rec maybe_finish t =
   match t.current with
@@ -55,6 +68,7 @@ let rec maybe_finish t =
         vc.entry.update.Message.txn Delta.pp view_delta;
       t.current <- None;
       t.ctx.install view_delta ~txns:[ vc.entry ];
+      Obs.finish t.ctx.obs vc.span;
       start_next t
   | Some _ | None -> ()
 
@@ -73,19 +87,38 @@ and start_next t =
               dv = Partial.of_source_delta t.ctx.view i delta;
               temp = Partial.of_source_delta t.ctx.view i delta;
               pending = List.init i (fun k -> i - 1 - k);
-              outstanding = -1; finished = false }
+              outstanding = -1; finished = false; span = Tracer.none;
+              leg = Tracer.none }
           in
           let right =
             { qid = t.ctx.fresh_qid ();
               dv = Partial.of_source_delta t.ctx.view i (Delta.distinct delta);
               temp = Partial.of_source_delta t.ctx.view i (Delta.distinct delta);
               pending = List.init (n - 1 - i) (fun k -> i + 1 + k);
-              outstanding = -1; finished = false }
+              outstanding = -1; finished = false; span = Tracer.none;
+              leg = Tracer.none }
           in
           trace t "parallel ViewChange(%a): left %d hops, right %d hops"
             Message.pp_txn_id entry.update.Message.txn i
             (n - 1 - i);
-          t.current <- Some { entry; src = i; left; right };
+          let span =
+            if Obs.active t.ctx.obs then
+              Obs.span t.ctx.obs "sweep-parallel.txn"
+                [ ("txn",
+                   Tracer.S
+                     (Format.asprintf "%a" Message.pp_txn_id
+                        entry.update.Message.txn)) ]
+            else Tracer.none
+          in
+          if Obs.active t.ctx.obs then begin
+            left.span <-
+              Obs.span t.ctx.obs ~parent:span "left"
+                [ ("hops", Tracer.I i) ];
+            right.span <-
+              Obs.span t.ctx.obs ~parent:span "right"
+                [ ("hops", Tracer.I (n - 1 - i)) ]
+          end;
+          t.current <- Some { entry; src = i; left; right; span };
           advance_side t left;
           advance_side t right;
           maybe_finish t)
@@ -99,6 +132,8 @@ let on_answer t msg =
          || (qid = vc.right.qid && j = vc.right.outstanding) ->
       let side = if qid = vc.left.qid then vc.left else vc.right in
       side.outstanding <- -1;
+      Obs.finish t.ctx.obs side.leg;
+      side.leg <- Tracer.none;
       let interfering = Update_queue.from_source t.ctx.queue j in
       (match interfering with
       | [] -> side.dv <- partial
@@ -110,6 +145,10 @@ let on_answer t msg =
           in
           t.ctx.metrics.Metrics.compensations <-
             t.ctx.metrics.Metrics.compensations + 1;
+          if Obs.active t.ctx.obs then
+            Obs.event t.ctx.obs ~span:side.span "compensate"
+              [ ("source", Tracer.I j);
+                ("interfering", Tracer.I (List.length interfering)) ];
           side.dv <-
             Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
               ~temp:side.temp);
@@ -139,7 +178,8 @@ let side_of_snap s =
       { qid = Snap.to_int qid; dv = Snap.to_partial dv;
         temp = Snap.to_partial temp; pending = Snap.to_ints pending;
         outstanding = Snap.to_int outstanding;
-        finished = Snap.to_bool finished }
+        finished = Snap.to_bool finished; span = Tracer.none;
+        leg = Tracer.none }
   | _ -> invalid_arg "Sweep_parallel: malformed side snapshot"
 
 let snap_of_vc vc =
@@ -151,7 +191,8 @@ let vc_of_snap s =
   match Snap.to_list s with
   | [ entry; src; left; right ] ->
       { entry = Algorithm.entry_of_snap entry; src = Snap.to_int src;
-        left = side_of_snap left; right = side_of_snap right }
+        left = side_of_snap left; right = side_of_snap right;
+        span = Tracer.none }
   | _ -> invalid_arg "Sweep_parallel: malformed snapshot"
 
 let snapshot t = Snap.option snap_of_vc t.current

@@ -1,6 +1,8 @@
 open Repro_relational
 open Repro_sim
 open Repro_protocol
+module Obs = Repro_observability.Obs
+module Tracer = Repro_observability.Tracer
 
 type vc = {
   entry : Update_queue.entry;
@@ -10,6 +12,9 @@ type vc = {
   mutable outstanding : int;
   mutable completed : bool;  (* swept, awaiting in-order install *)
   qid : int;
+  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
+  mutable span : Tracer.id;
+  mutable leg : Tracer.id;
 }
 
 type state = {
@@ -42,6 +47,11 @@ struct
         vc.pending <- rest;
         vc.outstanding <- j;
         vc.temp <- vc.dv;
+        vc.leg <-
+          (if Obs.active t.ctx.obs then
+             Obs.span t.ctx.obs ~parent:vc.span "query"
+               [ ("source", Tracer.I j); ("qid", Tracer.I vc.qid) ]
+           else Tracer.none);
         t.ctx.send j
           (Message.Sweep_query
              { qid = vc.qid; target = j; partial = Partial.copy vc.dv })
@@ -57,6 +67,7 @@ struct
           vc.entry.update.Message.txn;
         t.pipeline <- rest;
         t.ctx.install view_delta ~txns:[ vc.entry ];
+        Obs.finish t.ctx.obs vc.span;
         drain_and_refill t
     | _ -> refill t)
 
@@ -70,10 +81,20 @@ struct
           let dv =
             Partial.of_source_delta t.ctx.view i entry.update.Message.delta
           in
+          let span =
+            if Obs.active t.ctx.obs then
+              Obs.span t.ctx.obs (name ^ ".txn")
+                [ ("txn",
+                   Tracer.S
+                     (Format.asprintf "%a" Message.pp_txn_id
+                        entry.update.Message.txn));
+                  ("depth", Tracer.I (List.length t.pipeline + 1)) ]
+            else Tracer.none
+          in
           let vc =
             { entry; dv; temp = dv; pending = Sweep.sweep_order ~n ~i;
               outstanding = -1; completed = false;
-              qid = t.ctx.fresh_qid () }
+              qid = t.ctx.fresh_qid (); span; leg = Tracer.none }
           in
           trace t "pipelined ViewChange(%a) begins (depth %d)"
             Message.pp_txn_id entry.update.Message.txn
@@ -118,11 +139,16 @@ struct
         with
         | Some vc ->
             vc.outstanding <- -1;
+            Obs.finish t.ctx.obs vc.leg;
+            vc.leg <- Tracer.none;
             (match interfering_deltas t vc j with
             | [] -> vc.dv <- partial
             | deltas ->
                 t.ctx.metrics.Metrics.compensations <-
                   t.ctx.metrics.Metrics.compensations + 1;
+                if Obs.active t.ctx.obs then
+                  Obs.event t.ctx.obs ~span:vc.span "compensate"
+                    [ ("source", Tracer.I j) ];
                 vc.dv <-
                   Algebra.compensate t.ctx.view ~answer:partial
                     ~interfering:(Delta.sum deltas) ~temp:vc.temp);
@@ -152,7 +178,8 @@ struct
         { entry = Algorithm.entry_of_snap entry; dv = Snap.to_partial dv;
           temp = Snap.to_partial temp; pending = Snap.to_ints pending;
           outstanding = Snap.to_int outstanding;
-          completed = Snap.to_bool completed; qid = Snap.to_int qid }
+          completed = Snap.to_bool completed; qid = Snap.to_int qid;
+          span = Tracer.none; leg = Tracer.none }
     | _ -> invalid_arg "Sweep_pipelined: malformed snapshot"
 
   let snapshot t = Snap.List (List.map snap_of_vc t.pipeline)

@@ -33,4 +33,5 @@ let () =
       ("matrix", Test_matrix.suite);
       ("more-properties", Test_more_properties.suite);
       ("analytic", Test_analytic.suite);
+      ("observability", Test_observability.suite);
       ("experiments-smoke", Test_experiments_smoke.suite) ]
