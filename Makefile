@@ -1,4 +1,4 @@
-.PHONY: all build test faults recover bench bench-json examples doc clean
+.PHONY: all build test faults recover bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -25,6 +25,19 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- micro --json-out BENCH.json --scale 0.2
 	dune exec bin/bench_check.exe -- BENCH.json
+
+# Like bench-json, but additionally compare against the most recent
+# committed BENCH_<n>.json and fail on a >25% regression in
+# messages-per-update or staleness p99 (both deterministic per seed;
+# wall-clock figures are never gated).
+bench-compare:
+	dune exec bench/main.exe -- micro --json-out BENCH.json --scale 0.2
+	baseline=$$(ls BENCH_[0-9]*.json 2>/dev/null | sort -V | tail -1); \
+	if [ -n "$$baseline" ]; then \
+	  dune exec bin/bench_check.exe -- BENCH.json --against $$baseline; \
+	else \
+	  dune exec bin/bench_check.exe -- BENCH.json; \
+	fi
 
 examples:
 	for e in quickstart figure5_walkthrough retail_warehouse \

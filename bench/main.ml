@@ -88,6 +88,40 @@ let micro_tests () =
                 ~probe:(fun ~col ~value ->
                   Repro_source.Base_table.probe tbl ~col ~value))))
   in
+  let bench_sim_round_batched =
+    (* tight gaps so the queue actually builds up and sweeps amortize *)
+    Test.make ~name:"simulated batched-SWEEP run (3 sources, 10 updates)"
+      (Staged.stage (fun () ->
+           let sc =
+             { Scenario.default with
+               init_size = 30;
+               stream =
+                 { Update_gen.default with n_updates = 10; mean_gap = 0.1 } }
+           in
+           ignore
+             (Experiment.run ~check:false sc
+                (module Repro_warehouse.Sweep_batched
+                : Repro_warehouse.Algorithm.S))))
+  in
+  let bench_queue_churn =
+    (* the former O(n²) hot spot: append/drain a deep update queue *)
+    let upd seq =
+      { Repro_protocol.Message.txn = { Repro_protocol.Message.source = 0; seq };
+        delta; occurred_at = 0.; global = None }
+    in
+    Test.make ~name:"update queue churn (1k append + batch drain)"
+      (Staged.stage (fun () ->
+           let q = Repro_warehouse.Update_queue.create () in
+           for seq = 0 to 999 do
+             ignore
+               (Repro_warehouse.Update_queue.append q (upd seq) ~arrived_at:0.)
+           done;
+           while
+             Repro_warehouse.Update_queue.take q ~max:16 <> []
+           do
+             ()
+           done))
+  in
   let bench_parser =
     Test.make ~name:"parse SQL view definition"
       (Staged.stage (fun () ->
@@ -97,7 +131,8 @@ let micro_tests () =
                  R3(E int, F int) WHERE R1.B = R2.C AND R2.D = R3.E")))
   in
   [ bench_hash_join; bench_sweep_step; bench_indexed_probe; bench_compensate;
-    bench_full_eval; bench_delta_apply; bench_parser; bench_sim_round ]
+    bench_full_eval; bench_delta_apply; bench_queue_churn; bench_parser;
+    bench_sim_round; bench_sim_round_batched ]
 
 (* Run the micro-benchmarks and return (name, ns-per-run) estimates;
    tests whose OLS fit fails are dropped. *)

@@ -1,10 +1,19 @@
 (* bench_check — the CI perf gate. Reads a BENCH.json file through the
    independent Jsonr decoder and validates it against the
-   "repro-bench/1" schema (Bench_doc.validate). Exit 0 iff the document
-   is well-formed and carries every required counter and histogram
-   statistic. *)
+   "repro-bench/1" schema (Bench_doc.validate). With --against PREV.json
+   it additionally compares the two documents and fails on a >25%
+   regression, per (algorithm, scenario) entry present in both, in
+
+     - the messages_per_update counter, and
+     - the staleness histogram's p99,
+
+   both of which are deterministic per seed (the simulator runs on
+   virtual time), so an exact cross-run comparison is sound. Wall-clock
+   and ns/run figures are machine-dependent and never gated. *)
 
 open Repro_observability
+
+let tolerance = 0.25
 
 let read_file path =
   let ic = open_in_bin path in
@@ -12,14 +21,7 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; p |] -> p
-    | _ ->
-        prerr_endline "usage: bench_check BENCH.json";
-        exit 2
-  in
+let load path =
   let text =
     try read_file path
     with Sys_error msg ->
@@ -32,9 +34,101 @@ let () =
       exit 1
   | Ok doc -> (
       match Repro_harness.Bench_doc.validate doc with
-      | Ok () ->
-          Printf.printf "bench_check: %s: OK (schema %s)\n" path
-            Repro_harness.Bench_doc.schema
+      | Ok () -> doc
       | Error msg ->
           Printf.eprintf "bench_check: %s: %s\n" path msg;
           exit 1)
+
+(* ————— comparison ————— *)
+
+let number = function
+  | Jsonw.Int i -> Some (float_of_int i)
+  | Jsonw.Float f when Float.is_finite f -> Some f
+  | _ -> None
+
+let entries doc =
+  match Jsonw.member "algorithms" doc with
+  | Some (Jsonw.List l) ->
+      List.filter_map
+        (fun e ->
+          match
+            (Jsonw.member "algorithm" e, Jsonw.member "scenario" e)
+          with
+          | Some (Jsonw.String a), Some (Jsonw.String s) -> Some ((a, s), e)
+          | _ -> None)
+        l
+  | _ -> []
+
+let counter name entry =
+  Option.bind (Jsonw.member "counters" entry) (fun c ->
+      Option.bind (Jsonw.member name c) number)
+
+let histogram_stat ~hist ~stat entry =
+  Option.bind (Jsonw.member "histograms" entry) (fun hs ->
+      Option.bind (Jsonw.member hist hs) (fun h ->
+          Option.bind (Jsonw.member stat h) number))
+
+(* A metric regresses when both documents carry it, the baseline is
+   meaningful (> 0) and the new value exceeds the allowance. Entries or
+   metrics present on only one side are skipped — adding an algorithm or
+   scenario must not wedge the gate. *)
+let compare_docs ~old_doc ~new_doc =
+  let old_entries = entries old_doc in
+  let regressions = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (key, new_entry) ->
+      match List.assoc_opt key old_entries with
+      | None -> ()
+      | Some old_entry ->
+          List.iter
+            (fun (metric, read) ->
+              match (read old_entry, read new_entry) with
+              | Some old_v, Some new_v when old_v > 0. ->
+                  incr compared;
+                  if new_v > old_v *. (1. +. tolerance) then
+                    regressions :=
+                      (key, metric, old_v, new_v) :: !regressions
+              | _ -> ())
+            [ ("messages_per_update", counter "messages_per_update");
+              ( "staleness_p99",
+                histogram_stat ~hist:"staleness" ~stat:"p99" ) ])
+    (entries new_doc);
+  (!compared, List.rev !regressions)
+
+let () =
+  let path, against =
+    match Array.to_list Sys.argv with
+    | [ _; p ] -> (p, None)
+    | [ _; p; "--against"; prev ] -> (p, Some prev)
+    | _ ->
+        prerr_endline "usage: bench_check BENCH.json [--against PREV.json]";
+        exit 2
+  in
+  let doc = load path in
+  Printf.printf "bench_check: %s: OK (schema %s)\n" path
+    Repro_harness.Bench_doc.schema;
+  match against with
+  | None -> ()
+  | Some prev ->
+      let old_doc = load prev in
+      let compared, regressions =
+        compare_docs ~old_doc ~new_doc:doc
+      in
+      if regressions = [] then
+        Printf.printf
+          "bench_check: %s vs %s: OK (%d metrics compared, none regressed \
+           >%.0f%%)\n"
+          path prev compared (100. *. tolerance)
+      else begin
+        List.iter
+          (fun ((alg, sc), metric, old_v, new_v) ->
+            Printf.eprintf
+              "bench_check: REGRESSION %s/%s %s: %.4f -> %.4f (+%.1f%%, \
+               allowed +%.0f%%)\n"
+              alg sc metric old_v new_v
+              (100. *. ((new_v /. old_v) -. 1.))
+              (100. *. tolerance))
+          regressions;
+        exit 1
+      end

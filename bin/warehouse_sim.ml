@@ -13,8 +13,8 @@ open Repro_harness
 
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     domain seed latency centralized drop duplicate spike spike_factor crashes
-    wh_crashes checkpoint_every queue_capacity no_check show_trace trace_spans
-    json_out explain_sql =
+    wh_crashes checkpoint_every queue_capacity batch_max no_check show_trace
+    trace_spans json_out explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -96,6 +96,10 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       Printf.eprintf "--queue-capacity must be >= 1, got %d\n" c;
       exit 2
   | _ -> ());
+  if batch_max < 1 then begin
+    Printf.eprintf "--batch-max must be >= 1, got %d\n" batch_max;
+    exit 2
+  end;
   List.iter
     (fun (name, p) ->
       if p < 0. || p >= 1. then begin
@@ -131,15 +135,17 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       faults;
       checkpoint_every;
       queue_capacity;
+      batch_max;
       seed = Int64.of_int seed }
   in
   let alg =
-    match Experiment.algorithm_by_name algorithm with
+    match Experiment.algorithm_by_name ~batch_max algorithm with
     | Some a -> a
     | None ->
         Printf.eprintf
           "unknown algorithm %S \
-           (sweep|nested-sweep|strobe|c-strobe|eca|naive|recompute)\n"
+           (sweep|sweep-batched|nested-sweep|strobe|c-strobe|eca|naive|\
+           recompute)\n"
           algorithm;
         exit 2
   in
@@ -183,8 +189,8 @@ let algorithm =
     value & opt string "sweep"
     & info [ "a"; "algorithm" ] ~docv:"ALGO"
         ~doc:
-          "Maintenance algorithm: sweep, nested-sweep, strobe, c-strobe, \
-           eca, naive or recompute.")
+          "Maintenance algorithm: sweep, sweep-batched, nested-sweep, \
+           strobe, c-strobe, eca, naive or recompute.")
 
 let preset =
   Arg.(
@@ -248,6 +254,15 @@ let queue_capacity =
            further updates wait at their source (backpressure) and no-op \
            updates are shed under load. Unset = unbounded.")
 
+let batch_max =
+  Arg.(
+    value & opt int 16
+    & info [ "batch-max" ] ~docv:"K"
+        ~doc:
+          "Cap on the queued updates sweep-batched coalesces into one \
+           batched sweep (default 16; 1 degenerates to plain SWEEP). Only \
+           $(b,-a sweep-batched) reads it.")
+
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
 
@@ -288,7 +303,7 @@ let cmd =
       const run_cmd $ algorithm $ preset $ n $ updates $ gap $ p_insert
       $ txn_size $ placement $ init $ domain $ seed $ latency $ centralized
       $ drop $ duplicate $ spike $ spike_factor $ crashes
-      $ wh_crashes $ checkpoint_every $ queue_capacity
+      $ wh_crashes $ checkpoint_every $ queue_capacity $ batch_max
       $ no_check $ show_trace $ trace_spans $ json_out $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

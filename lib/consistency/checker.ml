@@ -62,37 +62,80 @@ let expected_states view ~initial ~deliveries =
     deliveries;
   states
 
-(* Complete consistency: installs mirror deliveries one to one, in order,
-   with exact contents. Returns an error description on failure. *)
+(* Complete consistency: the installs partition the delivery log into
+   contiguous runs, in delivery order, each installed state matching the
+   database state after its run exactly. A singleton-per-delivery history
+   (SWEEP) is the special case of all runs having length 1; a batched
+   install (Sweep_batched, Nested SWEEP when its batch happens to be the
+   full pending run) is complete iff it incorporates *exactly* the next
+   deliveries with nothing skipped — every installed state is then a
+   state the source databases actually passed through, in order, with no
+   update ever reflected early or late. Returns an error description on
+   failure. *)
 let check_complete view obs =
+  let by_txn = Hashtbl.create 64 in
+  List.iteri
+    (fun k u -> Hashtbl.replace by_txn u.Message.txn (k, u))
+    obs.deliveries;
+  let n_deliveries = List.length obs.deliveries in
   let rels = Array.map Relation.copy obs.initial_sources in
   let expected = initial_expected view obs.initial_sources in
-  let rec go deliveries installs k =
-    match (deliveries, installs) with
-    | [], [] -> Ok ()
-    | u :: _, [] ->
-        Error
-          (Format.asprintf "update %a was never installed on its own"
-             Message.pp_txn_id u.Message.txn)
-    | [], (_, _) :: _ -> Error "more installs than deliveries"
-    | u :: ds, (txns, snap) :: is -> (
-        match txns with
-        | [ txn ] when Message.compare_txn_id txn u.Message.txn = 0 ->
-            apply_txn view rels expected u;
-            if Bag.equal expected snap then go ds is (k + 1)
-            else
+  let next = ref 0 in
+  let rec go installs k =
+    match installs with
+    | [] ->
+        if !next = n_deliveries then Ok ()
+        else
+          Error
+            (Format.asprintf "update %a was never installed"
+               Message.pp_txn_id
+               (List.nth obs.deliveries !next).Message.txn)
+    | (txns, snap) :: rest -> (
+        let resolved =
+          List.fold_left
+            (fun acc txn ->
+              match (acc, Hashtbl.find_opt by_txn txn) with
+              | Error e, _ -> Error e
+              | Ok _, None ->
+                  Error
+                    (Format.asprintf "install %d claims unknown txn %a" k
+                       Message.pp_txn_id txn)
+              | Ok l, Some ku -> Ok (ku :: l))
+            (Ok []) txns
+        in
+        match resolved with
+        | Error e -> Error e
+        | Ok batch ->
+            let batch =
+              List.sort (fun (a, _) (b, _) -> Int.compare a b) batch
+            in
+            let contiguous =
+              List.for_all2
+                (fun (idx, _) want -> idx = want)
+                batch
+                (List.init (List.length batch) (fun d -> !next + d))
+            in
+            if batch = [] || not contiguous then
               Error
                 (Format.asprintf
-                   "install %d (for %a) deviates from the expected state" k
-                   Message.pp_txn_id txn)
-        | _ ->
-            Error
-              (Format.asprintf
-                 "install %d incorporates %d update(s); complete consistency \
-                  requires exactly the next delivered update"
-                 k (List.length txns)))
+                   "install %d does not incorporate exactly the next %s \
+                    in delivery order"
+                   k
+                   (if List.length txns <= 1 then "delivered update"
+                    else
+                      Printf.sprintf "%d delivered updates"
+                        (List.length txns)))
+            else begin
+              List.iter (fun (_, u) -> apply_txn view rels expected u) batch;
+              next := !next + List.length batch;
+              if Bag.equal expected snap then go rest (k + 1)
+              else
+                Error
+                  (Format.asprintf
+                     "install %d deviates from the expected state" k)
+            end)
   in
-  go obs.deliveries obs.installs 0
+  go obs.installs 0
 
 (* Strong consistency: batch installs allowed, provided each cumulative set
    is a per-source prefix of that source's update sequence and contents

@@ -6,11 +6,16 @@
     expected view after every prefix; the observed install history is then
     classified:
 
-    - {b Complete}: one install per update, in delivery order, each
-      matching the expected prefix state exactly — every source state is a
-      distinct warehouse state.
-    - {b Strong}: installs may batch several updates, but each batch keeps
-      every source's updates in order (cumulative sets are per-source
+    - {b Complete}: the installs partition the delivery log into
+      contiguous runs, in delivery order, each matching the expected
+      prefix state exactly — every warehouse state is a source state and
+      no update is reflected early or late. One install per update
+      (SWEEP) is the all-runs-of-length-1 case; a batched install
+      (Sweep_batched) qualifies iff it covers exactly the next pending
+      deliveries.
+    - {b Strong}: installs may batch several updates {e skipping over
+      other sources' deliveries}, as long as each batch keeps every
+      source's updates in order (cumulative sets are per-source
       prefixes — sources are autonomous, so any interleaving respecting
       per-source order is a legal serialization) and the resulting content
       matches the corresponding database state.

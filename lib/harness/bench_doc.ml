@@ -90,7 +90,7 @@ let in_context ctx = Result.map_error (fun e -> ctx ^ ": " ^ e)
 (* The counters every algorithm entry must report, whatever the run. *)
 let required_counters =
   [ "updates_incorporated"; "queries_sent"; "answers_received";
-    "query_weight"; "answer_weight"; "installs" ]
+    "query_weight"; "answer_weight"; "installs"; "messages_per_update" ]
 
 let required_histogram_stats = [ "count"; "p50"; "p90"; "p99"; "max" ]
 

@@ -21,11 +21,15 @@ type result = {
   completed : bool;
 }
 
-let algorithm_by_name = function
+let algorithm_by_name ?(batch_max = 16) = function
   | "sweep" -> Some (module Sweep : Algorithm.S)
   | "sweep-parallel" -> Some (module Sweep_parallel : Algorithm.S)
   | "sweep-pipelined" -> Some (module Sweep_pipelined : Algorithm.S)
   | "sweep-global" -> Some (module Sweep_global : Algorithm.S)
+  | "sweep-batched" ->
+      Some
+        (if batch_max = 16 then (module Sweep_batched : Algorithm.S)
+         else Sweep_batched.with_batch_max batch_max)
   | "nested-sweep" -> Some (module Nested_sweep : Algorithm.S)
   | "strobe" -> Some (module Strobe : Algorithm.S)
   | "c-strobe" -> Some (module C_strobe : Algorithm.S)
@@ -39,6 +43,9 @@ let algorithms_for (s : Scenario.t) =
     [ ("sweep", (module Sweep : Algorithm.S));
       ("sweep-parallel", (module Sweep_parallel : Algorithm.S));
       ("sweep-pipelined", (module Sweep_pipelined : Algorithm.S));
+      ( "sweep-batched",
+        (if s.batch_max = 16 then (module Sweep_batched : Algorithm.S)
+         else Sweep_batched.with_batch_max s.batch_max) );
       ("nested-sweep", (module Nested_sweep : Algorithm.S));
       ("strobe", (module Strobe : Algorithm.S));
       ("c-strobe", (module C_strobe : Algorithm.S));

@@ -84,8 +84,9 @@ val run :
 val algorithms_for : Scenario.t -> (string * (module Algorithm.S)) list
 
 (** Look an algorithm up by name (["sweep"], ["sweep-parallel"],
-    ["nested-sweep"], ["strobe"], ["c-strobe"], ["eca"], ["naive"],
-    ["recompute"]). *)
-val algorithm_by_name : string -> (module Algorithm.S) option
+    ["sweep-batched"], ["nested-sweep"], ["strobe"], ["c-strobe"],
+    ["eca"], ["naive"], ["recompute"]). [batch_max] (default 16)
+    parameterizes ["sweep-batched"] only. *)
+val algorithm_by_name : ?batch_max:int -> string -> (module Algorithm.S) option
 
 val pp_result : Format.formatter -> result -> unit

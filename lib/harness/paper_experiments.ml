@@ -25,7 +25,7 @@ let scenario ?(name = "exp") ?(n = 4) ?(init = 30) ?domain
   { Scenario.name; n_sources = n; init_size = init; domain;
     stream = stream ~updates ~gap; latency = Latency.Uniform (0.5, 1.5);
     topology; faults = Fault.none; checkpoint_every = 8;
-    queue_capacity = None; seed }
+    queue_capacity = None; batch_max = 16; seed }
 
 let mpu (r : Experiment.result) =
   (* round trips (query + answer) per incorporated update *)

@@ -14,6 +14,7 @@ type t = {
   faults : Fault.t;
   checkpoint_every : int;
   queue_capacity : int option;
+  batch_max : int;
   seed : int64;
 }
 
@@ -21,7 +22,7 @@ let default =
   { name = "default"; n_sources = 3; init_size = 40; domain = 16;
     stream = Update_gen.default; latency = Latency.Uniform (0.5, 1.5);
     topology = Distributed; faults = Fault.none; checkpoint_every = 8;
-    queue_capacity = None; seed = 42L }
+    queue_capacity = None; batch_max = 16; seed = 42L }
 
 let presets =
   [ (* updates spaced far apart: no concurrency, every algorithm should be

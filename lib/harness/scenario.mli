@@ -30,6 +30,9 @@ type t = {
   queue_capacity : int option;
       (** bound on the warehouse update queue; excess updates are held
           back (or shed when no-ops) at the workload layer. *)
+  batch_max : int;
+      (** cap on the updates [Sweep_batched] drains into one batched
+          sweep (default 16); only that algorithm reads it. *)
   seed : int64;
 }
 

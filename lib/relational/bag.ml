@@ -21,8 +21,16 @@ let weight b = Hashtbl.fold (fun _ c acc -> acc + abs c) b 0
 let has_negative b = Hashtbl.fold (fun _ c acc -> acc || c < 0) b false
 let iter f b = Hashtbl.iter f b
 let fold f b init = Hashtbl.fold f b init
-let merge_into ~into src = iter (fun tup c -> add into tup c) src
-let diff_into ~into src = iter (fun tup c -> add into tup (-c)) src
+(* Iterating over [src] while [add] mutates [into] is undefined when the
+   two are the same table — snapshot first. Self-merge doubles every
+   count; self-diff empties the bag. *)
+let merge_into ~into src =
+  let src = if into == src then copy src else src in
+  iter (fun tup c -> add into tup c) src
+
+let diff_into ~into src =
+  let src = if into == src then copy src else src in
+  iter (fun tup c -> add into tup (-c)) src
 
 let to_sorted_list b =
   let l = fold (fun tup c acc -> (tup, c) :: acc) b [] in

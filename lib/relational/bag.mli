@@ -40,10 +40,12 @@ val has_negative : t -> bool
 val iter : (Tuple.t -> int -> unit) -> t -> unit
 val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
-(** [merge_into ~into src] adds every entry of [src] into [into]. *)
+(** [merge_into ~into src] adds every entry of [src] into [into].
+    Aliasing is safe: [merge_into ~into b b] doubles every count. *)
 val merge_into : into:t -> t -> unit
 
-(** [diff_into ~into src] subtracts every entry of [src] from [into]. *)
+(** [diff_into ~into src] subtracts every entry of [src] from [into].
+    Aliasing is safe: [diff_into ~into b b] empties the bag. *)
 val diff_into : into:t -> t -> unit
 
 (** Entries sorted by tuple — canonical, deterministic order. *)

@@ -46,7 +46,19 @@ let relation t = t.rel
 let indexed_columns t = List.map fst t.indexes
 
 let probe t ~col ~value =
-  let idx = List.assoc col t.indexes in
+  let idx =
+    match List.assoc_opt col t.indexes with
+    | Some idx -> idx
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Base_table.probe: source %d has no index on column %d \
+              (indexed columns: %s)"
+             t.src col
+             (match t.indexes with
+             | [] -> "none"
+             | l -> String.concat ", " (List.map (fun (c, _) -> string_of_int c) l)))
+  in
   match Hashtbl.find_opt idx value with
   | None -> []
   | Some bucket -> Hashtbl.fold (fun tup c acc -> (tup, c) :: acc) bucket []

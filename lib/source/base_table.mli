@@ -20,7 +20,8 @@ val source : t -> int
 val indexed_columns : t -> int list
 
 (** [probe t ~col ~value] — all tuples whose [col] equals [value], with
-    multiplicities. Raises [Not_found] when [col] is not indexed. *)
+    multiplicities. Raises [Invalid_argument] naming the source and the
+    column when [col] is not indexed. *)
 val probe : t -> col:int -> value:Value.t -> (Tuple.t * int) list
 
 (** The live relation (mutated by {!apply}); treat as read-only. *)

@@ -30,6 +30,8 @@ type t = {
   mutable snapshots_fetched : int;
   mutable queue_deferred : int;
   mutable queue_shed : int;
+  mutable batches : int;
+  mutable max_batch : int;
 }
 
 let create () =
@@ -41,9 +43,14 @@ let create () =
     timeouts = 0; duplicates_suppressed = 0; recoveries = 0; frames_lost = 0;
     wh_crashes = 0; wal_records = 0; wal_bytes = 0; checkpoints = 0;
     checkpoint_bytes = 0; replayed_records = 0; recovery_seconds = 0.;
-    snapshots_fetched = 0; queue_deferred = 0; queue_shed = 0 }
+    snapshots_fetched = 0; queue_deferred = 0; queue_shed = 0; batches = 0;
+    max_batch = 0 }
 
 let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
+
+let note_batch t size =
+  t.batches <- t.batches + 1;
+  if size > t.max_batch then t.max_batch <- size
 
 let note_staleness t s =
   t.staleness_sum <- t.staleness_sum +. s;
@@ -56,6 +63,14 @@ let mean_staleness t =
 let queries_per_update t =
   if t.updates_incorporated = 0 then 0.
   else float_of_int t.queries_sent /. float_of_int t.updates_incorporated
+
+(* Total protocol messages (queries out + answers back) per incorporated
+   txn — the quantity batching amortizes toward O(n/k). *)
+let messages_per_update t =
+  if t.updates_incorporated = 0 then 0.
+  else
+    float_of_int (t.queries_sent + t.answers_received)
+    /. float_of_int t.updates_incorporated
 
 (* Canonical flat export for the observability registry / BENCH.json.
    Order is the declaration order above; derived means go last. *)
@@ -91,8 +106,11 @@ let fields t : (string * [ `Int of int | `Float of float ]) list =
     ("snapshots_fetched", `Int t.snapshots_fetched);
     ("queue_deferred", `Int t.queue_deferred);
     ("queue_shed", `Int t.queue_shed);
+    ("batches", `Int t.batches);
+    ("max_batch", `Int t.max_batch);
     ("mean_staleness", `Float (mean_staleness t));
-    ("queries_per_update", `Float (queries_per_update t)) ]
+    ("queries_per_update", `Float (queries_per_update t));
+    ("messages_per_update", `Float (messages_per_update t)) ]
 
 let pp ppf t =
   Format.fprintf ppf
@@ -123,4 +141,8 @@ let pp ppf t =
   if t.queue_deferred > 0 || t.queue_shed > 0 then
     Format.fprintf ppf "@,backpressure: %d deferred, %d shed" t.queue_deferred
       t.queue_shed;
+  if t.batches > 0 then
+    Format.fprintf ppf
+      "@,batching: %d batches (max size %d), %.2f messages/update" t.batches
+      t.max_batch (messages_per_update t);
   Format.fprintf ppf "@]"

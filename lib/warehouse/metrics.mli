@@ -36,12 +36,18 @@ type t = {
   mutable snapshots_fetched : int;  (** Snapshot answers (full refetches) *)
   mutable queue_deferred : int;  (** updates held back by backpressure *)
   mutable queue_shed : int;  (** no-op updates dropped at capacity *)
+  mutable batches : int;  (** batched installs (Sweep_batched) *)
+  mutable max_batch : int;  (** largest batch of updates swept at once *)
 }
 
 val create : unit -> t
 
 (** Observe queue length after an append. *)
 val note_queue_length : t -> int -> unit
+
+(** Observe one batched sweep of [size] updates (counts the batch,
+    retains the high-water mark). *)
+val note_batch : t -> int -> unit
 
 (** Observe one incorporated txn's staleness. *)
 val note_staleness : t -> float -> unit
@@ -52,6 +58,10 @@ val mean_staleness : t -> float
 (** Queries sent per incorporated txn (the paper's message cost per
     update). *)
 val queries_per_update : t -> float
+
+(** Total protocol messages (queries + answers) per incorporated txn —
+    the cost batching drives toward O(n/k). *)
+val messages_per_update : t -> float
 
 (** Canonical flat export (declaration order, derived means last) for
     the observability registry and BENCH.json. *)

@@ -27,7 +27,9 @@ type state = {
   ctx : Algorithm.ctx;
   max_depth : int;
   mutable stack : frame list;  (* innermost first *)
-  mutable batch : Update_queue.entry list;  (* all entries being installed *)
+  (* all entries being installed, newest first (reversed at install — the
+     absorption path is hot under heavy concurrency) *)
+  mutable rev_batch : Update_queue.entry list;
 }
 
 let frame_order ~left ~src ~right =
@@ -55,7 +57,8 @@ struct
     if Cfg.max_depth = 64 then "nested-sweep"
     else Printf.sprintf "nested-sweep(d=%d)" Cfg.max_depth
 
-  let create ctx = { ctx; max_depth = Cfg.max_depth; stack = []; batch = [] }
+  let create ctx =
+    { ctx; max_depth = Cfg.max_depth; stack = []; rev_batch = [] }
 
   let trace t fmt =
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
@@ -92,9 +95,9 @@ struct
                 advance t
             | [] ->
                 let view_delta = Algebra.select_project t.ctx.view frame.dv in
-                let txns = t.batch in
+                let txns = List.rev t.rev_batch in
                 t.stack <- [];
-                t.batch <- [];
+                t.rev_batch <- [];
                 trace t "install batch of %d update(s): %a" (List.length txns)
                   Delta.pp view_delta;
                 t.ctx.install view_delta ~txns;
@@ -124,7 +127,7 @@ struct
                        (Format.asprintf "%a" Message.pp_txn_id
                           entry.update.Message.txn)) ];
             t.stack <- [ frame ];
-            t.batch <- [ entry ];
+            t.rev_batch <- [ entry ];
             advance t)
 
   let on_update t (_ : Update_queue.entry) = start_next t
@@ -168,7 +171,7 @@ struct
             end
             else begin
               let absorbed = Update_queue.take_from_source t.ctx.queue j in
-              t.batch <- t.batch @ absorbed;
+              t.rev_batch <- List.rev_append absorbed t.rev_batch;
               (* Bounds per Fig. 6: during the left sweep the frame covers
                  [j..src], so the child evaluates ΔRj's missing terms over
                  j+1..src; during the right sweep it covers [left..j] and
@@ -232,17 +235,20 @@ struct
           span = Tracer.none; leg = Tracer.none }
     | _ -> invalid_arg "nested-sweep: malformed frame snapshot"
 
+  (* The batch is checkpointed in delivery order, keeping the encoding
+     identical to the pre-deque representation. *)
   let snapshot t =
     Snap.List
       [ Snap.List (List.map snap_of_frame t.stack);
-        Snap.List (List.map Algorithm.snap_of_entry t.batch) ]
+        Snap.List (List.rev_map Algorithm.snap_of_entry t.rev_batch) ]
 
   let restore ctx s =
     match Snap.to_list s with
     | [ stack; batch ] ->
         { ctx; max_depth = Cfg.max_depth;
           stack = List.map frame_of_snap (Snap.to_list stack);
-          batch = List.map Algorithm.entry_of_snap (Snap.to_list batch) }
+          rev_batch =
+            List.rev_map Algorithm.entry_of_snap (Snap.to_list batch) }
     | _ -> invalid_arg "nested-sweep: malformed snapshot"
 end
 

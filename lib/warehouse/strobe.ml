@@ -29,12 +29,14 @@ type t = {
   ctx : Algorithm.ctx;
   mutable uqs : query list;  (* unanswered query set *)
   mutable rev_al : action list;
-  mutable batch : Update_queue.entry list;  (* entries awaiting install *)
+  (* entries awaiting install, newest first (reversed at flush — appends
+     are hot, flushes amortize the reversal over the whole batch) *)
+  mutable rev_batch : Update_queue.entry list;
 }
 
 let create ctx =
   Keys.require_keys ~algorithm:"Strobe" ctx.Algorithm.view;
-  { ctx; uqs = []; rev_al = []; batch = [] }
+  { ctx; uqs = []; rev_al = []; rev_batch = [] }
 
 let trace t fmt =
   Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
@@ -44,7 +46,7 @@ let trace t fmt =
    matching view tuple; inserts are added with duplicate suppression (the
    view's keys make any duplicate an already-derived tuple). *)
 let flush t =
-  if t.rev_al <> [] || t.batch <> [] then begin
+  if t.rev_al <> [] || t.rev_batch <> [] then begin
     let working = Bag.copy (t.ctx.view_contents ()) in
     List.iter
       (fun action ->
@@ -70,9 +72,9 @@ let flush t =
     (* Install the net difference as one state transition. *)
     let delta = Bag.copy working in
     Bag.diff_into ~into:delta (t.ctx.view_contents ());
-    let txns = t.batch in
+    let txns = List.rev t.rev_batch in
     t.rev_al <- [];
-    t.batch <- [];
+    t.rev_batch <- [];
     trace t "strobe: flush AL (%d txns)" (List.length txns);
     if Obs.active t.ctx.obs then
       Obs.event t.ctx.obs "strobe.flush"
@@ -115,7 +117,7 @@ let on_update t (entry : Update_queue.entry) =
   (match Update_queue.pop t.ctx.queue with
   | Some e when e.arrival = entry.arrival -> ()
   | _ -> invalid_arg "Strobe.on_update: queue out of sync");
-  t.batch <- t.batch @ [ entry ];
+  t.rev_batch <- entry :: t.rev_batch;
   let delta = entry.update.Message.delta in
   let deletes = Delta.negative_part delta in
   let inserts = Delta.positive_part delta in
@@ -209,11 +211,13 @@ let query_of_snap s =
         qid = Snap.to_int qid; span = Tracer.none; leg = Tracer.none }
   | _ -> invalid_arg "Strobe: malformed query snapshot"
 
+(* The batch is checkpointed in delivery order, keeping the encoding
+   identical to the pre-deque representation. *)
 let snapshot t =
   Snap.List
     [ Snap.List (List.map snap_of_query t.uqs);
       Snap.List (List.map snap_of_action t.rev_al);
-      Snap.List (List.map Algorithm.snap_of_entry t.batch) ]
+      Snap.List (List.rev_map Algorithm.snap_of_entry t.rev_batch) ]
 
 let restore ctx s =
   match Snap.to_list s with
@@ -221,5 +225,6 @@ let restore ctx s =
       Keys.require_keys ~algorithm:"Strobe" ctx.Algorithm.view;
       { ctx; uqs = List.map query_of_snap (Snap.to_list uqs);
         rev_al = List.map action_of_snap (Snap.to_list rev_al);
-        batch = List.map Algorithm.entry_of_snap (Snap.to_list batch) }
+        rev_batch =
+          List.rev_map Algorithm.entry_of_snap (Snap.to_list batch) }
   | _ -> invalid_arg "Strobe: malformed snapshot"

@@ -1,0 +1,26 @@
+(** Batched SWEEP: one sweep amortized over a whole batch of queued
+    updates.
+
+    When an update reaches the head of the queue the algorithm
+    proactively drains every queued update (capped at [batch_max],
+    chosen up front — no termination hazard, no recursion fallback),
+    coalesces them into per-source combined deltas D_i via {!Delta.sum},
+    and runs one SWEEP leg per distinct source in ascending source
+    order. Leg i's local error correction runs against the *combined*
+    deltas: an answer from source j is compensated by the queued
+    interference L_j always, plus the batch's own D_j when j > i — a
+    right-leg source must contribute its pre-batch state. The summed
+    view delta is installed as a single transition covering the whole
+    batch, which the checker grades *completely* consistent (the install
+    equals the next-|batch| database state; see DESIGN.md §10 for the
+    multilinearity argument).
+
+    Message cost: 2(n−1) per *distinct source* in the batch instead of
+    per update — messages per update falls toward O(n/k) as the batch
+    size k grows. *)
+
+include Algorithm.S
+
+(** Same algorithm with a custom batch-size cap (default 16). Raises on
+    [create] when the cap is < 1. *)
+val with_batch_max : int -> (module Algorithm.S)

@@ -2,11 +2,16 @@ open Repro_protocol
 
 type entry = { update : Message.update; arrival : int; arrived_at : float }
 
-(* Entries are kept oldest-first in a plain list: queues stay short (the
-   max length is itself a reported metric) and algorithms need mid-queue
-   removal, which a functional list does simply. *)
+(* Entries are kept oldest-first in a two-list deque: [front] holds the
+   oldest entries in order, [rear] the newest in reverse. Appends and pops
+   are O(1) amortized and the length is cached, so neither the hot append
+   path nor the capacity check walks the queue. Mid-queue removal (which
+   algorithms need for absorption) rebuilds both lists — it was O(n)
+   before and stays O(n). *)
 type t = {
-  mutable items : entry list;
+  mutable front : entry list;
+  mutable rear : entry list;
+  mutable len : int;
   mutable next_arrival : int;
   capacity : int option;
 }
@@ -15,50 +20,73 @@ let create ?capacity () =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Update_queue.create: capacity <= 0"
   | _ -> ());
-  { items = []; next_arrival = 0; capacity }
+  { front = []; rear = []; len = 0; next_arrival = 0; capacity }
 
 let capacity t = t.capacity
 
 let append t update ~arrived_at =
   (match t.capacity with
-  | Some c when List.length t.items >= c ->
+  | Some c when t.len >= c ->
       (* Admission control lives above the queue (the harness defers or
          sheds before delivery); reaching this point is a wiring bug. *)
       invalid_arg "Update_queue.append: over capacity"
   | _ -> ());
   let entry = { update; arrival = t.next_arrival; arrived_at } in
   t.next_arrival <- t.next_arrival + 1;
-  t.items <- t.items @ [ entry ];
+  t.rear <- entry :: t.rear;
+  t.len <- t.len + 1;
   entry
 
 (* Crash recovery: rebuild a queue from checkpointed entries, preserving
    their original arrival numbers and the next number to assign. *)
 let of_entries ?capacity entries ~next_arrival =
   let t = create ?capacity () in
-  t.items <- entries;
+  t.front <- entries;
+  t.len <- List.length entries;
   t.next_arrival <- next_arrival;
   t
 
+let normalize t =
+  if t.front = [] then begin
+    t.front <- List.rev t.rear;
+    t.rear <- []
+  end
+
 let pop t =
-  match t.items with
+  normalize t;
+  match t.front with
   | [] -> None
   | e :: rest ->
-      t.items <- rest;
+      t.front <- rest;
+      t.len <- t.len - 1;
       Some e
 
-let peek t = match t.items with [] -> None | e :: _ -> Some e
-let is_empty t = t.items = []
-let length t = List.length t.items
+let peek t =
+  normalize t;
+  match t.front with [] -> None | e :: _ -> Some e
+
+let is_empty t = t.len = 0
+let length t = t.len
+let entries t = t.front @ List.rev t.rear
+
+let take t ~max =
+  if max < 0 then invalid_arg "Update_queue.take: max < 0";
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else match pop t with None -> List.rev acc | Some e -> go (k - 1) (e :: acc)
+  in
+  go max []
 
 let from_source t j =
-  List.filter (fun e -> e.update.Message.txn.source = j) t.items
+  List.filter (fun e -> e.update.Message.txn.source = j) (entries t)
 
 let take_from_source t j =
   let mine, rest =
-    List.partition (fun e -> e.update.Message.txn.source = j) t.items
+    List.partition (fun e -> e.update.Message.txn.source = j) (entries t)
   in
-  t.items <- rest;
+  t.front <- rest;
+  t.rear <- [];
+  t.len <- List.length rest;
   mine
 
-let entries t = t.items
 let last_arrival t = t.next_arrival - 1

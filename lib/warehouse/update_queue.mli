@@ -35,6 +35,12 @@ val of_entries : ?capacity:int -> entry list -> next_arrival:int -> t
 (** Oldest entry, removed / not removed. *)
 val pop : t -> entry option
 
+(** [take t ~max] removes and returns up to [max] oldest entries, oldest
+    first — the batch drain used by {!Sweep_batched} when an update
+    reaches the head of the queue. Raises [Invalid_argument] when [max]
+    is negative. *)
+val take : t -> max:int -> entry list
+
 val peek : t -> entry option
 val is_empty : t -> bool
 val length : t -> int

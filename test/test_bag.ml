@@ -32,6 +32,21 @@ let test_merge_diff () =
   Bag.diff_into ~into:d a;
   Alcotest.(check bool) "a - a = empty" true (Bag.is_empty d)
 
+let test_merge_into_self () =
+  (* regression: iterating [src] while mutating [into] is undefined when
+     they alias; the copy-on-alias guard makes self-merge double every
+     multiplicity *)
+  let b = Bag.of_list [ (t1, 2); (t2, -1) ] in
+  Bag.merge_into ~into:b b;
+  Alcotest.check Rig.bag "self-merge doubles"
+    (Bag.of_list [ (t1, 4); (t2, -2) ])
+    b
+
+let test_diff_into_self () =
+  let b = Bag.of_list [ (t1, 3); (t3, 7) ] in
+  Bag.diff_into ~into:b b;
+  Alcotest.(check bool) "self-diff empties" true (Bag.is_empty b)
+
 let test_sorted_list_deterministic () =
   let b = Bag.of_list [ (t3, 1); (t1, 1); (t2, 1) ] in
   Alcotest.(check (list int))
@@ -84,6 +99,8 @@ let suite =
   [ Alcotest.test_case "add cancels to empty" `Quick test_add_cancel;
     Alcotest.test_case "counts and sizes" `Quick test_counts;
     Alcotest.test_case "merge and diff" `Quick test_merge_diff;
+    Alcotest.test_case "merge into itself" `Quick test_merge_into_self;
+    Alcotest.test_case "diff against itself" `Quick test_diff_into_self;
     Alcotest.test_case "sorted list deterministic" `Quick
       test_sorted_list_deterministic;
     Alcotest.test_case "equality is content-based" `Quick

@@ -43,12 +43,31 @@ let test_complete_accepted () =
   in
   Alcotest.check Rig.verdict "complete" Checker.Complete r.Checker.verdict
 
-let test_strong_batching_accepted () =
-  (* two updates installed as one batch: not complete, still strong *)
+let test_contiguous_batching_complete () =
+  (* two updates installed as one batch covering exactly the next two
+     deliveries: a contiguous run, so still complete (Sweep_batched's
+     install shape) *)
   let r =
     Checker.check view
       (obs
          [ ([ txn 0; txn 1 ], Paper_example.v2); ([ txn 2 ], Paper_example.v3) ]
+         Paper_example.v3)
+  in
+  Alcotest.check Rig.verdict "complete" Checker.Complete r.Checker.verdict
+
+let test_strong_batching_accepted () =
+  (* the first install batches deliveries 0 and 2, skipping over source
+     2's delivery 1: a legal serialization (per-source orders respected)
+     but not a delivery-order prefix — strong, not complete *)
+  let states =
+    Checker.expected_states view ~initial:(Paper_example.initial ())
+      ~deliveries:
+        [ List.nth deliveries 0; List.nth deliveries 2; List.nth deliveries 1 ]
+  in
+  let r =
+    Checker.check view
+      (obs
+         [ ([ txn 0; txn 2 ], states.(2)); ([ txn 1 ], Paper_example.v3) ]
          Paper_example.v3)
   in
   Alcotest.check Rig.verdict "strong" Checker.Strong r.Checker.verdict
@@ -122,6 +141,8 @@ let suite =
       test_expected_states;
     Alcotest.test_case "accepts complete histories" `Quick
       test_complete_accepted;
+    Alcotest.test_case "contiguous batching is complete" `Quick
+      test_contiguous_batching_complete;
     Alcotest.test_case "accepts strong batching" `Quick
       test_strong_batching_accepted;
     Alcotest.test_case "rejects skipped updates" `Quick

@@ -33,9 +33,19 @@ let test_index_maintenance () =
   (match Base_table.probe tbl ~col:2 ~value:(Value.int 7) with
   | [ (_, 3) ] -> ()
   | _ -> Alcotest.fail "expected multiplicity 3 via index");
-  Alcotest.(check bool) "unindexed column raises" true
+  Alcotest.(check bool) "unindexed column raises descriptively" true
     (match Base_table.probe tbl ~col:0 ~value:(Value.int 0) with
-    | exception Not_found -> true
+    | exception Invalid_argument msg ->
+        (* the error must name the source and the missing column *)
+        let mem sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length msg
+            && (String.sub msg i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        mem "source 1" && mem "column 0"
     | _ -> false)
 
 (* Property: the probe-served extension equals the generic hash join on

@@ -20,6 +20,7 @@ let () =
       ("sweep", Test_sweep.suite);
       ("sweep-parallel", Test_sweep_parallel.suite);
       ("sweep-pipelined", Test_sweep_pipelined.suite);
+      ("sweep-batched", Test_sweep_batched.suite);
       ("nested-sweep", Test_nested_sweep.suite);
       ("baselines", Test_baselines.suite);
       ("baselines-deep", Test_baselines_deep.suite);

@@ -20,7 +20,8 @@ let scenario ~seed ~n ~updates ~gap ~topology =
     seed }
 
 let required_level = function
-  | "sweep" | "sweep-parallel" | "sweep-pipelined" | "c-strobe" ->
+  | "sweep" | "sweep-parallel" | "sweep-pipelined" | "sweep-batched"
+  | "c-strobe" ->
       Checker.Complete
   | "nested-sweep" -> Checker.Strong
   | "strobe" -> Checker.Strong
@@ -81,8 +82,8 @@ let test_sequential_everyone_exact () =
           let got = r.Experiment.verdict.Checker.verdict in
           let want =
             match name with
-            | "sweep" | "sweep-parallel" | "sweep-pipelined" | "c-strobe"
-            | "naive" | "recompute" ->
+            | "sweep" | "sweep-parallel" | "sweep-pipelined" | "sweep-batched"
+            | "c-strobe" | "naive" | "recompute" ->
                 Checker.Complete
             | "nested-sweep" -> Checker.Complete
             | "strobe" -> Checker.Strong

@@ -49,6 +49,105 @@ let test_from_source () =
         e.Update_queue.update.Message.txn.Message.source
   | None -> Alcotest.fail "expected entry")
 
+let test_capacity () =
+  let q = Update_queue.create ~capacity:2 () in
+  let _ = Update_queue.append q (upd ~source:0 ~seq:0) ~arrived_at:0. in
+  let _ = Update_queue.append q (upd ~source:0 ~seq:1) ~arrived_at:0. in
+  Alcotest.(check bool) "third append raises" true
+    (match Update_queue.append q (upd ~source:0 ~seq:2) ~arrived_at:0. with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  ignore (Update_queue.pop q);
+  (* a pop must free a slot even while entries sit in the rear list *)
+  let _ = Update_queue.append q (upd ~source:0 ~seq:3) ~arrived_at:0. in
+  Alcotest.(check int) "back at capacity" 2 (Update_queue.length q)
+
+let test_take () =
+  let q = Update_queue.create () in
+  for seq = 0 to 4 do
+    ignore (Update_queue.append q (upd ~source:0 ~seq) ~arrived_at:0.)
+  done;
+  let seqs es =
+    List.map (fun e -> e.Update_queue.update.Message.txn.Message.seq) es
+  in
+  Alcotest.(check (list int)) "drains oldest-first" [ 0; 1; 2 ]
+    (seqs (Update_queue.take q ~max:3));
+  Alcotest.(check int) "two left" 2 (Update_queue.length q);
+  Alcotest.(check (list int)) "max may exceed length" [ 3; 4 ]
+    (seqs (Update_queue.take q ~max:10));
+  Alcotest.(check (list int)) "empty queue yields nothing" []
+    (seqs (Update_queue.take q ~max:1));
+  Alcotest.(check bool) "negative max raises" true
+    (match Update_queue.take q ~max:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_from_source_after_wraparound () =
+  (* exercise the rear→front normalization: pop past the initial front,
+     then interrogate per-source views that span both internal lists *)
+  let q = Update_queue.create () in
+  let _ = Update_queue.append q (upd ~source:0 ~seq:0) ~arrived_at:0. in
+  let _ = Update_queue.append q (upd ~source:1 ~seq:0) ~arrived_at:0. in
+  ignore (Update_queue.pop q);
+  let _ = Update_queue.append q (upd ~source:0 ~seq:1) ~arrived_at:0. in
+  let _ = Update_queue.append q (upd ~source:1 ~seq:1) ~arrived_at:0. in
+  let seqs es =
+    List.map (fun e -> e.Update_queue.update.Message.txn.Message.seq) es
+  in
+  Alcotest.(check (list int)) "source 1 in order" [ 0; 1 ]
+    (seqs (Update_queue.from_source q 1));
+  Alcotest.(check (list int)) "take_from_source in order" [ 1 ]
+    (seqs (Update_queue.take_from_source q 0));
+  Alcotest.(check (list int)) "others preserved in order" [ 0; 1 ]
+    (seqs (Update_queue.entries q))
+
+(* Property: under any interleaving of appends and pops the queue behaves
+   as a FIFO — pops come back in append order, length tracks the model. *)
+let qcheck_fifo_model =
+  QCheck.Test.make ~name:"queue ≡ FIFO model under interleaved ops"
+    ~count:300
+    QCheck.(small_list (option (int_range 0 3)))
+    (fun ops ->
+      (* Some src = append from that source, None = pop *)
+      let q = Update_queue.create () in
+      let model = ref [] (* newest-first *) and popped_ok = ref true in
+      let seq = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Some source ->
+              incr seq;
+              let u = upd ~source ~seq:!seq in
+              ignore (Update_queue.append q u ~arrived_at:0.);
+              model := u :: !model
+          | None -> (
+              match (Update_queue.pop q, List.rev !model) with
+              | None, [] -> ()
+              | Some e, oldest :: rest ->
+                  if e.Update_queue.update != oldest then popped_ok := false;
+                  model := List.rev rest
+              | Some _, [] | None, _ :: _ -> popped_ok := false))
+        ops;
+      !popped_ok
+      && Update_queue.length q = List.length !model
+      && List.map (fun e -> e.Update_queue.update) (Update_queue.entries q)
+         = List.rev !model)
+
+let test_metrics_batches () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 1e-9)) "0/0 guarded" 0.
+    (Metrics.messages_per_update m);
+  Metrics.note_batch m 3;
+  Metrics.note_batch m 5;
+  Metrics.note_batch m 1;
+  Alcotest.(check int) "batch count" 3 m.Metrics.batches;
+  Alcotest.(check int) "max batch" 5 m.Metrics.max_batch;
+  m.Metrics.queries_sent <- 12;
+  m.Metrics.answers_received <- 12;
+  m.Metrics.updates_incorporated <- 9;
+  Alcotest.(check (float 1e-9)) "messages per update" (24. /. 9.)
+    (Metrics.messages_per_update m)
+
 let test_metrics_staleness () =
   let m = Metrics.create () in
   Metrics.note_staleness m 2.0;
@@ -71,5 +170,11 @@ let suite =
     Alcotest.test_case "arrival numbering" `Quick
       test_arrival_numbers_monotonic;
     Alcotest.test_case "per-source extraction" `Quick test_from_source;
+    Alcotest.test_case "capacity bound survives pops" `Quick test_capacity;
+    Alcotest.test_case "batch drain (take)" `Quick test_take;
+    Alcotest.test_case "per-source views span the deque halves" `Quick
+      test_from_source_after_wraparound;
+    QCheck_alcotest.to_alcotest qcheck_fifo_model;
+    Alcotest.test_case "batch accounting" `Quick test_metrics_batches;
     Alcotest.test_case "staleness accounting" `Quick test_metrics_staleness;
     Alcotest.test_case "queue watermark" `Quick test_metrics_queue_watermark ]
