@@ -1,4 +1,4 @@
-.PHONY: all build test faults recover bench bench-json bench-compare examples doc clean
+.PHONY: all build test lint lint-json faults recover bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -7,6 +7,16 @@ build:
 
 test:
 	dune runtest
+
+# Repository-invariant static analysis (rules L1-L5, see DESIGN.md §11).
+# Fails on any error-severity finding not covered by an audited
+# `(* lint: allow <rule> <reason> *)` pragma.
+lint:
+	dune exec bin/repro_lint.exe -- lib bin bench test
+
+# Same pass, machine-readable report for CI artifacts.
+lint-json:
+	dune exec bin/repro_lint.exe -- --json lib bin bench test > LINT.json
 
 # Seeded fault-schedule property suite only (transport + fault injection).
 faults:

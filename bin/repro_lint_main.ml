@@ -1,0 +1,6 @@
+(* repro-lint: the static-analysis pass enforcing the determinism,
+   iteration-order, quadratic-pattern, exception-hygiene and
+   snapshot-completeness invariants. See `repro_lint --help` and
+   DESIGN.md §11. *)
+
+let () = exit (Repro_lint.Driver.main Sys.argv)

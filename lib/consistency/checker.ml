@@ -116,15 +116,14 @@ let check_complete view obs =
                 (List.init (List.length batch) (fun d -> !next + d))
             in
             if batch = [] || not contiguous then
+              let n_txns = List.length txns in
               Error
                 (Format.asprintf
                    "install %d does not incorporate exactly the next %s \
                     in delivery order"
                    k
-                   (if List.length txns <= 1 then "delivered update"
-                    else
-                      Printf.sprintf "%d delivered updates"
-                        (List.length txns)))
+                   (if n_txns <= 1 then "delivered update"
+                    else Printf.sprintf "%d delivered updates" n_txns))
             else begin
               List.iter (fun (_, u) -> apply_txn view rels expected u) batch;
               next := !next + List.length batch;
@@ -151,15 +150,15 @@ let check_strong view obs =
   let expected = initial_expected view obs.initial_sources in
   let next_seq = Array.make n 0 in
   let incorporated = ref 0 in
+  let n_deliveries = List.length obs.deliveries in
   let rec go installs k =
     match installs with
     | [] ->
-        if !incorporated = List.length obs.deliveries then Ok ()
+        if !incorporated = n_deliveries then Ok ()
         else
           Error
             (Printf.sprintf "only %d of %d updates were ever incorporated"
-               !incorporated
-               (List.length obs.deliveries))
+               !incorporated n_deliveries)
     | (txns, snap) :: rest -> (
         (* Resolve the batch against the delivery log. *)
         let resolved =

@@ -44,7 +44,9 @@ let rec equal a b =
   | Int x, Int y -> x = y
   | Float x, Float y -> Float.equal x y
   | Str x, Str y -> String.equal x y
-  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | List x, List y ->
+      (* lint: allow L3 length guard protecting for_all2 from Invalid_argument; both lists are walked once anyway *)
+      List.length x = List.length y && List.for_all2 equal x y
   | Tup x, Tup y -> Tuple.equal x y
   | Delta x, Delta y -> Delta.equal x y
   | Partial x, Partial y -> Partial.equal x y

@@ -1,0 +1,204 @@
+(* Orchestration: discover files, parse with compiler-libs, run the
+   rules, apply pragmas, render text or JSON, decide the exit status. *)
+
+module Jsonw = Repro_observability.Jsonw
+
+type file_report = {
+  file : string;
+  findings : Finding.t list;  (* active (unsuppressed), sorted *)
+  suppressed : (Finding.t * Pragma.t) list;  (* the audit trail *)
+}
+
+type report = { files : int; reports : file_report list }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_impl ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+(* Directories never descended into: build artifacts, hidden dirs, and
+   the lint fixtures (which violate the rules on purpose). *)
+let skip_dir name =
+  name = "_build" || name = "lint_fixtures"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec discover path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if skip_dir entry then []
+           else discover (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let parse_error_finding ~file msg =
+  { Finding.file; line = 1; col = 0; rule = "parse";
+    severity = Finding.Error; message = msg; hint = "" }
+
+(* Lint one unit from source text. [has_mli] defaults to a sibling-file
+   probe; tests override it. *)
+let lint_source ?has_mli ~file source =
+  let has_mli =
+    match has_mli with
+    | Some b -> b
+    | None -> Sys.file_exists (file ^ "i")
+  in
+  let pragmas, pragma_errors = Pragma.scan source in
+  let raw =
+    match parse_impl ~file source with
+    | ast -> Rules.run { Rules.file; has_mli } ast
+    | exception Syntaxerr.Error _ ->
+        [ parse_error_finding ~file "syntax error: unit skipped" ]
+    | exception Lexer.Error (_, _) ->
+        [ parse_error_finding ~file "lexing error: unit skipped" ]
+  in
+  let active, suppressed =
+    List.fold_left
+      (fun (active, suppressed) f ->
+        match List.find_opt (fun p -> Pragma.covers p f) pragmas with
+        | Some p ->
+            p.Pragma.used <- true;
+            (active, (f, p) :: suppressed)
+        | None -> (f :: active, suppressed))
+      ([], []) raw
+  in
+  let pragma_findings =
+    List.map
+      (fun (line, msg) ->
+        { Finding.file; line; col = 0; rule = "pragma";
+          severity = Finding.Error; message = msg; hint = "" })
+      pragma_errors
+    @ List.filter_map
+        (fun (p : Pragma.t) ->
+          if p.used then None
+          else
+            Some
+              { Finding.file; line = p.line; col = 0; rule = "pragma";
+                severity = Finding.Warning;
+                message =
+                  Printf.sprintf
+                    "pragma `allow %s` (%s) suppresses nothing; drop it"
+                    p.rule p.reason;
+                hint = "" })
+        pragmas
+  in
+  { file;
+    findings = List.sort Finding.compare (pragma_findings @ active);
+    suppressed = List.rev suppressed }
+
+let lint_file path = lint_source ~file:path (read_file path)
+
+let lint_paths paths =
+  let files = List.concat_map discover paths in
+  { files = List.length files; reports = List.map lint_file files }
+
+(* ————— aggregation & rendering ————— *)
+
+let all_findings r = List.concat_map (fun fr -> fr.findings) r.reports
+let all_suppressed r = List.concat_map (fun fr -> fr.suppressed) r.reports
+
+let count sev r =
+  List.length
+    (List.filter (fun (f : Finding.t) -> f.severity = sev) (all_findings r))
+
+let errors r = count Finding.Error r
+let warnings r = count Finding.Warning r
+
+let render_text ?(show_suppressed = false) r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun fr ->
+      List.iter
+        (fun f ->
+          Buffer.add_string buf (Finding.to_string f);
+          Buffer.add_char buf '\n')
+        fr.findings)
+    r.reports;
+  if show_suppressed then
+    List.iter
+      (fun (f, (p : Pragma.t)) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%d: [%s][suppressed] %s — allowed: %s\n"
+             f.Finding.file f.Finding.line f.Finding.rule f.Finding.message
+             p.reason))
+      (all_suppressed r);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "repro-lint: %d file(s), %d error(s), %d warning(s), %d suppressed\n"
+       r.files (errors r) (warnings r)
+       (List.length (all_suppressed r)));
+  Buffer.contents buf
+
+let finding_json (f : Finding.t) =
+  Jsonw.obj
+    [ ("file", Jsonw.str f.file); ("line", Jsonw.int f.line);
+      ("col", Jsonw.int f.col); ("rule", Jsonw.str f.rule);
+      ("severity", Jsonw.str (Finding.severity_label f.severity));
+      ("message", Jsonw.str f.message); ("hint", Jsonw.str f.hint) ]
+
+let suppression_json (f, (p : Pragma.t)) =
+  Jsonw.obj
+    [ ("file", Jsonw.str f.Finding.file); ("line", Jsonw.int f.Finding.line);
+      ("rule", Jsonw.str f.Finding.rule);
+      ("message", Jsonw.str f.Finding.message);
+      ("pragma_line", Jsonw.int p.line); ("reason", Jsonw.str p.reason) ]
+
+let to_json r =
+  Jsonw.obj
+    [ ("version", Jsonw.str "repro-lint/1"); ("files", Jsonw.int r.files);
+      ("errors", Jsonw.int (errors r));
+      ("warnings", Jsonw.int (warnings r));
+      ("findings", Jsonw.list (List.map finding_json (all_findings r)));
+      ("suppressions",
+       Jsonw.list (List.map suppression_json (all_suppressed r))) ]
+
+let render_json r = Jsonw.to_string ~indent:2 (to_json r)
+
+(* ————— CLI ————— *)
+
+let usage =
+  "usage: repro_lint [--json] [--show-suppressed] [path ...]\n\
+   Lints every .ml under the given files/directories (default: lib bin \
+   bench test).\n\
+   Exit status 1 when any error-severity finding survives pragmas."
+
+let main argv =
+  let json = ref false in
+  let show_suppressed = ref false in
+  let paths = ref [] in
+  let bad = ref None in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--show-suppressed" -> show_suppressed := true
+        | "--help" | "-h" -> bad := Some 0
+        | _ when String.length arg > 0 && arg.[0] = '-' -> bad := Some 2
+        | path -> paths := path :: !paths)
+    argv;
+  match !bad with
+  | Some code ->
+      print_endline usage;
+      code
+  | None ->
+      let paths =
+        match List.rev !paths with
+        | [] -> [ "lib"; "bin"; "bench"; "test" ]
+        | ps -> ps
+      in
+      (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+      | Some missing ->
+          Printf.eprintf "repro_lint: no such path: %s\n" missing;
+          exit 2
+      | None -> ());
+      let r = lint_paths paths in
+      if !json then print_string (render_json r)
+      else print_string (render_text ~show_suppressed:!show_suppressed r);
+      if errors r > 0 then 1 else 0

@@ -1,0 +1,30 @@
+(** File discovery, parsing (compiler-libs), pragma application and
+    rendering for the lint pass. *)
+
+type file_report = {
+  file : string;
+  findings : Finding.t list;  (** active (unsuppressed), sorted *)
+  suppressed : (Finding.t * Pragma.t) list;  (** the audit trail *)
+}
+
+type report = { files : int; reports : file_report list }
+
+(** Lint one unit from source text. [has_mli] defaults to probing for a
+    sibling [.mli] on disk; fixture tests override it. *)
+val lint_source : ?has_mli:bool -> file:string -> string -> file_report
+
+val lint_file : string -> file_report
+
+(** Lint every [.ml] under the given files/directories, skipping
+    [_build], hidden directories and [lint_fixtures]. *)
+val lint_paths : string list -> report
+
+val errors : report -> int
+val warnings : report -> int
+val render_text : ?show_suppressed:bool -> report -> string
+val to_json : report -> Repro_observability.Jsonw.t
+val render_json : report -> string
+
+(** Run the CLI on [argv]; returns the intended exit status (0 clean,
+    1 error findings, 2 usage error). *)
+val main : string array -> int

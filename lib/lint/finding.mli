@@ -1,0 +1,23 @@
+(** One static-analysis finding: a rule violation anchored to a source
+    location, with a severity and a fix hint. Only [Error]-severity
+    findings fail the build; [Warning]s inform. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** "L1".."L5", or "parse"/"pragma" for tool diagnostics *)
+  severity : severity;
+  message : string;
+  hint : string;
+}
+
+val severity_label : severity -> string
+
+(** Order by (file, line, col, rule) for deterministic reports. *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,23 @@
+(** Suppression pragmas: [(* lint: allow <rule> <reason> *)] covers
+    findings of [<rule>] on the same or the next line;
+    [(* lint: allow-file <rule> <reason> *)] covers the whole file. The
+    reason is mandatory — each suppression is its own audit trail. *)
+
+type t = {
+  line : int;
+  rule : string;  (** canonical id, e.g. "L3" *)
+  reason : string;
+  file_wide : bool;
+  mutable used : bool;
+}
+
+(** Accepts "L1".."L5" and the slug names ("determinism",
+    "iteration-order", "quadratic", "exception-hygiene",
+    "snapshot-complete"), case-insensitively. *)
+val canonical_rule : string -> string option
+
+(** [scan source] returns pragmas in line order plus malformed-pragma
+    diagnostics as [(line, message)] pairs. *)
+val scan : string -> t list * (int * string) list
+
+val covers : t -> Finding.t -> bool

@@ -1,0 +1,24 @@
+(** The five invariant rules (see DESIGN.md §11):
+
+    - L1 determinism: no ambient [Random.*] outside [lib/sim/rng.ml], no
+      wall-clock reads ([Unix.gettimeofday]/[Unix.time]/[Sys.time])
+      outside allow-listed wall-metrics sites.
+    - L2 iteration order: [Hashtbl.iter]/[Hashtbl.fold] results must not
+      reach Snap/Codec/Checkpoint/Jsonw encodings without a [List.sort].
+    - L3 quadratic patterns: [l @ [x]] stored into a mutable cell
+      (error), [List.length] comparisons inside recursive/loop contexts
+      (warning).
+    - L4 exception hygiene: catch-all [try ... with _ ->] swallows
+      (error), bare [raise Not_found]/[raise Exit] in modules with an
+      exported [.mli] (error).
+    - L5 snapshot completeness: in units defining [snapshot]+[restore]
+      (or the [extra_] pair), every mutable record field must be
+      referenced in the call closure of both. *)
+
+type ctx = { file : string; has_mli : bool }
+
+(** Each rule by id, individually runnable (fixture tests pin each one). *)
+val all : (string * (ctx -> Parsetree.structure -> Finding.t list)) list
+
+(** Run every rule; findings in rule order, locations sorted per rule. *)
+val run : ctx -> Parsetree.structure -> Finding.t list

@@ -49,7 +49,7 @@ type 'a sender = {
   label : string;
   mutable next_seq : int;
   mutable acked_upto : int;  (* cumulative: all seq <= acked_upto acked *)
-  mutable window : 'a inflight list;  (* unacked, oldest first *)
+  mutable rev_window : 'a inflight list;  (* unacked, newest first *)
   mutable cur_rto : float;
   mutable epoch : int;  (* stamps timers; a stale timer is a no-op *)
 }
@@ -60,10 +60,10 @@ let sender ?(config = default_config) ?(obs = Obs.disabled ()) ?(label = "")
   then invalid_arg "Transport.sender: bad config";
   if config.jitter < 0. then invalid_arg "Transport.sender: jitter < 0";
   { engine; rng; config; send_frame; stats = fresh_stats (); obs; label;
-    next_seq = 0; acked_upto = -1; window = []; cur_rto = config.rto;
+    next_seq = 0; acked_upto = -1; rev_window = []; cur_rto = config.rto;
     epoch = 0 }
 
-let unacked s = List.length s.window
+let unacked s = List.length s.rev_window
 let sender_stats s = s.stats
 
 (* One timer guards the whole in-flight window (TCP-style). Timers cannot
@@ -74,12 +74,12 @@ let rec arm s =
   let epoch = s.epoch in
   let delay = s.cur_rto *. (1. +. (s.config.jitter *. Rng.float s.rng)) in
   Engine.schedule s.engine ~delay (fun () ->
-      if epoch = s.epoch && s.window <> [] then begin
+      if epoch = s.epoch && s.rev_window <> [] then begin
         s.stats.timeouts <- s.stats.timeouts + 1;
         if Obs.active s.obs then
           Obs.event s.obs "transport.timeout"
             [ ("link", Tracer.S s.label);
-              ("window", Tracer.I (List.length s.window));
+              ("window", Tracer.I (List.length s.rev_window));
               ("rto", Tracer.F s.cur_rto) ];
         List.iter
           (fun f ->
@@ -90,7 +90,7 @@ let rec arm s =
                 [ ("link", Tracer.S s.label); ("seq", Tracer.I f.seq);
                   ("retx", Tracer.I f.retx) ];
             s.send_frame (Data { seq = f.seq; payload = f.payload }))
-          s.window;
+          (List.rev s.rev_window);
         s.cur_rto <- Float.min (s.cur_rto *. s.config.backoff) s.config.max_rto;
         arm s
       end)
@@ -98,8 +98,8 @@ let rec arm s =
 let send s payload =
   let seq = s.next_seq in
   s.next_seq <- seq + 1;
-  let was_idle = s.window = [] in
-  s.window <- s.window @ [ { seq; payload; retx = 0 } ];
+  let was_idle = s.rev_window = [] in
+  s.rev_window <- { seq; payload; retx = 0 } :: s.rev_window;
   s.stats.frames_sent <- s.stats.frames_sent + 1;
   s.send_frame (Data { seq; payload });
   if was_idle then begin
@@ -111,7 +111,10 @@ let sender_on_frame s = function
   | Data _ -> invalid_arg "Transport.sender_on_frame: Data on ack channel"
   | Ack { upto } ->
       if upto > s.acked_upto then begin
-        let acked, rest = List.partition (fun f -> f.seq <= upto) s.window in
+        let acked, rest =
+          List.partition (fun f -> f.seq <= upto) s.rev_window
+        in
+        (* oldest first, so recovery events keep their original order *)
         List.iter
           (fun f ->
             if f.retx > 0 then begin
@@ -121,12 +124,12 @@ let sender_on_frame s = function
                   [ ("link", Tracer.S s.label); ("seq", Tracer.I f.seq);
                     ("retx", Tracer.I f.retx) ]
             end)
-          acked;
-        s.window <- rest;
+          (List.rev acked);
+        s.rev_window <- rest;
         s.acked_upto <- upto;
         s.cur_rto <- s.config.rto;
         (* progress: restart the timer for what remains, or go idle *)
-        if s.window = [] then s.epoch <- s.epoch + 1 else arm s
+        if s.rev_window = [] then s.epoch <- s.epoch + 1 else arm s
       end
 
 (* ————— crash-recovery hooks —————
@@ -137,29 +140,34 @@ let sender_on_frame s = function
    peer's receiver suppresses them as duplicates — exactly-once
    re-application for free. *)
 
+(* The checkpointed window stays oldest-first: the encoding predates the
+   reversed in-memory representation. *)
 let sender_state s =
-  (s.next_seq, s.acked_upto, List.map (fun f -> (f.seq, f.payload)) s.window)
+  ( s.next_seq,
+    s.acked_upto,
+    List.rev_map (fun f -> (f.seq, f.payload)) s.rev_window )
 
 (* The owner crashed: orphan the retransmission timer and forget the
    window (it is volatile state; a restore re-seeds it). *)
 let halt_sender s =
   s.epoch <- s.epoch + 1;
-  s.window <- []
+  s.rev_window <- []
 
 let restore_sender s ~next_seq ~acked_upto ~window =
   s.epoch <- s.epoch + 1;
   s.next_seq <- next_seq;
   s.acked_upto <- acked_upto;
-  s.window <- List.map (fun (seq, payload) -> { seq; payload; retx = 1 }) window;
+  s.rev_window <-
+    List.rev_map (fun (seq, payload) -> { seq; payload; retx = 1 }) window;
   s.cur_rto <- s.config.rto;
-  if s.window <> [] then begin
-    (* retransmit the restored window immediately; the peer re-acks
-       anything it already delivered *)
+  if s.rev_window <> [] then begin
+    (* retransmit the restored window immediately, oldest first; the peer
+       re-acks anything it already delivered *)
     List.iter
-      (fun f ->
+      (fun (seq, payload) ->
         s.stats.retransmissions <- s.stats.retransmissions + 1;
-        s.send_frame (Data { seq = f.seq; payload = f.payload }))
-      s.window;
+        s.send_frame (Data { seq; payload }))
+      window;
     arm s
   end
 
@@ -270,7 +278,7 @@ let connect ?config ?(faults = Fault.reliable) ?gate ?data_gate ?ack_gate
   { l_sender; l_receiver; data_ch; ack_ch }
 
 let link_send l payload = send l.l_sender payload
-let link_idle l = l.l_sender.window = []
+let link_idle l = l.l_sender.rev_window = []
 let link_sender l = l.l_sender
 let link_receiver l = l.l_receiver
 

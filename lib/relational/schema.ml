@@ -19,7 +19,8 @@ let arity s = Array.length s.attributes
 
 let index_of s n =
   let rec find i =
-    if i >= Array.length s.attributes then raise Not_found
+    if i >= Array.length s.attributes then
+      raise Not_found (* lint: allow L4 documented contract: schema.mli says index_of raises Not_found when absent *)
     else if String.equal s.attributes.(i).name n then i
     else find (i + 1)
   in

@@ -305,7 +305,7 @@ let split_where schemas e =
       | Cmp (Predicate.Eq, (Qattr _ as l), (Qattr _ as r)) ->
           let sl, gl = resolve_qattr schemas l in
           let sr, gr = resolve_qattr schemas r in
-          if sl + 1 = sr then joins.(sl) <- joins.(sl) @ [ (gl, gr) ]
+          if sl + 1 = sr then joins.(sl) <- joins.(sl) @ [ (gl, gr) ] (* lint: allow L3 parse-time only, bounded by the query's join-predicate count *)
           else if sr + 1 = sl then joins.(sr) <- joins.(sr) @ [ (gr, gl) ]
           else residual := c :: !residual
       | _ -> residual := c :: !residual)

@@ -17,8 +17,7 @@ type job = {
   mutable pending : int list;  (* next positions to incorporate, in order *)
   mutable outstanding : int;
   qid : int;
-  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
-  mutable span : Tracer.id;
+  mutable span : Tracer.id; (* lint: allow L5 volatile span ids: never checkpointed, Tracer.none after restore *)
   mutable leg : Tracer.id;
 }
 
@@ -31,7 +30,8 @@ type current = {
   mutable kills : (int * Tuple.t) list;  (* (source, key) kills to apply *)
   mutable finished : bool;  (* finalize-once guard *)
   delete_view_delta : Delta.t;  (* local handling of the delete part *)
-  mutable span : Tracer.id;  (* volatile, like the jobs' *)
+  (* lint: allow L5 volatile span id, like the jobs': Tracer.none after restore *)
+  mutable span : Tracer.id;
 }
 
 type t = { ctx : Algorithm.ctx; mutable current : current option }

@@ -14,9 +14,11 @@ type pending = {
   span : Tracer.id;
 }
 
-type t = { ctx : Algorithm.ctx; mutable pending : pending list }
+(* Pending queries, newest first: appends are hot, and every ordered
+   consumer reverses at the boundary. *)
+type t = { ctx : Algorithm.ctx; mutable rev_pending : pending list }
 
-let create ctx = { ctx; pending = [] }
+let create ctx = { ctx; rev_pending = [] }
 
 let trace t fmt =
   Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
@@ -39,7 +41,7 @@ let on_update t (entry : Update_queue.entry) =
             if List.mem_assoc a term then None
             else Some ((a, neg) :: term))
           p.terms)
-      t.pending
+      (List.rev t.rev_pending)
   in
   let terms = [ (a, delta) ] :: compensations in
   let qid = t.ctx.fresh_qid () in
@@ -55,26 +57,26 @@ let on_update t (entry : Update_queue.entry) =
           ("qid", Tracer.I qid) ]
     else Tracer.none
   in
-  t.pending <- t.pending @ [ { entry; terms; qid; span } ];
+  t.rev_pending <- { entry; terms; qid; span } :: t.rev_pending;
   (* The centralized site is addressed as source 0 by convention. *)
   t.ctx.send 0 (Message.Eca_query { qid; terms })
 
 let on_answer t msg =
   match msg with
   | Message.Eca_answer { qid; partial } -> (
-      match List.find_opt (fun p -> p.qid = qid) t.pending with
+      match List.find_opt (fun p -> p.qid = qid) t.rev_pending with
       | None ->
           invalid_arg
             (Printf.sprintf "Eca.on_answer: unexpected answer qid=%d" qid)
       | Some p ->
-          t.pending <- List.filter (fun p' -> p'.qid <> qid) t.pending;
+          t.rev_pending <- List.filter (fun p' -> p'.qid <> qid) t.rev_pending;
           let view_delta = Algebra.select_project t.ctx.view partial in
           t.ctx.install view_delta ~txns:[ p.entry ];
           Obs.finish t.ctx.obs p.span)
   | Message.Answer _ | Message.Snapshot _ | Message.Update_notice _ ->
       invalid_arg "Eca.on_answer: unexpected message kind"
 
-let idle t = t.pending = [] && Update_queue.is_empty t.ctx.queue
+let idle t = t.rev_pending = [] && Update_queue.is_empty t.ctx.queue
 
 module Snap = Repro_durability.Snap
 
@@ -105,5 +107,9 @@ let pending_of_snap s =
         qid = Snap.to_int qid; span = Tracer.none }
   | _ -> invalid_arg "Eca: malformed pending snapshot"
 
-let snapshot t = Snap.List (List.map snap_of_pending t.pending)
-let restore ctx s = { ctx; pending = List.map pending_of_snap (Snap.to_list s) }
+(* Checkpointed in delivery order: the encoding is unchanged by the
+   reversed in-memory representation. *)
+let snapshot t = Snap.List (List.rev_map snap_of_pending t.rev_pending)
+
+let restore ctx s =
+  { ctx; rev_pending = List.rev_map pending_of_snap (Snap.to_list s) }

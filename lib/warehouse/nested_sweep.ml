@@ -18,8 +18,7 @@ type frame = {
   mutable pending : int list;
   mutable outstanding : int;
   qid : int;
-  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
-  mutable span : Tracer.id;
+  mutable span : Tracer.id; (* lint: allow L5 volatile span ids: never checkpointed, Tracer.none after restore *)
   mutable leg : Tracer.id;
 }
 

@@ -8,9 +8,10 @@ let name = "recompute"
 type job = {
   entry : Update_queue.entry;
   snapshots : Relation.t option array;
+  (* lint: allow L5 derived: job_of_snap recounts the None snapshots at restore *)
   mutable missing : int;
   qid : int;
-  (* volatile span id: never checkpointed, [Tracer.none] after restore *)
+  (* lint: allow L5 volatile span id: never checkpointed, Tracer.none after restore *)
   mutable span : Tracer.id;
 }
 

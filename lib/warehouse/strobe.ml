@@ -20,14 +20,15 @@ type query = {
   (* key-deletes delivered while this query was in flight *)
   mutable kill_keys : (int * Tuple.t) list;
   qid : int;
-  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
-  mutable span : Tracer.id;
+  mutable span : Tracer.id; (* lint: allow L5 volatile span ids: never checkpointed, Tracer.none after restore *)
   mutable leg : Tracer.id;
 }
 
 type t = {
   ctx : Algorithm.ctx;
-  mutable uqs : query list;  (* unanswered query set *)
+  (* unanswered query set, newest first (appends are hot; membership and
+     removal never depend on order) *)
+  mutable rev_uqs : query list;
   mutable rev_al : action list;
   (* entries awaiting install, newest first (reversed at flush — appends
      are hot, flushes amortize the reversal over the whole batch) *)
@@ -36,7 +37,7 @@ type t = {
 
 let create ctx =
   Keys.require_keys ~algorithm:"Strobe" ctx.Algorithm.view;
-  { ctx; uqs = []; rev_al = []; rev_batch = [] }
+  { ctx; rev_uqs = []; rev_al = []; rev_batch = [] }
 
 let trace t fmt =
   Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
@@ -82,7 +83,7 @@ let flush t =
     t.ctx.install delta ~txns
   end
 
-let maybe_flush t = if t.uqs = [] then flush t
+let maybe_flush t = if t.rev_uqs = [] then flush t
 
 let advance t q =
   match q.pending with
@@ -107,7 +108,7 @@ let advance t q =
           Hashtbl.replace keys key ();
           Keys.kill_full t.ctx.view ~full ~source ~keys)
         q.kill_keys;
-      t.uqs <- List.filter (fun q' -> q'.qid <> q.qid) t.uqs;
+      t.rev_uqs <- List.filter (fun q' -> q'.qid <> q.qid) t.rev_uqs;
       t.rev_al <- Ins { full } :: t.rev_al;
       Obs.finish t.ctx.obs q.span;
       maybe_flush t
@@ -127,7 +128,7 @@ let on_update t (entry : Update_queue.entry) =
   Delta.iter
     (fun tup _c ->
       let key = Keys.source_tuple_key t.ctx.view i tup in
-      List.iter (fun q -> q.kill_keys <- (i, key) :: q.kill_keys) t.uqs;
+      List.iter (fun q -> q.kill_keys <- (i, key) :: q.kill_keys) t.rev_uqs;
       t.rev_al <- Del { source = i; key } :: t.rev_al)
     deletes;
   (* Inserts: launch a query over the other sources. *)
@@ -147,7 +148,7 @@ let on_update t (entry : Update_queue.entry) =
         pending = Sweep.sweep_order ~n ~i; outstanding = -1;
         kill_keys = []; qid = t.ctx.fresh_qid (); span; leg = Tracer.none }
     in
-    t.uqs <- t.uqs @ [ q ];
+    t.rev_uqs <- q :: t.rev_uqs;
     advance t q
   end
   else maybe_flush t
@@ -155,7 +156,7 @@ let on_update t (entry : Update_queue.entry) =
 let on_answer t msg =
   match msg with
   | Message.Answer { qid; source = j; partial } -> (
-      match List.find_opt (fun q -> q.qid = qid) t.uqs with
+      match List.find_opt (fun q -> q.qid = qid) t.rev_uqs with
       | Some q when q.outstanding = j ->
           q.outstanding <- -1;
           Obs.finish t.ctx.obs q.leg;
@@ -168,7 +169,8 @@ let on_answer t msg =
   | Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _ ->
       invalid_arg "Strobe.on_answer: unexpected message kind"
 
-let idle t = t.uqs = [] && t.rev_al = [] && Update_queue.is_empty t.ctx.queue
+let idle t =
+  t.rev_uqs = [] && t.rev_al = [] && Update_queue.is_empty t.ctx.queue
 
 module Snap = Repro_durability.Snap
 
@@ -211,11 +213,11 @@ let query_of_snap s =
         qid = Snap.to_int qid; span = Tracer.none; leg = Tracer.none }
   | _ -> invalid_arg "Strobe: malformed query snapshot"
 
-(* The batch is checkpointed in delivery order, keeping the encoding
-   identical to the pre-deque representation. *)
+(* The batch and query set are checkpointed in delivery order, keeping
+   the encoding identical to the pre-deque representation. *)
 let snapshot t =
   Snap.List
-    [ Snap.List (List.map snap_of_query t.uqs);
+    [ Snap.List (List.rev_map snap_of_query t.rev_uqs);
       Snap.List (List.map snap_of_action t.rev_al);
       Snap.List (List.rev_map Algorithm.snap_of_entry t.rev_batch) ]
 
@@ -223,7 +225,7 @@ let restore ctx s =
   match Snap.to_list s with
   | [ uqs; rev_al; batch ] ->
       Keys.require_keys ~algorithm:"Strobe" ctx.Algorithm.view;
-      { ctx; uqs = List.map query_of_snap (Snap.to_list uqs);
+      { ctx; rev_uqs = List.rev_map query_of_snap (Snap.to_list uqs);
         rev_al = List.map action_of_snap (Snap.to_list rev_al);
         rev_batch =
           List.rev_map Algorithm.entry_of_snap (Snap.to_list batch) }

@@ -36,9 +36,7 @@ type leg = {
   mutable pending : int list;
   mutable outstanding : int;
   qid : int;
-  (* span ids are volatile: never checkpointed, [Tracer.none] after a
-     crash restore (recovery truncates the span tree). *)
-  mutable span : Tracer.id;
+  mutable span : Tracer.id; (* lint: allow L5 volatile span ids: never checkpointed, Tracer.none after a crash restore (recovery truncates the span tree) *)
   mutable query_span : Tracer.id;
 }
 
@@ -52,6 +50,7 @@ type batch = {
   mutable remaining : (int * Delta.t) list;
   mutable acc : Delta.t;  (* Σ finished legs' view deltas *)
   mutable current : leg option;
+  (* lint: allow L5 volatile span id, like the legs': Tracer.none after restore *)
   mutable span : Tracer.id;
 }
 

@@ -33,9 +33,7 @@ module Make (P : POLICY) = struct
     mutable outstanding : int;
     mutable pending : int list;
     qid : int;
-    (* span ids are volatile: never checkpointed, [Tracer.none] after a
-       crash restore (recovery truncates the span tree). *)
-    mutable span : Tracer.id;
+    mutable span : Tracer.id; (* lint: allow L5 volatile span ids: never checkpointed, Tracer.none after a crash restore (recovery truncates the span tree) *)
     mutable leg : Tracer.id;
   }
 

@@ -6,7 +6,8 @@ open Repro_protocol
 type ledger = {
   open_txns : (int, int) Hashtbl.t;
   mutable buffered : Delta.t;
-  mutable buffered_entries : Update_queue.entry list;
+  (* newest first; reversed into delivery order at flush and snapshot *)
+  mutable rev_buffered_entries : Update_queue.entry list;
 }
 
 include Sweep_engine.Make (struct
@@ -17,7 +18,7 @@ include Sweep_engine.Make (struct
 
   let create_extra _ =
     { open_txns = Hashtbl.create 8; buffered = Delta.empty ();
-      buffered_entries = [] }
+      rev_buffered_entries = [] }
 
   (* Account one processed update against its global transaction, if
      any. *)
@@ -38,17 +39,17 @@ include Sweep_engine.Make (struct
   let on_complete ctx ledger view_delta entry =
     note_part ledger entry;
     Bag.merge_into ~into:ledger.buffered view_delta;
-    ledger.buffered_entries <- ledger.buffered_entries @ [ entry ];
+    ledger.rev_buffered_entries <- entry :: ledger.rev_buffered_entries;
     if Hashtbl.length ledger.open_txns = 0 then begin
       let delta = ledger.buffered in
-      let entries = ledger.buffered_entries in
+      let entries = List.rev ledger.rev_buffered_entries in
       ledger.buffered <- Delta.empty ();
-      ledger.buffered_entries <- [];
+      ledger.rev_buffered_entries <- [];
       ctx.Algorithm.install delta ~txns:entries
     end
 
   let extra_idle ledger =
-    Hashtbl.length ledger.open_txns = 0 && ledger.buffered_entries = []
+    Hashtbl.length ledger.open_txns = 0 && ledger.rev_buffered_entries = []
 
   module Snap = Repro_durability.Snap
 
@@ -61,15 +62,16 @@ include Sweep_engine.Make (struct
     in
     Snap.List
       [ Snap.List open_txns; Snap.Delta (Delta.copy ledger.buffered);
-        Snap.List (List.map Algorithm.snap_of_entry ledger.buffered_entries) ]
+        Snap.List
+          (List.rev_map Algorithm.snap_of_entry ledger.rev_buffered_entries) ]
 
   let extra_restore _ s =
     match Snap.to_list s with
     | [ open_txns; buffered; entries ] ->
         let ledger =
           { open_txns = Hashtbl.create 8; buffered = Snap.to_delta buffered;
-            buffered_entries =
-              List.map Algorithm.entry_of_snap (Snap.to_list entries) }
+            rev_buffered_entries =
+              List.rev_map Algorithm.entry_of_snap (Snap.to_list entries) }
         in
         List.iter
           (fun pair ->

@@ -12,15 +12,19 @@ type vc = {
   mutable outstanding : int;
   mutable completed : bool;  (* swept, awaiting in-order install *)
   qid : int;
-  (* volatile span ids: never checkpointed, [Tracer.none] after restore *)
-  mutable span : Tracer.id;
+  mutable span : Tracer.id; (* lint: allow L5 volatile span ids: never checkpointed, Tracer.none after restore *)
   mutable leg : Tracer.id;
 }
 
+(* The pipeline is a two-list deque (cf. Update_queue): [front] holds the
+   oldest view changes in delivery order, [rear] the newest in reverse,
+   and [depth] caches the total so refill never re-measures a list. *)
 type state = {
   ctx : Algorithm.ctx;
   window : int;
-  mutable pipeline : vc list;  (* delivery order *)
+  mutable front : vc list;  (* oldest first *)
+  mutable rear : vc list;  (* newest first *)
+  mutable depth : int; (* lint: allow L5 derived: restore recomputes it from the decoded pipeline *)
 }
 
 module Make (Cfg : sig
@@ -35,7 +39,20 @@ struct
 
   let create ctx =
     if Cfg.window < 1 then invalid_arg "Sweep_pipelined: window < 1";
-    { ctx; window = Cfg.window; pipeline = [] }
+    { ctx; window = Cfg.window; front = []; rear = []; depth = 0 }
+
+  (* Whole pipeline in delivery order, for scans and snapshots. *)
+  let pipeline t = t.front @ List.rev t.rear
+
+  let push t vc =
+    t.rear <- vc :: t.rear;
+    t.depth <- t.depth + 1
+
+  let normalize t =
+    if t.front = [] then begin
+      t.front <- List.rev t.rear;
+      t.rear <- []
+    end
 
   let trace t fmt =
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
@@ -60,19 +77,21 @@ struct
   (* Install completed sweeps strictly in delivery order, then top the
      pipeline back up from the queue. *)
   let rec drain_and_refill t =
-    (match t.pipeline with
+    normalize t;
+    match t.front with
     | vc :: rest when vc.completed ->
         let view_delta = Algebra.select_project t.ctx.view vc.dv in
         trace t "pipelined install for %a" Message.pp_txn_id
           vc.entry.update.Message.txn;
-        t.pipeline <- rest;
+        t.front <- rest;
+        t.depth <- t.depth - 1;
         t.ctx.install view_delta ~txns:[ vc.entry ];
         Obs.finish t.ctx.obs vc.span;
         drain_and_refill t
-    | _ -> refill t)
+    | _ -> refill t
 
   and refill t =
-    if List.length t.pipeline < t.window then
+    if t.depth < t.window then
       match Update_queue.pop t.ctx.queue with
       | None -> ()
       | Some entry ->
@@ -88,7 +107,7 @@ struct
                    Tracer.S
                      (Format.asprintf "%a" Message.pp_txn_id
                         entry.update.Message.txn));
-                  ("depth", Tracer.I (List.length t.pipeline + 1)) ]
+                  ("depth", Tracer.I (t.depth + 1)) ]
             else Tracer.none
           in
           let vc =
@@ -97,9 +116,8 @@ struct
               qid = t.ctx.fresh_qid (); span; leg = Tracer.none }
           in
           trace t "pipelined ViewChange(%a) begins (depth %d)"
-            Message.pp_txn_id entry.update.Message.txn
-            (List.length t.pipeline + 1);
-          t.pipeline <- t.pipeline @ [ vc ];
+            Message.pp_txn_id entry.update.Message.txn (t.depth + 1);
+          push t vc;
           advance t vc;
           (* an n=1 view completes instantly; also keep filling *)
           drain_and_refill t
@@ -125,7 +143,7 @@ struct
             && other.entry.update.Message.txn.source = j
           then Some other.entry.update.Message.delta
           else None)
-        t.pipeline
+        (pipeline t)
     in
     in_pipeline @ queued
 
@@ -135,7 +153,7 @@ struct
         match
           List.find_opt
             (fun vc -> vc.qid = qid && vc.outstanding = j)
-            t.pipeline
+            (pipeline t)
         with
         | Some vc ->
             vc.outstanding <- -1;
@@ -162,7 +180,7 @@ struct
     | Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _ ->
         invalid_arg "Sweep_pipelined.on_answer: unexpected message kind"
 
-  let idle t = t.pipeline = [] && Update_queue.is_empty t.ctx.queue
+  let idle t = t.depth = 0 && Update_queue.is_empty t.ctx.queue
 
   module Snap = Repro_durability.Snap
 
@@ -182,11 +200,14 @@ struct
           span = Tracer.none; leg = Tracer.none }
     | _ -> invalid_arg "Sweep_pipelined: malformed snapshot"
 
-  let snapshot t = Snap.List (List.map snap_of_vc t.pipeline)
+  (* Checkpoint encoding stays in delivery order, exactly as before the
+     deque refactor. *)
+  let snapshot t = Snap.List (List.map snap_of_vc (pipeline t))
 
   let restore ctx s =
-    { ctx; window = Cfg.window;
-      pipeline = List.map vc_of_snap (Snap.to_list s) }
+    let vcs = List.map vc_of_snap (Snap.to_list s) in
+    { ctx; window = Cfg.window; front = vcs; rear = [];
+      depth = List.length vcs }
 end
 
 module Default = Make (struct

@@ -1,0 +1,3 @@
+(* L1 negative fixture: seeded rng and virtual clock only. *)
+let jitter rng = Rng.float rng
+let now engine = Engine.now engine

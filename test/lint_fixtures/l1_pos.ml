@@ -1,0 +1,4 @@
+(* L1 positive fixture: ambient randomness and wall-clock reads. *)
+let jitter () = Random.float 1.0
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

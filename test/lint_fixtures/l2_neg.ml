@@ -1,0 +1,6 @@
+(* L2 negative fixture: the folded pairs are sorted before encoding. *)
+let snapshot t =
+  let pairs =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+  in
+  Snap.List (List.map (fun (k, v) -> Snap.ints [ k; v ]) pairs)

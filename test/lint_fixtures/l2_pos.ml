@@ -1,0 +1,3 @@
+(* L2 positive fixture: Hashtbl.fold feeds an encoding without a sort. *)
+let snapshot t =
+  Snap.List (Hashtbl.fold (fun k v acc -> Snap.ints [ k; v ] :: acc) t.tbl [])

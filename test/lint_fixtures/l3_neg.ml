@@ -1,0 +1,9 @@
+(* L3 negative fixture: reversed accumulation and a cached length. *)
+type t = { mutable rev_xs : int list; mutable len : int }
+
+let push t x =
+  t.rev_xs <- x :: t.rev_xs;
+  t.len <- t.len + 1
+
+let rec wait t n = if t.len < n then wait t n
+let drain t = List.rev t.rev_xs

@@ -1,0 +1,6 @@
+(* L3 positive fixture: quadratic append into a mutable cell, plus
+   List.length re-measured inside a recursive loop. *)
+type t = { mutable xs : int list }
+
+let push t x = t.xs <- t.xs @ [ x ]
+let rec wait t n = if List.length t.xs < n then wait t n

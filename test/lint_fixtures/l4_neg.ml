@@ -1,0 +1,8 @@
+(* L4 negative fixture: specific exceptions, and a re-raised catch. *)
+let parse s = try Some (int_of_string s) with Failure _ -> None
+
+let with_cleanup f x reset =
+  try f x
+  with e ->
+    reset ();
+    raise e

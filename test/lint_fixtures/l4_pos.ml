@@ -1,0 +1,4 @@
+(* L4 positive fixture (linted with has_mli = true): a swallowing
+   catch-all and a bare Not_found escaping an exported function. *)
+let parse s = try int_of_string s with _ -> 0
+let find xs x = if List.mem x xs then x else raise Not_found

@@ -1,0 +1,9 @@
+(* L5 negative fixture: every mutable field round-trips. *)
+type t = { mutable count : int; mutable label : string }
+
+let snapshot t = Snap.List [ Snap.Int t.count; Snap.Str t.label ]
+
+let restore _ctx s =
+  match Snap.to_list s with
+  | [ c; l ] -> { count = Snap.to_int c; label = Snap.to_str l }
+  | _ -> invalid_arg "bad snapshot"

@@ -1,0 +1,5 @@
+(* L5 positive fixture: [label] never reaches the snapshot path. *)
+type t = { mutable count : int; mutable label : string }
+
+let snapshot t = Snap.Int t.count
+let restore _ctx s = { count = Snap.to_int s; label = "" }

@@ -1,0 +1,3 @@
+(* lint: allow L9 no such rule *)
+(* lint: allow L1 *)
+let id x = x

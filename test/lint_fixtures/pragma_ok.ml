@@ -1,0 +1,2 @@
+(* Pragma fixture: the violation below is suppressed with a reason. *)
+let jitter () = Random.float 1.0 (* lint: allow L1 fixture: demonstrates suppression with an audit reason *)

@@ -1,0 +1,2 @@
+(* lint: allow L3 nothing here actually appends *)
+let id x = x

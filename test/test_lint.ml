@@ -1,0 +1,202 @@
+(* Golden tests for the repro_lint static-analysis pass: every rule has a
+   positive fixture (must fire, with the expected rule ids and lines) and
+   a negative fixture (must stay silent), so deleting any rule's
+   implementation fails at least one case here. Plus pragma suppression,
+   the JSON report shape, and the checkpoint-determinism invariant the
+   L2 rule exists to protect. *)
+
+open Repro_relational
+open Repro_warehouse
+open Repro_workload
+module Driver = Repro_lint.Driver
+module Finding = Repro_lint.Finding
+module Jsonw = Repro_observability.Jsonw
+module Jsonr = Repro_observability.Jsonr
+
+let read_fixture name =
+  let path = Filename.concat "lint_fixtures" name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fixtures are linted from source with an explicit [has_mli] so the
+   result does not depend on sibling files. *)
+let lint ?(has_mli = false) name =
+  Driver.lint_source ~has_mli ~file:name (read_fixture name)
+
+let rule_lines (r : Driver.file_report) =
+  List.map (fun (f : Finding.t) -> (f.rule, f.line)) r.findings
+
+let rule_line = Alcotest.(pair string int)
+
+let check_findings name expected actual =
+  Alcotest.(check (list rule_line)) name expected (rule_lines actual)
+
+(* ————— rule golden tests ————— *)
+
+let test_l1 () =
+  check_findings "l1_pos fires per call"
+    [ ("L1", 2); ("L1", 3); ("L1", 4) ]
+    (lint "l1_pos.ml");
+  check_findings "l1_neg silent" [] (lint "l1_neg.ml")
+
+let test_l2 () =
+  check_findings "l2_pos flags the fold" [ ("L2", 3) ] (lint "l2_pos.ml");
+  check_findings "l2_neg silent" [] (lint "l2_neg.ml")
+
+let test_l3 () =
+  let r = lint "l3_pos.ml" in
+  check_findings "l3_pos flags append and length" [ ("L3", 5); ("L3", 6) ] r;
+  (match r.findings with
+  | [ append; length ] ->
+      Alcotest.(check string) "append is an error" "error"
+        (Finding.severity_label append.Finding.severity);
+      Alcotest.(check string) "length is a warning" "warning"
+        (Finding.severity_label length.Finding.severity)
+  | _ -> Alcotest.fail "expected two findings");
+  check_findings "l3_neg silent" [] (lint "l3_neg.ml")
+
+let test_l4 () =
+  check_findings "l4_pos flags swallow and bare raise"
+    [ ("L4", 3); ("L4", 4) ]
+    (lint ~has_mli:true "l4_pos.ml");
+  (* without an interface the bare raise is a local matter *)
+  check_findings "l4_pos without mli keeps only the swallow" [ ("L4", 3) ]
+    (lint ~has_mli:false "l4_pos.ml");
+  check_findings "l4_neg silent" [] (lint ~has_mli:true "l4_neg.ml")
+
+let test_l5 () =
+  let r = lint "l5_pos.ml" in
+  check_findings "l5_pos flags the dropped field" [ ("L5", 2) ] r;
+  (match r.findings with
+  | [ f ] ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names the dropped field" true
+        (contains f.Finding.message "t.label")
+  | _ -> Alcotest.fail "expected one finding");
+  check_findings "l5_neg silent" [] (lint "l5_neg.ml")
+
+(* ————— pragmas ————— *)
+
+let test_pragma_suppression () =
+  let r = lint "pragma_ok.ml" in
+  check_findings "no active findings" [] r;
+  (match r.suppressed with
+  | [ (f, p) ] ->
+      Alcotest.(check string) "suppressed rule" "L1" f.Finding.rule;
+      Alcotest.(check bool) "reason recorded" true
+        (String.length p.Repro_lint.Pragma.reason > 0)
+  | _ -> Alcotest.fail "expected exactly one suppression");
+  let unused = lint "pragma_unused.ml" in
+  check_findings "unused pragma warns" [ ("pragma", 1) ] unused;
+  let bad = lint "pragma_bad.ml" in
+  check_findings "malformed pragmas are errors"
+    [ ("pragma", 1); ("pragma", 2) ]
+    bad;
+  Alcotest.(check bool) "malformed pragmas are error severity" true
+    (List.for_all
+       (fun (f : Finding.t) -> f.severity = Finding.Error)
+       bad.findings)
+
+(* ————— JSON report ————— *)
+
+let test_json_report () =
+  let report =
+    { Driver.files = 2;
+      reports = [ lint "l3_pos.ml"; lint "pragma_ok.ml" ] }
+  in
+  let doc = Jsonr.parse_exn (Driver.render_json report) in
+  let field k = function
+    | Jsonw.Obj kvs -> List.assoc k kvs
+    | _ -> Alcotest.fail "expected an object"
+  in
+  Alcotest.(check string) "version" "repro-lint/1"
+    (match field "version" doc with
+    | Jsonw.String s -> s
+    | _ -> "?");
+  Alcotest.(check bool) "error count" true
+    (field "errors" doc = Jsonw.Int 1);
+  Alcotest.(check bool) "warning count" true
+    (field "warnings" doc = Jsonw.Int 1);
+  (match field "findings" doc with
+  | Jsonw.List fs ->
+      Alcotest.(check int) "findings listed" 2 (List.length fs);
+      List.iter
+        (fun f ->
+          List.iter
+            (fun k ->
+              match field k f with
+              | (exception Not_found) ->
+                  Alcotest.fail (Printf.sprintf "finding lacks %S" k)
+              | _ -> ())
+            [ "file"; "line"; "col"; "rule"; "severity"; "message"; "hint" ])
+        fs
+  | _ -> Alcotest.fail "findings is not a list");
+  match field "suppressions" doc with
+  | Jsonw.List [ s ] ->
+      Alcotest.(check bool) "suppression carries its reason" true
+        (match field "reason" s with
+        | Jsonw.String r -> String.length r > 0
+        | _ -> false)
+  | _ -> Alcotest.fail "expected one suppression in the report"
+
+(* ————— checkpoint determinism (the invariant behind L2) ————— *)
+
+module Checkpoint = Repro_durability.Checkpoint
+
+let view = Chain.view ~n:3 ()
+
+let initial () =
+  [| Relation.of_tuples [ Chain.tuple ~key:0 ~a:0 ~b:1 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:1 ~b:2 ];
+     Relation.of_tuples [ Chain.tuple ~key:0 ~a:2 ~b:3 ] |]
+
+let updates =
+  [ (0.0, 2, Delta.insertion (Chain.tuple ~key:1 ~a:2 ~b:9));
+    (0.5, 0, Delta.insertion (Chain.tuple ~key:1 ~a:7 ~b:1));
+    (3.5, 0, Delta.deletion (Chain.tuple ~key:0 ~a:0 ~b:1)) ]
+
+let checkpoint_bytes algorithm =
+  let outcome = Rig.scripted ~algorithm ~view ~initial:(initial ()) ~updates () in
+  Checkpoint.encode
+    (Node.checkpoint outcome.Rig.node ~wal_pos:0 ~recv_expected:[| 0; 0; 0 |]
+       ~senders:[||])
+
+let test_checkpoints_byte_identical () =
+  List.iter
+    (fun (name, algorithm) ->
+      let a = checkpoint_bytes algorithm in
+      let b = checkpoint_bytes algorithm in
+      Alcotest.(check bool)
+        (name ^ ": identical runs checkpoint to identical bytes")
+        true (String.equal a b);
+      (* decode → re-encode is also stable, so any Hashtbl-order
+         dependence in the encoding path would show up twice over *)
+      Alcotest.(check string)
+        (name ^ ": re-encoding a decoded checkpoint is stable")
+        a
+        (Checkpoint.encode (Checkpoint.decode a)))
+    [ ("sweep", (module Sweep : Algorithm.S));
+      ("sweep-global", (module Sweep_global : Algorithm.S));
+      ("sweep-batched", (module Sweep_batched : Algorithm.S));
+      ("sweep-pipelined", (module Sweep_pipelined : Algorithm.S));
+      ("strobe", (module Strobe : Algorithm.S));
+      ("c-strobe", (module C_strobe : Algorithm.S)) ]
+
+let suite =
+  [ Alcotest.test_case "L1: determinism fixtures" `Quick test_l1;
+    Alcotest.test_case "L2: iteration-order fixtures" `Quick test_l2;
+    Alcotest.test_case "L3: quadratic fixtures" `Quick test_l3;
+    Alcotest.test_case "L4: exception-hygiene fixtures" `Quick test_l4;
+    Alcotest.test_case "L5: snapshot-completeness fixtures" `Quick test_l5;
+    Alcotest.test_case "pragmas: suppression, unused, malformed" `Quick
+      test_pragma_suppression;
+    Alcotest.test_case "JSON report decodes with expected shape" `Quick
+      test_json_report;
+    Alcotest.test_case "checkpoints are byte-identical across runs" `Quick
+      test_checkpoints_byte_identical ]

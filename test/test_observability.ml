@@ -26,10 +26,10 @@ let bucket_ratio = Float.pow 10. (1. /. float_of_int Histogram.default_buckets_p
 
 let test_quantile_accuracy () =
   for seed = 1 to 50 do
-    let st = Random.State.make [| seed |] in
+    let st = Random.State.make [| seed |] in (* lint: allow L1 test-local PRNG with a literal seed: deterministic across runs *)
     let samples =
       (* three decades of strictly positive spread *)
-      Array.init 1000 (fun _ -> Float.pow 10. (Random.State.float st 3.))
+      Array.init 1000 (fun _ -> Float.pow 10. (Random.State.float st 3.)) (* lint: allow L1 drawn from the literal-seeded state above *)
     in
     let h = Histogram.create () in
     Array.iter (Histogram.record h) samples;
@@ -65,9 +65,9 @@ let test_zero_bucket () =
 
 let test_merge_equals_union () =
   for seed = 1 to 10 do
-    let st = Random.State.make [| 0xbeef + seed |] in
+    let st = Random.State.make [| 0xbeef + seed |] in (* lint: allow L1 test-local PRNG with a literal seed: deterministic across runs *)
     let samples =
-      Array.init 1000 (fun _ -> Float.pow 10. (Random.State.float st 3.))
+      Array.init 1000 (fun _ -> Float.pow 10. (Random.State.float st 3.)) (* lint: allow L1 drawn from the literal-seeded state above *)
     in
     let all = Histogram.create () in
     let h1 = Histogram.create () in
@@ -260,9 +260,9 @@ let rec json_equiv a b =
   | Jsonw.Int x, Jsonw.Float y | Jsonw.Float y, Jsonw.Int x ->
       float_of_int x = y
   | Jsonw.List xs, Jsonw.List ys ->
-      List.length xs = List.length ys && List.for_all2 json_equiv xs ys
+      List.length xs = List.length ys && List.for_all2 json_equiv xs ys (* lint: allow L3 length guard protecting for_all2; one-shot comparison *)
   | Jsonw.Obj xs, Jsonw.Obj ys ->
-      List.length xs = List.length ys
+      List.length xs = List.length ys (* lint: allow L3 length guard protecting for_all2; one-shot comparison *)
       && List.for_all2
            (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equiv v1 v2)
            xs ys
