@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json faults recover bench bench-json bench-compare examples doc clean
+.PHONY: all build test lint lint-json faults recover chaos bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -25,6 +25,15 @@ faults:
 # Warehouse crash-recovery suite only (WAL + checkpoint + restart).
 recover:
 	dune exec test/test_main.exe -- test recovery
+
+# Composed chaos suite at full scale: 50 randomized Fault.chaos
+# schedules per algorithm (heavy link faults, overlapping source
+# crashes, a warehouse outage) with query deadlines and circuit
+# breakers armed; checks progress, deterministic replay, consistency
+# floors and post-heal convergence. `dune runtest` runs the same suite
+# at 6 seeds.
+chaos:
+	CHAOS_SEEDS=50 dune exec test/test_main.exe -- test chaos
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:

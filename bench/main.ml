@@ -187,7 +187,10 @@ let run_bench_json ~scale path =
   let scenarios =
     List.filter_map
       (fun name -> Option.map scaled (Scenario.find_preset name))
-      [ "concurrent"; "centralized" ]
+      (* chaos exercises the resilience counters (query_timeouts,
+         breaker_trips, stalled_updates, degraded_time) so the perf gate
+         validates them against a run where they are live, not zero *)
+      [ "concurrent"; "centralized"; "chaos" ]
   in
   let experiments =
     List.concat_map

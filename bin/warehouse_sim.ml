@@ -13,8 +13,9 @@ open Repro_harness
 
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     domain seed latency centralized drop duplicate spike spike_factor crashes
-    wh_crashes checkpoint_every queue_capacity batch_max no_check show_trace
-    trace_spans json_out explain_sql =
+    wh_crashes chaos checkpoint_every queue_capacity batch_max deadline
+    breaker_k probe_limit stall_cap no_check show_trace trace_spans json_out
+    explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -112,13 +113,38 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     exit 2
   end;
   let faults =
-    if
+    if chaos then
+      let rng = Rng.create (Int64.of_int seed) in
+      Fault.chaos rng ~n_sources:n ~horizon:(float_of_int updates *. gap)
+    else if
       drop = 0. && duplicate = 0. && spike = 0. && crashes = []
       && wh_crashes = []
     then base.Scenario.faults
     else
       { Fault.link = Fault.lossy ~drop ~duplicate ~spike ~spike_factor ();
         crashes; wh_crashes }
+  in
+  (match deadline with
+  | Some d when d <= 0. ->
+      Printf.eprintf "--deadline must be > 0, got %g\n" d;
+      exit 2
+  | _ -> ());
+  if breaker_k < 1 then begin
+    Printf.eprintf "--breaker-k must be >= 1, got %d\n" breaker_k;
+    exit 2
+  end;
+  if probe_limit < 0 then begin
+    Printf.eprintf "--probe-limit must be >= 0, got %d\n" probe_limit;
+    exit 2
+  end;
+  if stall_cap < 1 then begin
+    Printf.eprintf "--stall-cap must be >= 1, got %d\n" stall_cap;
+    exit 2
+  end;
+  let deadline =
+    match deadline with
+    | Some _ as d -> d
+    | None -> if chaos then Some 16. else base.Scenario.deadline
   in
   let scenario =
     { Scenario.name = Option.value preset ~default:"cli";
@@ -136,6 +162,10 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       checkpoint_every;
       queue_capacity;
       batch_max;
+      deadline;
+      breaker_k;
+      probe_limit;
+      stall_cap;
       seed = Int64.of_int seed }
   in
   let alg =
@@ -198,7 +228,7 @@ let preset =
     & info [ "preset" ] ~docv:"NAME"
         ~doc:
           "Start from a named scenario (sequential, concurrent, bursty, \
-           adversarial, centralized, degraded, crashy); other flags \
+           adversarial, centralized, degraded, crashy, chaos); other flags \
            override it.")
 
 let n = Arg.(value & opt int 4 & info [ "n"; "sources" ] ~doc:"Number of data sources.")
@@ -236,6 +266,16 @@ let wh_crashes =
            the write-ahead log tail and resumes in-flight work — no source \
            refetch. Implies the durable (WAL + checkpoint) code path.")
 
+let chaos =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Replace the fault schedule with a composed chaos schedule drawn \
+           from the seed (heavy link faults, overlapping source-crash \
+           windows, a warehouse outage) and arm query deadlines + circuit \
+           breakers (default deadline 16 unless $(b,--deadline) is given).")
+
 let checkpoint_every =
   Arg.(
     value & opt int 8
@@ -262,6 +302,42 @@ let batch_max =
           "Cap on the queued updates sweep-batched coalesces into one \
            batched sweep (default 16; 1 degenerates to plain SWEEP). Only \
            $(b,-a sweep-batched) reads it.")
+
+let deadline =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"D"
+        ~doc:
+          "Per-query transport deadline in sim time units. After $(docv) \
+           without an answer the sender suspends and reports a timeout to \
+           the source's circuit breaker instead of retransmitting forever \
+           (distributed topology only). Unset = legacy infinite retry.")
+
+let breaker_k =
+  Arg.(
+    value & opt int 3
+    & info [ "breaker-k" ] ~docv:"K"
+        ~doc:
+          "Consecutive query deadline expiries before a source's circuit \
+           breaker trips open (only with $(b,--deadline)).")
+
+let probe_limit =
+  Arg.(
+    value & opt int 0
+    & info [ "probe-limit" ] ~docv:"P"
+        ~doc:
+          "Failed half-open probes before a breaker is abandoned and the \
+           run drains in degraded mode (0 = probe forever; only with \
+           $(b,--deadline)).")
+
+let stall_cap =
+  Arg.(
+    value & opt int 256
+    & info [ "stall-cap" ] ~docv:"CAP"
+        ~doc:
+          "Parked-update bound for degraded mode: once $(docv) updates are \
+           stalled behind open breakers, maintenance falls back to \
+           blocking on the dead source.")
 
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
@@ -303,7 +379,8 @@ let cmd =
       const run_cmd $ algorithm $ preset $ n $ updates $ gap $ p_insert
       $ txn_size $ placement $ init $ domain $ seed $ latency $ centralized
       $ drop $ duplicate $ spike $ spike_factor $ crashes
-      $ wh_crashes $ checkpoint_every $ queue_capacity $ batch_max
+      $ wh_crashes $ chaos $ checkpoint_every $ queue_capacity $ batch_max
+      $ deadline $ breaker_k $ probe_limit $ stall_cap
       $ no_check $ show_trace $ trace_spans $ json_out $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

@@ -1,12 +1,13 @@
 open Repro_relational
 open Repro_protocol
 
-type verdict = Complete | Strong | Convergent | Inconsistent
+type verdict = Complete | Strong | Convergent | Degraded | Inconsistent
 
 let verdict_to_string = function
   | Complete -> "complete"
   | Strong -> "strong"
   | Convergent -> "convergent"
+  | Degraded -> "degraded"
   | Inconsistent -> "INCONSISTENT"
 
 let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
@@ -15,7 +16,8 @@ let rank = function
   | Complete -> 0
   | Strong -> 1
   | Convergent -> 2
-  | Inconsistent -> 3
+  | Degraded -> 3
+  | Inconsistent -> 4
 
 let compare_verdict a b = Int.compare (rank a) (rank b)
 
@@ -221,6 +223,77 @@ let check_strong view obs =
   in
   go obs.installs 0
 
+(* Degraded consistency: the run ended with circuit breakers still open,
+   so some delivered updates were parked and never incorporated. The
+   install history must still be order-preserving and exact over the
+   {e incorporated subset} (per-source prefixes, contents matching the
+   partially-updated database state), and the final view must equal the
+   state reached by exactly the incorporated updates — the view is
+   honest about what it reflects, it just is not done. *)
+let check_degraded view obs =
+  let n = View_def.n_sources view in
+  let by_txn = Hashtbl.create 64 in
+  List.iteri
+    (fun k u -> Hashtbl.replace by_txn u.Message.txn (k, u))
+    obs.deliveries;
+  let rels = Array.map Relation.copy obs.initial_sources in
+  let expected = initial_expected view obs.initial_sources in
+  let next_seq = Array.make n 0 in
+  let rec go installs k =
+    match installs with
+    | [] ->
+        if Bag.equal expected obs.final_view then Ok ()
+        else
+          Error "final view deviates from the incorporated updates' state"
+    | (txns, snap) :: rest -> (
+        match
+          List.fold_left
+            (fun acc txn ->
+              match (acc, Hashtbl.find_opt by_txn txn) with
+              | Error e, _ -> Error e
+              | Ok _, None ->
+                  Error
+                    (Format.asprintf "install %d claims unknown txn %a" k
+                       Message.pp_txn_id txn)
+              | Ok l, Some ku -> Ok (ku :: l))
+            (Ok []) txns
+        with
+        | Error e -> Error e
+        | Ok batch ->
+            let by_source = Array.make n [] in
+            List.iter
+              (fun (_, u) ->
+                let s = u.Message.txn.Message.source in
+                by_source.(s) <- u.Message.txn.Message.seq :: by_source.(s))
+              batch;
+            let prefix_ok = ref true in
+            Array.iteri
+              (fun s seqs ->
+                let seqs = List.sort Int.compare seqs in
+                List.iter
+                  (fun seq ->
+                    if seq <> next_seq.(s) then prefix_ok := false
+                    else next_seq.(s) <- next_seq.(s) + 1)
+                  seqs)
+              by_source;
+            if not !prefix_ok then
+              Error
+                (Printf.sprintf
+                   "install %d skips over an earlier update of some source" k)
+            else begin
+              let batch =
+                List.sort (fun (a, _) (b, _) -> Int.compare a b) batch
+              in
+              List.iter (fun (_, u) -> apply_txn view rels expected u) batch;
+              if Bag.equal expected snap then go rest (k + 1)
+              else
+                Error
+                  (Printf.sprintf
+                     "install %d deviates from its batch's database state" k)
+            end)
+  in
+  go obs.installs 0
+
 let check_convergent view obs =
   let states =
     expected_states view ~initial:obs.initial_sources
@@ -230,12 +303,28 @@ let check_convergent view obs =
   if Bag.equal final obs.final_view then Ok ()
   else Error "final view differs from the fully-updated database state"
 
-let check view obs =
+let check ?(degraded = false) view obs =
   let states_checked = List.length obs.installs + 1 in
   (* A wrong final view is inconsistent no matter what the install
      history looks like — check it unconditionally first (a vacuously
-     perfect history, e.g. a zero-update run, must not mask it). *)
+     perfect history, e.g. a zero-update run, must not mask it). A
+     degraded run (breakers open at the end, updates still parked) is
+     allowed to miss the fully-updated state, but only if it is exact
+     over the incorporated subset. *)
   match check_convergent view obs with
+  | Error conv_err when degraded -> (
+      match check_degraded view obs with
+      | Ok () ->
+          { verdict = Degraded;
+            detail =
+              "breakers still open at end of run; view is exact over the \
+               incorporated updates";
+            states_checked }
+      | Error deg_err ->
+          { verdict = Inconsistent;
+            detail = conv_err ^ "; and over the incorporated subset: "
+                     ^ deg_err;
+            states_checked })
   | Error conv_err ->
       { verdict = Inconsistent; detail = conv_err; states_checked }
   | Ok () -> (

@@ -21,6 +21,12 @@
       matches the corresponding database state.
     - {b Convergent}: intermediate installs stray from every legal state,
       but the final view is correct once the run drains.
+    - {b Degraded}: the run ended with circuit breakers still open
+      (source outage outlasting the run), so parked updates were never
+      incorporated — accepted only when [check ~degraded:true] and the
+      install history is order-preserving and exact over the
+      {e incorporated subset}: the view is honest about what it
+      reflects, it just is not done.
     - {b Inconsistent}: the final view is wrong (or was driven negative).
 
     Commercial systems of the era ensured only convergence (paper §2 cites
@@ -30,7 +36,7 @@
 open Repro_relational
 open Repro_protocol
 
-type verdict = Complete | Strong | Convergent | Inconsistent
+type verdict = Complete | Strong | Convergent | Degraded | Inconsistent
 
 val verdict_to_string : verdict -> string
 val pp_verdict : Format.formatter -> verdict -> unit
@@ -52,7 +58,10 @@ type result = {
   states_checked : int;
 }
 
-val check : View_def.t -> observation -> result
+(** [degraded] (default false): the run ended with breakers open —
+    accept an exact-over-the-incorporated-subset history as
+    {!Degraded} instead of grading it {!Inconsistent}. *)
+val check : ?degraded:bool -> View_def.t -> observation -> result
 
 (** [expected_states view ~initial ~deliveries] — the ground-truth view
     after each delivery prefix (element 0 = initial view), computed by

@@ -19,6 +19,7 @@ type t = {
   algo : Snap.t;
   recv_expected : int array;
   senders : sender_state array;
+  breaker : Snap.t;  (* circuit-breaker state; Snap.Unit when none *)
 }
 
 let put_sender b s =
@@ -61,7 +62,8 @@ let put b t =
   Codec.put_int b t.next_qid;
   Snap.put b t.algo;
   Codec.put_list b (fun b i -> Codec.put_int b i) (Array.to_list t.recv_expected);
-  Codec.put_list b put_sender (Array.to_list t.senders)
+  Codec.put_list b put_sender (Array.to_list t.senders);
+  Snap.put b t.breaker
 
 let get r =
   let taken_at = Codec.get_float r in
@@ -73,8 +75,9 @@ let get r =
   let algo = Snap.get r in
   let recv_expected = Array.of_list (Codec.get_list r Codec.get_int) in
   let senders = Array.of_list (Codec.get_list r get_sender) in
+  let breaker = Snap.get r in
   { taken_at; wal_pos; view; queue; queue_next_arrival; next_qid; algo;
-    recv_expected; senders }
+    recv_expected; senders; breaker }
 
 let encode = Codec.encode put
 let decode = Codec.decode get

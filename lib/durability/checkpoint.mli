@@ -48,6 +48,9 @@ type t = {
   algo : Snap.t;
   recv_expected : int array;  (** per up-link receiver state *)
   senders : sender_state array;  (** per down-link sender state *)
+  breaker : Snap.t;
+      (** per-source circuit-breaker state ([Snap.Unit] when the run has
+          no breaker) *)
 }
 
 val put : Buffer.t -> t -> unit

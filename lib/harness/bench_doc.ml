@@ -87,10 +87,13 @@ let iter_all f l =
 
 let in_context ctx = Result.map_error (fun e -> ctx ^ ": " ^ e)
 
-(* The counters every algorithm entry must report, whatever the run. *)
+(* The counters every algorithm entry must report, whatever the run.
+   The resilience counters are zero on healthy runs but must always be
+   present — a BENCH.json missing them predates the breaker layer. *)
 let required_counters =
   [ "updates_incorporated"; "queries_sent"; "answers_received";
-    "query_weight"; "answer_weight"; "installs"; "messages_per_update" ]
+    "query_weight"; "answer_weight"; "installs"; "messages_per_update";
+    "query_timeouts"; "breaker_trips"; "stalled_updates"; "degraded_time" ]
 
 let required_histogram_stats = [ "count"; "p50"; "p90"; "p99"; "max" ]
 

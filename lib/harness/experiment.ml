@@ -26,6 +26,7 @@ type result = {
   final_view : Bag.t;
   events : int;
   completed : bool;
+  degraded : bool;
 }
 
 let algorithm_by_name ?(batch_max = 16) = function
@@ -83,10 +84,51 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     | Some n -> n
     | None -> invalid_arg "Experiment.run: message before wiring complete"
   in
-  let deliver msg = Node.deliver (the_node ()) msg in
   let n = scenario.n_sources in
   let faulty = Fault.is_faulty scenario.faults in
   let wh_crashes = scenario.faults.Fault.wh_crashes in
+  let metrics = Metrics.create () in
+  (* Query deadlines + circuit breakers arm only on the faulty
+     distributed wiring: the deadline lives in the transport senders on
+     the warehouse→source links, and the breaker is the warehouse-side
+     policy fed by their expiries. *)
+  let breaker =
+    match (scenario.deadline, scenario.topology, faulty) with
+    | Some _, Scenario.Distributed, true ->
+        Some
+          (Breaker.create engine ~rng:(Rng.split rng)
+             ~config:
+               { Breaker.default_config with
+                 k = scenario.breaker_k; probe_limit = scenario.probe_limit }
+             ~obs ~metrics ~n)
+    | _ -> None
+  in
+  (* warehouse-side down-link endpoints, newest first (reversed below) *)
+  let up_links : Message.to_warehouse Transport.link list ref = ref [] in
+  let down_links : Message.to_source Transport.link list ref = ref [] in
+  let down_sender i =
+    match List.nth_opt (List.rev !down_links) i with
+    | Some l -> Some (Transport.link_sender l)
+    | None -> None
+  in
+  let resume_if_suspended i =
+    match down_sender i with
+    | Some s when Transport.sender_suspended s -> Transport.resume_sender s
+    | _ -> ()
+  in
+  let deliver msg =
+    Node.deliver (the_node ()) msg;
+    (* The delivery may have been the answer that closed a breaker while
+       its sender sat suspended on an expired deadline. Resume it, so
+       the queries the heal-triggered replay just issued (buffered while
+       suspended) actually go out. *)
+    match breaker with
+    | None -> ()
+    | Some b ->
+        for i = 0 to n - 1 do
+          if Breaker.source_ok b i then resume_if_suspended i
+        done
+  in
   (* Crash windows close a source's network boundary in both directions;
      the transport keeps retransmitting into the partition and gets
      through once it heals. A warehouse outage instead closes only the
@@ -98,23 +140,31 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
   let wh_down = ref false in
   let wh_ok () = not !wh_down in
   let tconfig = Transport.config_for scenario.latency in
+  (* queries carry a deadline only when the breaker is armed; update
+     notices (up links) keep the legacy retransmit-until-healed senders *)
+  let down_config =
+    match breaker with
+    | Some _ -> { tconfig with Transport.deadline = scenario.deadline }
+    | None -> tconfig
+  in
   (* per-link stat readers, type-erased (up links carry to_warehouse,
      down links to_source) *)
   let link_stats : (unit -> Transport.stats * int) list ref = ref [] in
-  let reliable_link (type a) i ~(dir : [ `Up | `Down ])
+  let reliable_link (type a) ?on_deadline ?on_ack i ~(dir : [ `Up | `Down ])
       ~(deliver : a -> unit) : a Transport.link =
     let data_gate, ack_gate =
       match dir with
       | `Up -> ((fun () -> gate i () && wh_ok ()), gate i)
       | `Down -> (gate i, fun () -> gate i () && wh_ok ())
     in
+    let config = match dir with `Up -> tconfig | `Down -> down_config in
     let label =
       Printf.sprintf "%s%d" (match dir with `Up -> "up" | `Down -> "down") i
     in
     let l =
-      Transport.connect ~config:tconfig ~faults:scenario.faults.Fault.link
-        ~data_gate ~ack_gate ~obs ~label engine ~latency:scenario.latency
-        ~rng:(Rng.split rng) ~deliver ()
+      Transport.connect ~config ?on_deadline ?on_ack
+        ~faults:scenario.faults.Fault.link ~data_gate ~ack_gate ~obs ~label
+        engine ~latency:scenario.latency ~rng:(Rng.split rng) ~deliver ()
     in
     link_stats :=
       (fun () -> (Transport.link_stats l, Transport.link_frames_lost l))
@@ -122,17 +172,48 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     l
   in
   (* The warehouse-side transport endpoints, kept for checkpointing and
-     crash recovery: each up link's receiver, each down link's sender. *)
-  (* collected newest first; reversed when frozen into arrays below *)
-  let up_links : Message.to_warehouse Transport.link list ref = ref [] in
-  let down_links : Message.to_source Transport.link list ref = ref [] in
+     crash recovery: each up link's receiver, each down link's sender.
+     Collected newest first; reversed when frozen into arrays below. *)
   let mk_up i ~deliver =
     let l = reliable_link i ~dir:`Up ~deliver in
     up_links := l :: !up_links;
     Transport.link_send l
   in
   let mk_down i ~deliver =
-    let l = reliable_link i ~dir:`Down ~deliver in
+    (* a deadline expiry already suspended the sender; below [k]
+       consecutive expiries the breaker says retry (resume, fresh
+       clock), at [k] it trips and the sender stays parked until a
+       probe or a heal resumes it *)
+    let self = ref None in
+    let on_deadline ~seq:_ =
+      match breaker with
+      | None -> ()
+      | Some b -> (
+          match Breaker.record_timeout b i with
+          | Breaker.Retry ->
+              Option.iter
+                (fun l -> Transport.resume_sender (Transport.link_sender l))
+                !self
+          | Breaker.Tripped -> ())
+    in
+    (* an ack on this link is round-trip proof the source is alive — the
+       only proof available when the query was delivered but its ack was
+       lost (the source will never answer the dup-suppressed
+       retransmission) *)
+    let on_ack ~seq:_ =
+      match breaker with
+      | None -> ()
+      | Some b ->
+          Breaker.record_success b i;
+          if Breaker.source_ok b i then
+            Option.iter
+              (fun l ->
+                let s = Transport.link_sender l in
+                if Transport.sender_suspended s then Transport.resume_sender s)
+              !self
+    in
+    let l = reliable_link i ~dir:`Down ~on_deadline ~on_ack ~deliver in
+    self := Some l;
     down_links := l :: !down_links;
     Transport.link_send l
   in
@@ -204,7 +285,6 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
             (* the centralized site applies type-3 parts as local updates *)
             ignore (Eca_site.local_update site ~source delta) )
   in
-  let metrics = Metrics.create () in
   let store =
     if wh_crashes <> [] then
       Some (Store.create ~checkpoint_every:scenario.checkpoint_every ())
@@ -213,9 +293,16 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
   let warehouse =
     Node.create engine ~view ~algorithm ~send:send_to ~init:initial_view
       ?durability:store ~metrics ?queue_capacity:scenario.queue_capacity
-      ~record_history:check ~trace ~obs ()
+      ?breaker ~stall_cap:scenario.stall_cap ~record_history:check ~trace
+      ~obs ()
   in
   node := Some warehouse;
+  (* probe = retransmit the parked query through the suspended sender;
+     the source's answer (routed to Breaker.record_success by the node)
+     is the heal evidence that closes the breaker *)
+  (match breaker with
+  | None -> ()
+  | Some b -> Breaker.set_on_probe b resume_if_suspended);
   (* Bounded queue: admission control where updates are born. Tokens
      return when the warehouse reports transactions incorporated; the
      listener registration survives crash recovery with the node. *)
@@ -261,7 +348,10 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
       let crash () =
         wh_down := true;
         metrics.Metrics.wh_crashes <- metrics.Metrics.wh_crashes + 1;
-        (* the dead warehouse must stop retransmitting queries *)
+        (* the dead warehouse must stop retransmitting queries, and its
+           breaker must stop probing (recovery restores it from the
+           checkpoint, re-scheduling probes for still-open sources) *)
+        (match breaker with Some b -> Breaker.halt b | None -> ());
         Array.iter
           (fun l -> Transport.halt_sender (Transport.link_sender l))
           downs
@@ -332,7 +422,13 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
   in
   (* the node may have been replaced by crash recovery *)
   let warehouse = the_node () in
-  if completed && not (Node.idle warehouse) then
+  (match breaker with Some b -> Breaker.flush b | None -> ());
+  let degraded =
+    match breaker with Some b -> Breaker.degraded b | None -> false
+  in
+  (* A degraded drain is legitimate non-quiescence: abandoned breakers
+     leave parked updates in the queue by design. *)
+  if completed && (not (Node.idle warehouse)) && not degraded then
     invalid_arg
       (Printf.sprintf
          "Experiment.run: %s did not quiesce after the event queue drained"
@@ -364,7 +460,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
   | None -> ());
   let verdict =
     if check && completed then
-      Checker.check view
+      Checker.check ~degraded view
         { Checker.initial_sources = initial_copy;
           deliveries = Node.deliveries warehouse;
           installs =
@@ -381,7 +477,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     wall_seconds = wall_clock () -. wall_start;
     final_view_tuples = Bag.total (Node.view_contents warehouse);
     final_view = Bag.copy (Node.view_contents warehouse);
-    events = Engine.executed engine; completed }
+    events = Engine.executed engine; completed; degraded }
 
 type scripted_outcome = {
   node : Node.t;
@@ -446,7 +542,8 @@ let check_scripted outcome =
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[<v>%s on %s:@,  %a@,  verdict: %a (%s)@,  sim time %.1f, %d events, %.3fs wall@]"
+    "@[<v>%s on %s:@,  %a@,  verdict: %a (%s)@,  sim time %.1f, %d events, %.3fs wall%s@]"
     r.algorithm r.scenario.Scenario.name Metrics.pp r.metrics
     Checker.pp_verdict r.verdict.Checker.verdict r.verdict.Checker.detail
     r.sim_time r.events r.wall_seconds
+    (if r.degraded then " [DEGRADED: breakers open at end of run]" else "")

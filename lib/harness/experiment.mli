@@ -29,6 +29,11 @@ type result = {
   completed : bool;
       (** false when the run was cut off by [max_events] — how the harness
           reports C-strobe's divergence without hanging *)
+  degraded : bool;
+      (** the run ended with at least one circuit breaker not closed
+          (source outage outlasting the run): parked updates remain in
+          the queue and the verdict was computed with
+          [Checker.check ~degraded:true] *)
 }
 
 (** Outcome of a {!run_scripted} run, exposing everything needed for

@@ -25,7 +25,8 @@ let scenario ?(name = "exp") ?(n = 4) ?(init = 30) ?domain
   { Scenario.name; n_sources = n; init_size = init; domain;
     stream = stream ~updates ~gap; latency = Latency.Uniform (0.5, 1.5);
     topology; faults = Fault.none; checkpoint_every = 8;
-    queue_capacity = None; batch_max = 16; seed }
+    queue_capacity = None; batch_max = 16; deadline = None; breaker_k = 3;
+    probe_limit = 0; stall_cap = 256; seed }
 
 let mpu (r : Experiment.result) =
   (* round trips (query + answer) per incorporated update *)

@@ -15,6 +15,10 @@ type t = {
   checkpoint_every : int;
   queue_capacity : int option;
   batch_max : int;
+  deadline : float option;
+  breaker_k : int;
+  probe_limit : int;
+  stall_cap : int;
   seed : int64;
 }
 
@@ -22,7 +26,8 @@ let default =
   { name = "default"; n_sources = 3; init_size = 40; domain = 16;
     stream = Update_gen.default; latency = Latency.Uniform (0.5, 1.5);
     topology = Distributed; faults = Fault.none; checkpoint_every = 8;
-    queue_capacity = None; batch_max = 16; seed = 42L }
+    queue_capacity = None; batch_max = 16; deadline = None; breaker_k = 3;
+    probe_limit = 0; stall_cap = 256; seed = 42L }
 
 let presets =
   [ (* updates spaced far apart: no concurrency, every algorithm should be
@@ -84,7 +89,25 @@ let presets =
             crashes = [];
             wh_crashes =
               [ { Fault.wh_down_at = 20.; wh_up_at = 40. };
-                { Fault.wh_down_at = 70.; wh_up_at = 85. } ] } } ) ]
+                { Fault.wh_down_at = 70.; wh_up_at = 85. } ] } } );
+    (* everything at once: lossy links, two overlapping source outages,
+       a warehouse crash inside one of them, query deadlines and circuit
+       breakers armed. The chaos suite draws randomized variants of this
+       with [Fault.chaos]; the preset is one representative schedule. *)
+    ( "chaos",
+      { default with
+        name = "chaos"; n_sources = 4;
+        stream = { Update_gen.default with n_updates = 80; mean_gap = 1.5 };
+        deadline = Some 8.; breaker_k = 3; probe_limit = 0; stall_cap = 64;
+        faults =
+          { Fault.link =
+              Fault.lossy ~drop:0.15 ~duplicate:0.1 ~spike:0.1
+                ~spike_factor:4. ();
+            crashes =
+              [ { Fault.source = 1; down_at = 25.; up_at = 70. };
+                { Fault.source = 3; down_at = 55.; up_at = 90. } ];
+            wh_crashes = [ { Fault.wh_down_at = 40.; wh_up_at = 52. } ] } } )
+  ]
 
 let find_preset name = List.assoc_opt name presets
 

@@ -33,6 +33,22 @@ type t = {
   batch_max : int;
       (** cap on the updates [Sweep_batched] drains into one batched
           sweep (default 16); only that algorithm reads it. *)
+  deadline : float option;
+      (** per-query transport deadline (sim seconds). [None] (the
+          default) keeps the legacy retransmit-forever senders; [Some d]
+          arms warehouse→source links with a deadline and a per-source
+          circuit breaker (Distributed topology only). *)
+  breaker_k : int;
+      (** consecutive deadline expiries before a source's breaker trips
+          (only read when [deadline] is set). *)
+  probe_limit : int;
+      (** failed half-open probes before a breaker is abandoned and the
+          run drains degraded; 0 = probe forever (only read when
+          [deadline] is set). *)
+  stall_cap : int;
+      (** parked-update bound for degraded mode: once this many updates
+          are stalled behind open breakers the engines fall back to
+          blocking on the dead source. *)
   seed : int64;
 }
 
@@ -40,7 +56,7 @@ val default : t
 
 (** [quick_presets] — a few named scenarios used by examples, tests and
     the CLI ([sequential], [concurrent], [bursty], [adversarial],
-    [centralized], [degraded], [crashy]). *)
+    [centralized], [degraded], [crashy], [chaos]). *)
 val presets : (string * t) list
 
 val find_preset : string -> t option

@@ -7,9 +7,11 @@ type config = {
   backoff : float;
   max_rto : float;
   jitter : float;
+  deadline : float option;
 }
 
-let default_config = { rto = 8.0; backoff = 2.0; max_rto = 64.0; jitter = 0.1 }
+let default_config =
+  { rto = 8.0; backoff = 2.0; max_rto = 64.0; jitter = 0.1; deadline = None }
 
 let config_for latency =
   (* one query/answer round trip is two hops; leave headroom for latency
@@ -29,21 +31,31 @@ type stats = {
   mutable duplicates_suppressed : int;
   mutable reorders_buffered : int;
   mutable acks_sent : int;
+  mutable deadline_expiries : int;
 }
 
 let fresh_stats () =
   { frames_sent = 0; retransmissions = 0; timeouts = 0; recoveries = 0;
-    duplicates_suppressed = 0; reorders_buffered = 0; acks_sent = 0 }
+    duplicates_suppressed = 0; reorders_buffered = 0; acks_sent = 0;
+    deadline_expiries = 0 }
 
 (* ————— sender ————— *)
 
-type 'a inflight = { seq : int; payload : 'a; mutable retx : int }
+type 'a inflight = {
+  seq : int;
+  payload : 'a;
+  mutable retx : int;
+  mutable first_sent : float;  (* deadline clock: reset on resume *)
+  mutable sent_once : bool;  (* false for sends buffered while suspended *)
+}
 
 type 'a sender = {
   engine : Engine.t;
   rng : Rng.t;
   config : config;
   send_frame : 'a frame -> unit;
+  on_deadline : seq:int -> unit;
+  on_ack : seq:int -> unit;
   stats : stats;
   obs : Obs.t;
   label : string;
@@ -52,19 +64,25 @@ type 'a sender = {
   mutable rev_window : 'a inflight list;  (* unacked, newest first *)
   mutable cur_rto : float;
   mutable epoch : int;  (* stamps timers; a stale timer is a no-op *)
+  mutable suspended : bool;  (* deadline hit: hold fire until resumed *)
 }
 
 let sender ?(config = default_config) ?(obs = Obs.disabled ()) ?(label = "")
-    engine ~rng ~send_frame =
+    ?(on_deadline = fun ~seq:_ -> ()) ?(on_ack = fun ~seq:_ -> ()) engine
+    ~rng ~send_frame =
   if config.rto <= 0. || config.backoff < 1. || config.max_rto < config.rto
   then invalid_arg "Transport.sender: bad config";
   if config.jitter < 0. then invalid_arg "Transport.sender: jitter < 0";
-  { engine; rng; config; send_frame; stats = fresh_stats (); obs; label;
-    next_seq = 0; acked_upto = -1; rev_window = []; cur_rto = config.rto;
-    epoch = 0 }
+  (match config.deadline with
+  | Some d when d <= 0. -> invalid_arg "Transport.sender: deadline <= 0"
+  | _ -> ());
+  { engine; rng; config; send_frame; on_deadline; on_ack;
+    stats = fresh_stats (); obs; label; next_seq = 0; acked_upto = -1;
+    rev_window = []; cur_rto = config.rto; epoch = 0; suspended = false }
 
 let unacked s = List.length s.rev_window
 let sender_stats s = s.stats
+let sender_suspended s = s.suspended
 
 (* One timer guards the whole in-flight window (TCP-style). Timers cannot
    be cancelled in the engine, so each armed timer carries the epoch it
@@ -74,37 +92,93 @@ let rec arm s =
   let epoch = s.epoch in
   let delay = s.cur_rto *. (1. +. (s.config.jitter *. Rng.float s.rng)) in
   Engine.schedule s.engine ~delay (fun () ->
-      if epoch = s.epoch && s.rev_window <> [] then begin
+      if epoch = s.epoch && s.rev_window <> [] && not s.suspended then begin
         s.stats.timeouts <- s.stats.timeouts + 1;
         if Obs.active s.obs then
           Obs.event s.obs "transport.timeout"
             [ ("link", Tracer.S s.label);
               ("window", Tracer.I (List.length s.rev_window));
               ("rto", Tracer.F s.cur_rto) ];
-        List.iter
-          (fun f ->
-            f.retx <- f.retx + 1;
-            s.stats.retransmissions <- s.stats.retransmissions + 1;
+        let now = Engine.now s.engine in
+        let overdue =
+          match s.config.deadline with
+          | None -> None
+          | Some d ->
+              List.find_opt
+                (fun f -> now -. f.first_sent >= d)
+                (List.rev s.rev_window)
+        in
+        match overdue with
+        | Some f ->
+            (* the oldest frame blew its delivery deadline: stop
+               retransmitting and report Timed_out; only an explicit
+               [resume_sender] (a breaker retry or probe) restarts us *)
+            s.stats.deadline_expiries <- s.stats.deadline_expiries + 1;
             if Obs.active s.obs then
-              Obs.event s.obs "transport.retransmit"
+              Obs.event s.obs "transport.deadline"
                 [ ("link", Tracer.S s.label); ("seq", Tracer.I f.seq);
-                  ("retx", Tracer.I f.retx) ];
-            s.send_frame (Data { seq = f.seq; payload = f.payload }))
-          (List.rev s.rev_window);
-        s.cur_rto <- Float.min (s.cur_rto *. s.config.backoff) s.config.max_rto;
-        arm s
+                  ("waited", Tracer.F (now -. f.first_sent)) ];
+            s.suspended <- true;
+            s.epoch <- s.epoch + 1;
+            s.on_deadline ~seq:f.seq
+        | None ->
+            List.iter
+              (fun f ->
+                f.retx <- f.retx + 1;
+                s.stats.retransmissions <- s.stats.retransmissions + 1;
+                if Obs.active s.obs then
+                  Obs.event s.obs "transport.retransmit"
+                    [ ("link", Tracer.S s.label); ("seq", Tracer.I f.seq);
+                      ("retx", Tracer.I f.retx) ];
+                s.send_frame (Data { seq = f.seq; payload = f.payload }))
+              (List.rev s.rev_window);
+            s.cur_rto <-
+              Float.min (s.cur_rto *. s.config.backoff) s.config.max_rto;
+            arm s
       end)
 
 let send s payload =
   let seq = s.next_seq in
   s.next_seq <- seq + 1;
   let was_idle = s.rev_window = [] in
-  s.rev_window <- { seq; payload; retx = 0 } :: s.rev_window;
-  s.stats.frames_sent <- s.stats.frames_sent + 1;
-  s.send_frame (Data { seq; payload });
-  if was_idle then begin
+  let f =
+    { seq; payload; retx = 0; first_sent = Engine.now s.engine;
+      sent_once = not s.suspended }
+  in
+  s.rev_window <- f :: s.rev_window;
+  if not s.suspended then begin
+    s.stats.frames_sent <- s.stats.frames_sent + 1;
+    s.send_frame (Data { seq; payload });
+    if was_idle then begin
+      s.cur_rto <- s.config.rto;
+      arm s
+    end
+  end
+
+(* Breaker retry / half-open probe: (re)transmit the whole window oldest
+   first with fresh deadline clocks and timer. Safe on dup delivery — the
+   peer's receiver suppresses and re-acks. *)
+let resume_sender s =
+  if s.suspended then begin
+    s.suspended <- false;
     s.cur_rto <- s.config.rto;
-    arm s
+    if s.rev_window <> [] then begin
+      let now = Engine.now s.engine in
+      List.iter
+        (fun f ->
+          f.first_sent <- now;
+          if f.sent_once then begin
+            f.retx <- f.retx + 1;
+            s.stats.retransmissions <- s.stats.retransmissions + 1
+          end
+          else begin
+            f.sent_once <- true;
+            s.stats.frames_sent <- s.stats.frames_sent + 1
+          end;
+          s.send_frame (Data { seq = f.seq; payload = f.payload }))
+        (List.rev s.rev_window);
+      arm s
+    end
   end
 
 let sender_on_frame s = function
@@ -128,8 +202,15 @@ let sender_on_frame s = function
         s.rev_window <- rest;
         s.acked_upto <- upto;
         s.cur_rto <- s.config.rto;
-        (* progress: restart the timer for what remains, or go idle *)
-        if s.rev_window = [] then s.epoch <- s.epoch + 1 else arm s
+        (* progress: restart the timer for what remains, or go idle; a
+           suspended sender stays dark until [resume_sender] *)
+        if s.rev_window = [] then s.epoch <- s.epoch + 1
+        else if not s.suspended then arm s;
+        (* an ack is round-trip liveness evidence — the breaker layer
+           needs it because a delivered-but-ack-lost query produces
+           deadline expiries yet will never produce a second answer
+           (the retransmission is duplicate-suppressed at the peer) *)
+        s.on_ack ~seq:upto
       end
 
 (* ————— crash-recovery hooks —————
@@ -151,14 +232,20 @@ let sender_state s =
    window (it is volatile state; a restore re-seeds it). *)
 let halt_sender s =
   s.epoch <- s.epoch + 1;
+  s.suspended <- false;
   s.rev_window <- []
 
 let restore_sender s ~next_seq ~acked_upto ~window =
   s.epoch <- s.epoch + 1;
+  s.suspended <- false;
   s.next_seq <- next_seq;
   s.acked_upto <- acked_upto;
+  let now = Engine.now s.engine in
   s.rev_window <-
-    List.rev_map (fun (seq, payload) -> { seq; payload; retx = 1 }) window;
+    List.rev_map
+      (fun (seq, payload) ->
+        { seq; payload; retx = 1; first_sent = now; sent_once = true })
+      window;
   s.cur_rto <- s.config.rto;
   if s.rev_window <> [] then begin
     (* retransmit the restored window immediately, oldest first; the peer
@@ -241,7 +328,8 @@ type 'a link = {
 }
 
 let connect ?config ?(faults = Fault.reliable) ?gate ?data_gate ?ack_gate
-    ?(obs = Obs.disabled ()) ?(label = "") engine ~latency ~rng ~deliver () =
+    ?(obs = Obs.disabled ()) ?(label = "") ?on_deadline ?on_ack engine
+    ~latency ~rng ~deliver () =
   let config =
     match config with Some c -> c | None -> config_for latency
   in
@@ -271,7 +359,8 @@ let connect ?config ?(faults = Fault.reliable) ?gate ?data_gate ?ack_gate
   in
   recv := Some l_receiver;
   let l_sender =
-    sender ~config ~obs ~label engine ~rng:(Rng.split rng)
+    sender ~config ~obs ~label ?on_deadline ?on_ack engine
+      ~rng:(Rng.split rng)
       ~send_frame:(fun f -> Channel.send data_ch f)
   in
   snd := Some l_sender;
@@ -290,7 +379,8 @@ let link_stats l =
     recoveries = s.recoveries + r.recoveries;
     duplicates_suppressed = s.duplicates_suppressed + r.duplicates_suppressed;
     reorders_buffered = s.reorders_buffered + r.reorders_buffered;
-    acks_sent = s.acks_sent + r.acks_sent }
+    acks_sent = s.acks_sent + r.acks_sent;
+    deadline_expiries = s.deadline_expiries + r.deadline_expiries }
 
 let link_frames_lost l =
   Channel.dropped l.data_ch + Channel.gated l.data_ch

@@ -20,9 +20,23 @@
     keeps being retransmitted with backoff and gets through — and is
     answered — once the source recovers, which is exactly the paper's
     "re-issue the query" recovery with no algorithm-layer involvement.
-    Delivery requires fault rates < 1 and finite crash windows; under
-    those, every send is eventually delivered exactly once and the
-    engine quiesces. *)
+
+    {b The Timed_out contract.} Unbounded retransmission only delivers
+    when fault rates are < 1 and every crash window is finite; an
+    infinite window (a source that never heals) would stall the sender —
+    and the maintenance leg behind it — forever, with no warehouse-side
+    signal. Setting [config.deadline = Some d] bounds that wait: once the
+    oldest in-flight frame has gone unacknowledged for [d] sim-seconds,
+    the sender {e suspends} (stops retransmitting, keeps its window and
+    sequence state), counts a [deadline_expiries], emits a
+    ["transport.deadline"] event, and invokes the [on_deadline] callback
+    — the timed-out outcome a circuit breaker consumes. A suspended
+    sender buffers new [send]s without transmitting. {!resume_sender}
+    (a breaker retry or half-open probe) retransmits the whole window
+    with fresh deadline clocks; duplicate deliveries are suppressed and
+    re-acked by the peer, so suspend/resume never breaks exactly-once
+    FIFO delivery. With [deadline = None] (the default) behaviour is the
+    legacy retransmit-forever contract. *)
 
 open Repro_sim
 
@@ -30,12 +44,16 @@ open Repro_sim
     after each timeout of the same in-flight window the timeout is
     multiplied by [backoff] (capped at [max_rto]) and the timer re-armed
     with a uniform extra jitter fraction in [0, jitter). An advancing ack
-    resets the timeout to [rto]. *)
+    resets the timeout to [rto]. [deadline] bounds how long the oldest
+    in-flight frame may stay unacknowledged before the sender suspends
+    and reports Timed_out (see the module preamble); [None] retries
+    forever. *)
 type config = {
   rto : float;
   backoff : float;
   max_rto : float;
   jitter : float;
+  deadline : float option;
 }
 
 val default_config : config
@@ -58,6 +76,8 @@ type stats = {
   mutable duplicates_suppressed : int;  (** dup frames dropped (receiver) *)
   mutable reorders_buffered : int;  (** out-of-order frames held (receiver) *)
   mutable acks_sent : int;  (** ack frames emitted (receiver) *)
+  mutable deadline_expiries : int;
+      (** query deadlines blown: sender suspensions (sender) *)
 }
 
 (** {2 Endpoints} *)
@@ -68,18 +88,39 @@ type 'a receiver
 (** [sender ?config engine ~rng ~send_frame] — [send_frame] hands a frame
     to the forward lossy channel. [obs]/[label] attach structured
     observability: timeout / retransmit / recovery events tagged with the
-    link label. *)
+    link label. [on_deadline ~seq] fires when the configured [deadline]
+    expires on in-flight frame [seq] — the sender is already suspended
+    when it runs, so the callback may call {!resume_sender}
+    synchronously to retry. [on_ack ~seq] fires after a cumulative ack
+    up to [seq] is processed — round-trip liveness evidence for the
+    circuit-breaker layer (a delivered-but-ack-lost query produces
+    deadline expiries yet never a second answer, because the peer
+    duplicate-suppresses the retransmission; only the ack proves the
+    link alive in that case). *)
 val sender :
   ?config:config ->
   ?obs:Repro_observability.Obs.t ->
   ?label:string ->
+  ?on_deadline:(seq:int -> unit) ->
+  ?on_ack:(seq:int -> unit) ->
   Engine.t ->
   rng:Rng.t ->
   send_frame:('a frame -> unit) ->
   'a sender
 
-(** Reliable FIFO send: buffered until cumulatively acked. *)
+(** Reliable FIFO send: buffered until cumulatively acked. A suspended
+    sender appends to its window without transmitting; the frame goes
+    out on the next {!resume_sender}. *)
 val send : 'a sender -> 'a -> unit
+
+(** True while the sender is deadline-suspended (not retransmitting). *)
+val sender_suspended : 'a sender -> bool
+
+(** Clear a deadline suspension: retransmit the whole in-flight window
+    oldest first with fresh deadline clocks, transmit any sends buffered
+    while suspended, and re-arm the retransmission timer. No-op when not
+    suspended. *)
+val resume_sender : 'a sender -> unit
 
 (** Feed the sender a frame from the reverse channel (acks; [Data] frames
     raise — the link is unidirectional). *)
@@ -160,6 +201,8 @@ val connect :
   ?ack_gate:(unit -> bool) ->
   ?obs:Repro_observability.Obs.t ->
   ?label:string ->
+  ?on_deadline:(seq:int -> unit) ->
+  ?on_ack:(seq:int -> unit) ->
   Engine.t ->
   latency:Latency.t ->
   rng:Rng.t ->

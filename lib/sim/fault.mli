@@ -74,4 +74,17 @@ val random : Rng.t -> n_sources:int -> horizon:float -> t
     property harness. *)
 val random_recovery : Rng.t -> n_sources:int -> horizon:float -> t
 
+(** [chaos rng ~n_sources ~horizon] — a composed schedule for the chaos
+    suite: heavier link faults than {!random}, one or two (possibly
+    overlapping) source-crash windows, and, with probability 1/2, a
+    warehouse outage that overlaps a source window half the time. All
+    windows close by [0.7 *. horizon], so every chaos run has a healing
+    tail in which it must converge. Deterministic per [rng] state. *)
+val chaos : Rng.t -> n_sources:int -> horizon:float -> t
+
+(** [last_heal t] — the sim time at which the last crash window (source
+    or warehouse) heals; [0.] for a schedule with no crash windows. The
+    chaos suite's convergence invariant measures from this instant. *)
+val last_heal : t -> float
+
 val pp : Format.formatter -> t -> unit

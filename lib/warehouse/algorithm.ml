@@ -13,6 +13,8 @@ type ctx = {
   install : Delta.t -> txns:Update_queue.entry list -> unit;
   view_contents : unit -> Bag.t;
   fresh_qid : unit -> int;
+  source_ok : int -> bool;
+  stall_cap : int;
 }
 
 module type S = sig
@@ -22,6 +24,8 @@ module type S = sig
   val create : ctx -> t
   val on_update : t -> Update_queue.entry -> unit
   val on_answer : t -> Message.to_warehouse -> unit
+  val on_source_down : t -> int -> unit
+  val on_source_up : t -> int -> unit
   val idle : t -> bool
 
   (** Freeze the algorithm's resumable state for a checkpoint. Must be a
@@ -41,6 +45,8 @@ let instantiate (module A : S) ctx = Packed ((module A), A.create ctx)
 let packed_name (Packed ((module A), _)) = A.name
 let packed_on_update (Packed ((module A), st)) e = A.on_update st e
 let packed_on_answer (Packed ((module A), st)) m = A.on_answer st m
+let packed_on_source_down (Packed ((module A), st)) i = A.on_source_down st i
+let packed_on_source_up (Packed ((module A), st)) i = A.on_source_up st i
 let packed_idle (Packed ((module A), st)) = A.idle st
 let packed_snapshot (Packed ((module A), st)) = A.snapshot st
 
@@ -61,3 +67,38 @@ let entry_of_snap s =
       { Update_queue.update = Snap.to_update u; arrival = Snap.to_int a;
         arrived_at = Snap.to_float t }
   | _ -> invalid_arg "Algorithm.entry_of_snap: malformed entry"
+
+(* ————— degraded-mode helpers (shared by the sweep engines) ————— *)
+
+(* An update from source [i] sweeps every other source, so it is
+   eligible only while all of them have closed breakers: when source [j]
+   is down, only source-[j] updates proceed. *)
+let sweep_eligible ctx (e : Update_queue.entry) =
+  let i = e.update.Message.txn.source in
+  let n = View_def.n_sources ctx.view in
+  List.for_all ctx.source_ok (Sweep_order.order ~n ~i)
+
+(* Count queued entries currently parked behind open breakers; each is
+   counted in [stalled_updates] once (monotone arrival mark). Returns
+   (parked now, new mark). *)
+let note_parked ctx ~stall_mark ~event =
+  let parked = ref 0 in
+  let mark = ref stall_mark in
+  List.iter
+    (fun (e : Update_queue.entry) ->
+      if not (sweep_eligible ctx e) then begin
+        incr parked;
+        if e.arrival > !mark then begin
+          mark := e.arrival;
+          ctx.metrics.Metrics.stalled_updates <-
+            ctx.metrics.Metrics.stalled_updates + 1;
+          if Repro_observability.Obs.active ctx.obs then
+            Repro_observability.Obs.event ctx.obs event
+              [ ("txn",
+                 Repro_observability.Tracer.S
+                   (Format.asprintf "%a" Message.pp_txn_id
+                      e.update.Message.txn)) ]
+        end
+      end)
+    (Update_queue.entries ctx.queue);
+  (!parked, !mark)

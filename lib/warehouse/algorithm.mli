@@ -28,6 +28,13 @@ type ctx = {
       (** current materialized view (read-only) — the key-based baselines
           need it for duplicate suppression *)
   fresh_qid : unit -> int;
+  source_ok : int -> bool;
+      (** circuit-breaker eligibility: false while source [i]'s breaker
+          is open (queries to it would only time out). Always true when
+          no breaker is wired. *)
+  stall_cap : int;
+      (** max updates an algorithm may park behind open breakers before
+          it must fall back to blocking (bounds degraded-mode memory) *)
 }
 
 module type S = sig
@@ -41,6 +48,16 @@ module type S = sig
 
   (** A non-update message (answer / snapshot) arrived. *)
   val on_answer : t -> Message.to_warehouse -> unit
+
+  (** Source [i]'s circuit breaker opened: park work that needs it (up to
+      [ctx.stall_cap]) and keep maintaining updates whose sweep legs
+      avoid it. Algorithms without degraded-mode support may ignore
+      this — they simply stay blocked until the breaker closes. *)
+  val on_source_down : t -> int -> unit
+
+  (** Source [i]'s breaker closed again: replay parked work through the
+      normal compensation path. *)
+  val on_source_up : t -> int -> unit
 
   (** No in-flight work (used by drain loops and sanity checks). *)
   val idle : t -> bool
@@ -64,6 +81,8 @@ val instantiate : (module S) -> ctx -> packed
 val packed_name : packed -> string
 val packed_on_update : packed -> Update_queue.entry -> unit
 val packed_on_answer : packed -> Message.to_warehouse -> unit
+val packed_on_source_down : packed -> int -> unit
+val packed_on_source_up : packed -> int -> unit
 val packed_idle : packed -> bool
 val packed_snapshot : packed -> Repro_durability.Snap.t
 
@@ -75,3 +94,15 @@ val restore_packed : (module S) -> ctx -> Repro_durability.Snap.t -> packed
 
 val snap_of_entry : Update_queue.entry -> Repro_durability.Snap.t
 val entry_of_snap : Repro_durability.Snap.t -> Update_queue.entry
+
+(** {2 Degraded-mode helpers} — shared by the sweep-family engines. *)
+
+(** An update from source [i] sweeps every other source; with circuit
+    breakers it may start only while all of them are [ctx.source_ok]. *)
+val sweep_eligible : ctx -> Update_queue.entry -> bool
+
+(** Count queued entries parked behind open breakers into
+    [metrics.stalled_updates], each once (monotone arrival mark),
+    emitting [event] per newly parked entry. Returns
+    [(parked_now, new_mark)]. *)
+val note_parked : ctx -> stall_mark:int -> event:string -> int * int

@@ -76,6 +76,8 @@ let on_answer t msg =
   | Message.Answer _ | Message.Snapshot _ | Message.Update_notice _ ->
       invalid_arg "Eca.on_answer: unexpected message kind"
 
+let on_source_down _ _ = ()
+let on_source_up _ _ = ()
 let idle t = t.rev_pending = [] && Update_queue.is_empty t.ctx.queue
 
 module Snap = Repro_durability.Snap

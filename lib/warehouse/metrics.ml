@@ -32,6 +32,10 @@ type t = {
   mutable queue_shed : int;
   mutable batches : int;
   mutable max_batch : int;
+  mutable query_timeouts : int;
+  mutable breaker_trips : int;
+  mutable stalled_updates : int;
+  mutable degraded_time : float;
 }
 
 let create () =
@@ -44,13 +48,15 @@ let create () =
     wh_crashes = 0; wal_records = 0; wal_bytes = 0; checkpoints = 0;
     checkpoint_bytes = 0; replayed_records = 0; recovery_seconds = 0.;
     snapshots_fetched = 0; queue_deferred = 0; queue_shed = 0; batches = 0;
-    max_batch = 0 }
+    max_batch = 0; query_timeouts = 0; breaker_trips = 0; stalled_updates = 0;
+    degraded_time = 0. }
 
 let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
 
 let note_batch t size =
   t.batches <- t.batches + 1;
   if size > t.max_batch then t.max_batch <- size
+
 
 let note_staleness t s =
   t.staleness_sum <- t.staleness_sum +. s;
@@ -108,6 +114,10 @@ let fields t : (string * [ `Int of int | `Float of float ]) list =
     ("queue_shed", `Int t.queue_shed);
     ("batches", `Int t.batches);
     ("max_batch", `Int t.max_batch);
+    ("query_timeouts", `Int t.query_timeouts);
+    ("breaker_trips", `Int t.breaker_trips);
+    ("stalled_updates", `Int t.stalled_updates);
+    ("degraded_time", `Float t.degraded_time);
     ("mean_staleness", `Float (mean_staleness t));
     ("queries_per_update", `Float (queries_per_update t));
     ("messages_per_update", `Float (messages_per_update t)) ]
@@ -145,4 +155,9 @@ let pp ppf t =
     Format.fprintf ppf
       "@,batching: %d batches (max size %d), %.2f messages/update" t.batches
       t.max_batch (messages_per_update t);
+  if t.query_timeouts > 0 || t.breaker_trips > 0 || t.stalled_updates > 0 then
+    Format.fprintf ppf
+      "@,resilience: %d query timeouts, %d breaker trips, %d stalled \
+       updates, %.3fs degraded"
+      t.query_timeouts t.breaker_trips t.stalled_updates t.degraded_time;
   Format.fprintf ppf "@]"

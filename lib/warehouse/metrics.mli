@@ -38,6 +38,10 @@ type t = {
   mutable queue_shed : int;  (** no-op updates dropped at capacity *)
   mutable batches : int;  (** batched installs (Sweep_batched) *)
   mutable max_batch : int;  (** largest batch of updates swept at once *)
+  mutable query_timeouts : int;  (** sweep-query deadlines blown *)
+  mutable breaker_trips : int;  (** circuit-breaker Closed→Open edges *)
+  mutable stalled_updates : int;  (** updates parked behind an open breaker *)
+  mutable degraded_time : float;  (** sim-time spent with ≥1 breaker open *)
 }
 
 val create : unit -> t

@@ -208,6 +208,8 @@ struct
       ->
         invalid_arg "Nested_sweep.on_answer: unexpected message kind"
 
+  let on_source_down _ _ = ()
+  let on_source_up _ _ = ()
   let idle t = t.stack = [] && Update_queue.is_empty t.ctx.queue
 
   module Snap = Repro_durability.Snap

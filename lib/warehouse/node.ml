@@ -25,6 +25,8 @@ type t = {
   trace : Trace.t;
   obs : Obs.t;
   store : Store.t option;
+  breaker : Breaker.t option;
+  stall_cap : int;
   mutable next_qid : int;
   mutable replaying : bool;
   (* Installs regenerated during replay, FIFO; each [Installed] WAL record
@@ -118,22 +120,40 @@ let wire t =
     fresh_qid =
       (fun () ->
         t.next_qid <- t.next_qid + 1;
-        t.next_qid) }
+        t.next_qid);
+    source_ok =
+      (match t.breaker with
+      | None -> fun _ -> true
+      | Some b -> fun i -> Breaker.source_ok b i);
+    stall_cap = t.stall_cap }
+
+(* Breaker transitions drive the algorithm's park/replay hooks. Re-wired
+   after every (re)instantiation so the closures capture the live
+   algorithm. *)
+let wire_breaker t =
+  match t.breaker with
+  | None -> ()
+  | Some b ->
+      Breaker.set_on_open b (fun i ->
+          Algorithm.packed_on_source_down (algo t) i);
+      Breaker.set_on_close b (fun i ->
+          Algorithm.packed_on_source_up (algo t) i)
 
 let create engine ~view ~algorithm ~send ~init ?durability ?metrics
-    ?queue_capacity ?(record_history = true) ?(trace = Trace.create ())
-    ?(obs = Obs.disabled ()) () =
+    ?queue_capacity ?breaker ?(stall_cap = 256) ?(record_history = true)
+    ?(trace = Trace.create ()) ?(obs = Obs.disabled ()) () =
   let data = Bag.copy (Relation.as_bag init) in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let t =
     { engine; view; algorithm; send; data; initial = Bag.copy data; metrics;
       queue = Update_queue.create ?capacity:queue_capacity ();
-      record_history; trace; obs; store = durability; next_qid = 0;
-      replaying = false; replay_installs = Queue.create (); algo = None;
-      rev_installs = []; rev_deliveries = []; rev_listeners = [];
+      record_history; trace; obs; store = durability; breaker; stall_cap;
+      next_qid = 0; replaying = false; replay_installs = Queue.create ();
+      algo = None; rev_installs = []; rev_deliveries = []; rev_listeners = [];
       rev_incorporate_listeners = [] }
   in
   t.algo <- Some (Algorithm.instantiate algorithm (wire t));
+  wire_breaker t;
   t
 
 (* Restart after a crash: volatile state (view, queue, algorithm, qid
@@ -175,6 +195,14 @@ let recover ~prev ?checkpoint () =
        (match checkpoint with
        | Some c -> Algorithm.restore_packed t.algorithm (wire t) c.algo
        | None -> Algorithm.instantiate t.algorithm (wire t)));
+  (match t.breaker with
+  | None -> ()
+  | Some b -> (
+      match checkpoint with
+      | Some (c : Checkpoint.t) when c.breaker <> Snap.Unit ->
+          Breaker.restore b c.breaker
+      | _ -> Breaker.reset b));
+  wire_breaker t;
   t
 
 let handle_update t update ~arrived_at =
@@ -214,6 +242,12 @@ let handle_answer t msg =
           t.metrics.Metrics.snapshots_fetched + 1
     | _ -> ()
   end;
+  (* delivery evidence for the breaker — also during replay, so a
+     post-checkpoint heal the old incarnation saw is reconverged *)
+  (match (t.breaker, msg) with
+  | Some b, (Message.Answer { source; _ } | Message.Snapshot { source; _ }) ->
+      Breaker.record_success b source
+  | _ -> ());
   Algorithm.packed_on_answer (algo t) msg
 
 let deliver t msg =
@@ -280,7 +314,11 @@ let checkpoint t ~wal_pos ~recv_expected ~senders : Checkpoint.t =
         (Update_queue.entries t.queue);
     queue_next_arrival = Update_queue.last_arrival t.queue + 1;
     next_qid = t.next_qid; algo = Algorithm.packed_snapshot (algo t);
-    recv_expected; senders }
+    recv_expected; senders;
+    breaker =
+      (match t.breaker with
+      | Some b -> Breaker.snapshot b
+      | None -> Snap.Unit) }
 
 (* prepend (O(1) per registration); install reverses so listeners still
    fire in registration order *)
@@ -293,6 +331,10 @@ let view_contents t = t.data
 let obs t = t.obs
 let metrics t = t.metrics
 let queue t = t.queue
+let breaker t = t.breaker
+
+let degraded t =
+  match t.breaker with Some b -> Breaker.degraded b | None -> false
 let algorithm_name t = Algorithm.packed_name (algo t)
 let installs t = List.rev t.rev_installs
 let deliveries t = List.rev t.rev_deliveries

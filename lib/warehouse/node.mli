@@ -47,7 +47,13 @@ type t
     {!Update_queue.create}); [obs] attaches structured spans + latency
     histograms (a disabled handle by default — one branch per emission).
     Observability is muted during WAL replay: replayed work was already
-    observed before the crash. *)
+    observed before the crash. [breaker] attaches per-source circuit
+    breakers: the node routes answer arrivals to
+    {!Breaker.record_success}, wires breaker open/close transitions to
+    the algorithm's [on_source_down]/[on_source_up] hooks, and
+    checkpoints/restores breaker state with the rest of the node.
+    [stall_cap] (default 256) bounds how many updates the algorithm may
+    park behind open breakers. *)
 val create :
   Engine.t ->
   view:View_def.t ->
@@ -57,6 +63,8 @@ val create :
   ?durability:Store.t ->
   ?metrics:Metrics.t ->
   ?queue_capacity:int ->
+  ?breaker:Breaker.t ->
+  ?stall_cap:int ->
   ?record_history:bool ->
   ?trace:Trace.t ->
   ?obs:Repro_observability.Obs.t ->
@@ -119,6 +127,13 @@ val metrics : t -> Metrics.t
 val obs : t -> Repro_observability.Obs.t
 
 val queue : t -> Update_queue.t
+
+(** The breaker passed at {!create}, if any. *)
+val breaker : t -> Breaker.t option
+
+(** At least one source's breaker is currently not closed. *)
+val degraded : t -> bool
+
 val algorithm_name : t -> string
 
 (** Installs in order of occurrence. *)

@@ -85,6 +85,8 @@ let on_answer t msg =
   | (Message.Answer _ | Message.Eca_answer _ | Message.Update_notice _), _ ->
       invalid_arg "Recompute.on_answer: unexpected message kind"
 
+let on_source_down _ _ = ()
+let on_source_up _ _ = ()
 let idle t = t.current = None && Update_queue.is_empty t.ctx.queue
 
 module Snap = Repro_durability.Snap

@@ -169,6 +169,9 @@ let on_answer t msg =
   | Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _ ->
       invalid_arg "Strobe.on_answer: unexpected message kind"
 
+let on_source_down _ _ = ()
+let on_source_up _ _ = ()
+
 let idle t =
   t.rev_uqs = [] && t.rev_al = [] && Update_queue.is_empty t.ctx.queue
 

@@ -58,6 +58,10 @@ type state = {
   ctx : Algorithm.ctx;
   batch_max : int;
   mutable batch : batch option;
+  mutable aborted : int list;
+      (* qids of legs aborted by a breaker trip: late answers dropped *)
+  mutable stall_mark : int;
+      (* highest arrival number already counted in [stalled_updates] *)
 }
 
 let combined_deltas entries =
@@ -91,7 +95,8 @@ struct
   let create ctx =
     if Cfg.batch_max < 1 then
       invalid_arg "Sweep_batched: batch_max must be >= 1";
-    { ctx; batch_max = Cfg.batch_max; batch = None }
+    { ctx; batch_max = Cfg.batch_max; batch = None; aborted = [];
+      stall_mark = -1 }
 
   let trace t fmt =
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
@@ -154,12 +159,27 @@ struct
     Obs.finish t.ctx.obs b.span;
     start_next t
 
-  (* Drain up to [batch_max] queued updates and start the batch. *)
+  (* Drain up to [batch_max] queued updates and start the batch — only
+     breaker-eligible ones while degraded (parked entries stay in the
+     queue, visible to the L_j interference term; at the stall cap the
+     engine falls back to blocking on the dead source). *)
   and start_next t =
     match t.batch with
     | Some _ -> ()
     | None -> (
-        match Update_queue.take t.ctx.queue ~max:t.batch_max with
+        let parked, mark =
+          Algorithm.note_parked t.ctx ~stall_mark:t.stall_mark
+            ~event:(name ^ ".park")
+        in
+        t.stall_mark <- mark;
+        let drained =
+          if parked = 0 || parked >= t.ctx.Algorithm.stall_cap then
+            Update_queue.take t.ctx.queue ~max:t.batch_max
+          else
+            Update_queue.take_eligible t.ctx.queue ~max:t.batch_max
+              ~eligible:(Algorithm.sweep_eligible t.ctx)
+        in
+        match drained with
         | [] -> ()
         | entries ->
             let combined = combined_deltas entries in
@@ -188,6 +208,14 @@ struct
 
   let on_answer t msg =
     match (msg, t.batch) with
+    | Message.Answer { qid; source; _ }, _ when List.mem qid t.aborted ->
+        (* late answer for a breaker-aborted leg (the stale query doubled
+           as the recovery probe); the batch was pushed back and re-runs
+           with fresh qids *)
+        t.aborted <- List.filter (fun q -> q <> qid) t.aborted;
+        trace t "%s: dropped answer for aborted qid=%d from %d" name qid
+          source;
+        start_next t
     | Message.Answer { qid; source = j; partial }, Some b -> (
         match b.current with
         | Some leg when qid = leg.qid && j = leg.outstanding ->
@@ -241,6 +269,47 @@ struct
       ->
         invalid_arg (name ^ ": unexpected message kind")
 
+  (* Does any not-yet-finished work of batch [b] query source [j]? Every
+     leg for a source ≠ [j] sweeps [j]; the [j]-leg itself does not. *)
+  let batch_needs b j =
+    (match b.current with
+    | Some leg -> leg.outstanding = j || List.mem j leg.pending
+    | None -> false)
+    || List.exists (fun (src, _) -> src <> j) b.remaining
+
+  (* Source [j]'s breaker opened. If the batch still has a leg through
+     [j], abort the whole batch: discard the accumulated view delta,
+     return every batch entry to the head of the queue (delivery order,
+     arrival numbers intact) and remember the in-flight qid so its late
+     answer is dropped. Nothing was installed, so the re-run (as one or
+     more smaller eligible batches) recomputes from scratch. *)
+  let on_source_down t j =
+    (match t.batch with
+    | Some b when batch_needs b j ->
+        (match b.current with
+        | Some leg when leg.outstanding >= 0 ->
+            t.aborted <- leg.qid :: t.aborted;
+            Obs.finish t.ctx.obs leg.query_span;
+            Obs.finish t.ctx.obs leg.span
+        | Some leg -> Obs.finish t.ctx.obs leg.span
+        | None -> ());
+        List.iter
+          (fun e -> Update_queue.push_front t.ctx.queue e)
+          (List.rev b.entries);
+        t.batch <- None;
+        trace t "%s: abort batch of %d update(s) — source %d tripped" name
+          (List.length b.entries) j;
+        if Obs.active t.ctx.obs then
+          Obs.event t.ctx.obs ~span:b.span (name ^ ".abort")
+            [ ("source", Tracer.I j);
+              ("updates", Tracer.I (List.length b.entries)) ];
+        Obs.finish t.ctx.obs b.span
+    | _ -> ());
+    start_next t
+
+  (* Source [j] healed: parked entries are eligible again. *)
+  let on_source_up t _j = start_next t
+
   let idle t = t.batch = None && Update_queue.is_empty t.ctx.queue
 
   let snap_of_leg leg =
@@ -287,10 +356,18 @@ struct
           current = Snap.to_option leg_of_snap current; span = Tracer.none }
     | _ -> invalid_arg (name ^ ": malformed batch snapshot")
 
-  let snapshot t = Snap.option snap_of_batch t.batch
+  let snapshot t =
+    Snap.List
+      [ Snap.option snap_of_batch t.batch; Snap.ints t.aborted;
+        Snap.Int t.stall_mark ]
 
   let restore ctx s =
-    { ctx; batch_max = Cfg.batch_max; batch = Snap.to_option batch_of_snap s }
+    match Snap.to_list s with
+    | [ batch; aborted; stall_mark ] ->
+        { ctx; batch_max = Cfg.batch_max;
+          batch = Snap.to_option batch_of_snap batch;
+          aborted = Snap.to_ints aborted; stall_mark = Snap.to_int stall_mark }
+    | _ -> invalid_arg (name ^ ": malformed snapshot")
 end
 
 module Default = Make (struct

@@ -41,14 +41,35 @@ module Make (P : POLICY) = struct
     ctx : Algorithm.ctx;
     extra : P.extra;
     mutable current : view_change option;
+    mutable aborted : int list;
+        (* qids of view changes aborted by a breaker trip: their late
+           answers are dropped, not errors *)
+    mutable stall_mark : int;
+        (* highest arrival number already counted in [stalled_updates] *)
   }
 
   let name = P.name
-  let create ctx = { ctx; extra = P.create_extra ctx; current = None }
+
+  let create ctx =
+    { ctx; extra = P.create_extra ctx; current = None; aborted = [];
+      stall_mark = -1 }
 
   let trace t fmt =
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
       ~who:"warehouse" fmt
+
+  (* Degraded mode (DESIGN.md §12): parked entries stay in the queue,
+     which keeps them visible to the [from_source] interference test — a
+     sweep that overtakes them still subtracts their effect from
+     answers, so each cross term is counted exactly once and
+     replay-after-heal converges to the fault-free view. *)
+  let note_parked t =
+    let parked, mark =
+      Algorithm.note_parked t.ctx ~stall_mark:t.stall_mark
+        ~event:(P.name ^ ".park")
+    in
+    t.stall_mark <- mark;
+    parked
 
   let rec advance t =
     match t.current with
@@ -77,12 +98,22 @@ module Make (P : POLICY) = struct
             start_next t)
 
   (* The UpdateView process of Fig. 4: take the oldest queued update and
-     run ViewChange for it. *)
+     run ViewChange for it — the oldest *eligible* one while breakers are
+     open (blocking again once the stall cap is hit). *)
   and start_next t =
     match t.current with
     | Some _ -> ()
     | None -> (
-        match Update_queue.pop t.ctx.queue with
+        let parked = note_parked t in
+        let popped =
+          (* at the stall cap, fall back to blocking on the dead source *)
+          if parked = 0 || parked >= t.ctx.Algorithm.stall_cap then
+            Update_queue.pop t.ctx.queue
+          else
+            Update_queue.pop_eligible t.ctx.queue
+              ~eligible:(Algorithm.sweep_eligible t.ctx)
+        in
+        match popped with
         | None -> ()
         | Some entry ->
             let i = entry.update.Message.txn.source in
@@ -141,6 +172,14 @@ module Make (P : POLICY) = struct
               Algebra.compensate t.ctx.view ~answer:partial ~interfering:merged
                 ~temp:vc.temp);
         advance t
+    | Message.Answer { qid; source; _ }, _ when List.mem qid t.aborted ->
+        (* late answer for a breaker-aborted view change (the stale query
+           doubled as the recovery probe): the update it answered was
+           pushed back and will re-run with a fresh qid *)
+        t.aborted <- List.filter (fun q -> q <> qid) t.aborted;
+        trace t "%s: dropped answer for aborted qid=%d from %d" P.name qid
+          source;
+        start_next t
     | Message.Answer { qid; source; _ }, _ ->
         invalid_arg
           (Printf.sprintf "%s: unexpected answer qid=%d from %d" P.name qid
@@ -148,6 +187,33 @@ module Make (P : POLICY) = struct
     | (Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _), _
       ->
         invalid_arg (P.name ^ ": unexpected message kind")
+
+  (* Source [j]'s breaker opened. If the in-flight view change still has
+     a leg through [j] (outstanding or pending), abort it: discard the
+     partial ΔV, return the update to the head of the queue (arrival
+     number intact) and remember the stale qid so its late answer is
+     dropped. The re-run recomputes from scratch through the normal
+     compensation path, so aborting never double-applies anything. *)
+  let on_source_down t j =
+    (match t.current with
+    | Some vc when vc.outstanding = j || List.mem j vc.pending ->
+        t.aborted <- vc.qid :: t.aborted;
+        Update_queue.push_front t.ctx.queue vc.entry;
+        t.current <- None;
+        trace t "%s: abort ViewChange(%a) — source %d tripped" P.name
+          Message.pp_txn_id vc.entry.update.Message.txn j;
+        if Obs.active t.ctx.obs then
+          Obs.event t.ctx.obs ~span:vc.span (P.name ^ ".abort")
+            [ ("source", Tracer.I j); ("qid", Tracer.I vc.qid) ];
+        Obs.finish t.ctx.obs vc.leg;
+        Obs.finish t.ctx.obs vc.span
+    | _ -> ());
+    (* other queued updates may still be eligible *)
+    start_next t
+
+  (* Source [j] healed: parked entries are eligible again; replay them
+     (oldest first) through the normal path. *)
+  let on_source_up t _j = start_next t
 
   let idle t =
     t.current = None
@@ -170,12 +236,15 @@ module Make (P : POLICY) = struct
     | _ -> invalid_arg (P.name ^ ": malformed view-change snapshot")
 
   let snapshot t =
-    Snap.List [ Snap.option snap_of_vc t.current; P.extra_snapshot t.extra ]
+    Snap.List
+      [ Snap.option snap_of_vc t.current; P.extra_snapshot t.extra;
+        Snap.ints t.aborted; Snap.Int t.stall_mark ]
 
   let restore ctx s =
     match Snap.to_list s with
-    | [ current; extra ] ->
+    | [ current; extra; aborted; stall_mark ] ->
         { ctx; extra = P.extra_restore ctx extra;
-          current = Snap.to_option vc_of_snap current }
+          current = Snap.to_option vc_of_snap current;
+          aborted = Snap.to_ints aborted; stall_mark = Snap.to_int stall_mark }
     | _ -> invalid_arg (P.name ^ ": malformed snapshot")
 end

@@ -180,6 +180,8 @@ struct
     | Message.Snapshot _ | Message.Eca_answer _ | Message.Update_notice _ ->
         invalid_arg "Sweep_pipelined.on_answer: unexpected message kind"
 
+  let on_source_down _ _ = ()
+  let on_source_up _ _ = ()
   let idle t = t.depth = 0 && Update_queue.is_empty t.ctx.queue
 
   module Snap = Repro_durability.Snap

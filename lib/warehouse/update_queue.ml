@@ -61,6 +61,29 @@ let pop t =
       t.len <- t.len - 1;
       Some e
 
+(* Degraded-mode abort path: return an entry to the head so the next
+   [pop] re-yields it (its arrival number is unchanged). *)
+let push_front t e =
+  (match t.capacity with
+  | Some c when t.len >= c -> invalid_arg "Update_queue.push_front: over capacity"
+  | _ -> ());
+  t.front <- e :: t.front;
+  t.len <- t.len + 1
+
+(* Oldest entry satisfying [eligible], skipping (and preserving) parked
+   ones. O(parked prefix) per call — the parked prefix is bounded by the
+   stall cap. *)
+let pop_eligible t ~eligible =
+  let rec go skipped =
+    match pop t with
+    | None -> (None, List.rev skipped)
+    | Some e -> if eligible e then (Some e, List.rev skipped) else go (e :: skipped)
+  in
+  let found, skipped = go [] in
+  (* put the skipped prefix back in order ahead of whatever remains *)
+  List.iter (fun e -> push_front t e) (List.rev skipped);
+  found
+
 let peek t =
   normalize t;
   match t.front with [] -> None | e :: _ -> Some e
@@ -76,6 +99,23 @@ let take t ~max =
     else match pop t with None -> List.rev acc | Some e -> go (k - 1) (e :: acc)
   in
   go max []
+
+(* Batched variant of [pop_eligible]: up to [max] eligible entries in
+   arrival order, skipping (and preserving) ineligible ones. *)
+let take_eligible t ~max ~eligible =
+  if max < 0 then invalid_arg "Update_queue.take_eligible: max < 0";
+  let all = entries t in
+  let rec go k taken kept = function
+    | [] -> (List.rev taken, List.rev kept)
+    | e :: rest ->
+        if k > 0 && eligible e then go (k - 1) (e :: taken) kept rest
+        else go k taken (e :: kept) rest
+  in
+  let taken, kept = go max [] [] all in
+  t.front <- kept;
+  t.rear <- [];
+  t.len <- List.length kept;
+  taken
 
 let from_source t j =
   List.filter (fun e -> e.update.Message.txn.source = j) (entries t)

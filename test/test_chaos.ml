@@ -1,0 +1,306 @@
+(* Composed chaos suite: randomized [Fault.chaos] schedules — heavy link
+   faults, overlapping source-crash windows, a warehouse outage — with
+   query deadlines and circuit breakers armed. Four invariants per seed
+   and algorithm:
+
+     1. progress     — the run drains, is not degraded (every chaos
+                       window heals by 0.7·horizon) and incorporates
+                       every update;
+     2. determinism  — the same seed replays to a bit-identical final
+                       view with identical counters;
+     3. verdict      — at least the algorithm's consistency floor;
+     4. convergence  — quiescence within a bounded sim-time after the
+                       last crash window heals, and (for the SWEEP
+                       family) a final view bit-identical to the same
+                       run with the crash windows deleted — on-line
+                       error correction plus breaker replay loses
+                       nothing.
+
+   Seed count comes from CHAOS_SEEDS (default 6 so `dune runtest` stays
+   fast; `make chaos` raises it to 50). Also here: the permanent-crash
+   regression (a source that never heals must park its updates behind an
+   abandoned breaker and drain Degraded instead of stalling forever) and
+   the scripted overlapping-windows scenario from the issue. *)
+
+open Repro_sim
+open Repro_warehouse
+open Repro_consistency
+open Repro_harness
+open Repro_workload
+
+let chaos_seeds =
+  match Sys.getenv_opt "CHAOS_SEEDS" with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some n -> max 1 n
+      | None -> 6)
+  | None -> 6
+
+let n_updates = 40
+let mean_gap = 1.5
+let horizon = float_of_int n_updates *. mean_gap
+
+(* One chaos scenario per seed: the fault schedule is drawn from the
+   seed, the workload stream from [Scenario.seed] (split after link
+   wiring), so schedule and workload vary independently per seed. *)
+let chaos_scenario seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let faults = Fault.chaos rng ~n_sources:4 ~horizon in
+  { Scenario.default with
+    Scenario.name = "chaos-prop";
+    n_sources = 4;
+    init_size = 12;
+    domain = 8;
+    stream = { Update_gen.default with Update_gen.n_updates; mean_gap };
+    deadline = Some 8.;
+    breaker_k = 3;
+    probe_limit = 0;
+    stall_cap = 64;
+    faults;
+    seed = Int64.of_int seed }
+
+(* Sim-time allowance after the last heal: breaker probe timers back off
+   exponentially, so a source that trips near the end of its window can
+   take a few thousand sim-seconds of probing before it closes and the
+   parked updates replay. The bound only needs to rule out
+   non-convergence (eternal retransmission), not be tight. *)
+let convergence_slack = 6000.
+
+let run scenario algo = Experiment.run scenario algo
+
+let check_invariants ~tag ~floor ~golden algo seed =
+  let scenario = chaos_scenario seed in
+  let r = run scenario algo in
+  let ctx fmt = Printf.sprintf ("%s seed %d: " ^^ fmt) tag seed in
+  (* 1. progress *)
+  Alcotest.(check bool) (ctx "run drains") true r.Experiment.completed;
+  Alcotest.(check bool) (ctx "not degraded (all windows heal)") false
+    r.Experiment.degraded;
+  Alcotest.(check int)
+    (ctx "every update incorporated")
+    n_updates r.Experiment.metrics.Metrics.updates_incorporated;
+  (* 2. deterministic replay *)
+  let r2 = run scenario algo in
+  Alcotest.check Rig.bag (ctx "replay is bit-identical")
+    r.Experiment.final_view r2.Experiment.final_view;
+  Alcotest.(check int) (ctx "replay: same events") r.Experiment.events
+    r2.Experiment.events;
+  Alcotest.(check (float 0.)) (ctx "replay: same sim time")
+    r.Experiment.sim_time r2.Experiment.sim_time;
+  Alcotest.(check int) (ctx "replay: same breaker trips")
+    r.Experiment.metrics.Metrics.breaker_trips
+    r2.Experiment.metrics.Metrics.breaker_trips;
+  Alcotest.(check int) (ctx "replay: same stalled updates")
+    r.Experiment.metrics.Metrics.stalled_updates
+    r2.Experiment.metrics.Metrics.stalled_updates;
+  (* 3. verdict floor *)
+  let v = r.Experiment.verdict.Checker.verdict in
+  Alcotest.(check bool)
+    (ctx "verdict at least %s (got %s)"
+       (Checker.verdict_to_string floor)
+       (Checker.verdict_to_string v))
+    true
+    (Checker.compare_verdict v floor <= 0);
+  (* 4. convergence after the last heal *)
+  Alcotest.(check bool)
+    (ctx "quiesces within %.0f of the last heal (sim time %.1f)"
+       convergence_slack r.Experiment.sim_time)
+    true
+    (r.Experiment.sim_time
+    <= Fault.last_heal scenario.Scenario.faults +. convergence_slack);
+  if golden then begin
+    (* Same link faults, breakers still armed (identical rng draw
+       order), only the crash windows deleted: the chaotic run must end
+       on the same view — parked updates replay losslessly. *)
+    let fault_free =
+      { scenario with
+        Scenario.faults =
+          { scenario.Scenario.faults with Fault.crashes = []; wh_crashes = [] }
+      }
+    in
+    let g = run fault_free algo in
+    Alcotest.check Rig.bag
+      (ctx "final view bit-identical to the crash-free run")
+      g.Experiment.final_view r.Experiment.final_view
+  end
+
+let chaos_case ~tag ~floor ~golden algo () =
+  for seed = 1 to chaos_seeds do
+    check_invariants ~tag ~floor ~golden algo seed
+  done
+
+(* ————— permanent source crash: degraded drain, no stall ————— *)
+
+(* Source 1 goes down and never comes back. Without deadlines the run
+   would retransmit its sweep query forever; with a breaker of bounded
+   probes it must trip, abandon the source, keep maintaining everyone
+   else's updates and drain with a [Degraded] verdict and the dead
+   source's updates parked. *)
+let test_permanent_crash_degrades () =
+  let scenario =
+    { Scenario.default with
+      Scenario.name = "permanent-crash";
+      init_size = 12;
+      domain = 8;
+      stream =
+        { Update_gen.default with Update_gen.n_updates = 20; mean_gap = 0.3 };
+      deadline = Some 8.;
+      breaker_k = 2;
+      probe_limit = 2;
+      stall_cap = 64;
+      faults =
+        { Fault.link = Fault.reliable;
+          crashes = [ { Fault.source = 1; down_at = 10.; up_at = 1e12 } ];
+          wh_crashes = [] };
+      (* The seed is chosen so the dead source's up link is fully acked
+         by [down_at] — update notices ride the up link with NO deadline
+         (update delivery must survive arbitrary outages), so a frame
+         left unacked at crash time retransmits until [up_at]. *)
+      seed = 7L }
+  in
+  (* [max_events] guards the failure mode under test: if the breaker
+     did NOT abandon the dead source, eternal retransmission would spin
+     the engine forever — cut off, the run reports [completed = false]
+     and the assertion below fails instead of hanging the suite. *)
+  let r =
+    Experiment.run ~max_events:200_000 scenario (module Sweep : Algorithm.S)
+  in
+  let m = r.Experiment.metrics in
+  Alcotest.(check bool) "run drains despite the dead source" true
+    r.Experiment.completed;
+  Alcotest.(check bool) "run is degraded" true r.Experiment.degraded;
+  Alcotest.check Rig.verdict "verdict is Degraded" Checker.Degraded
+    r.Experiment.verdict.Checker.verdict;
+  Alcotest.(check bool) "breaker tripped" true (m.Metrics.breaker_trips >= 1);
+  Alcotest.(check bool) "updates parked behind the open breaker" true
+    (m.Metrics.stalled_updates > 0);
+  Alcotest.(check bool) "deadlines actually expired" true
+    (m.Metrics.query_timeouts > 0);
+  Alcotest.(check bool) "degraded time accrued" true
+    (m.Metrics.degraded_time > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "some but not all updates incorporated (%d of %d received)"
+       m.Metrics.updates_incorporated m.Metrics.updates_received)
+    true
+    (m.Metrics.updates_incorporated > 0
+    && m.Metrics.updates_incorporated < m.Metrics.updates_received)
+
+(* ————— scripted overlap: two source windows + warehouse outage ————— *)
+
+(* Source 1 down for [20,60), the warehouse crashes inside that window
+   ([30,45) — recovery must restore breaker state from the checkpoint),
+   source 3 down for [50,80) overlapping source 1's tail. Everything
+   heals, so the run must converge non-degraded, at least Strong, with
+   the same final view as the crash-free wiring. *)
+let overlap_scenario =
+  { Scenario.default with
+    Scenario.name = "overlap";
+    n_sources = 4;
+    init_size = 12;
+    domain = 8;
+    stream =
+      { Update_gen.default with Update_gen.n_updates = 40; mean_gap = 1.5 };
+    deadline = Some 8.;
+    breaker_k = 3;
+    probe_limit = 0;
+    stall_cap = 64;
+    faults =
+      { Fault.link = Fault.lossy ~drop:0.1 ~duplicate:0.05 ();
+        crashes =
+          [ { Fault.source = 1; down_at = 20.; up_at = 60. };
+            { Fault.source = 3; down_at = 50.; up_at = 80. } ];
+        wh_crashes = [ { Fault.wh_down_at = 30.; wh_up_at = 45. } ] };
+    seed = 11L }
+
+let test_overlapping_windows algo_name algo () =
+  let r = Experiment.run overlap_scenario algo in
+  let ctx s = algo_name ^ ": " ^ s in
+  Alcotest.(check bool) (ctx "run drains") true r.Experiment.completed;
+  Alcotest.(check bool) (ctx "not degraded") false r.Experiment.degraded;
+  Alcotest.(check int) (ctx "every update incorporated") 40
+    r.Experiment.metrics.Metrics.updates_incorporated;
+  Alcotest.(check bool) (ctx "warehouse actually crashed") true
+    (r.Experiment.metrics.Metrics.wh_crashes >= 1);
+  let v = r.Experiment.verdict.Checker.verdict in
+  Alcotest.(check bool)
+    (ctx
+       (Printf.sprintf "at least strong (got %s)"
+          (Checker.verdict_to_string v)))
+    true
+    (Checker.compare_verdict v Checker.Strong <= 0);
+  let fault_free =
+    { overlap_scenario with
+      Scenario.faults =
+        { overlap_scenario.Scenario.faults with
+          Fault.crashes = [];
+          wh_crashes = [] } }
+  in
+  let g = Experiment.run fault_free algo in
+  Alcotest.check Rig.bag
+    (ctx "final view bit-identical to the crash-free run")
+    g.Experiment.final_view r.Experiment.final_view
+
+(* ————— chaos schedule generator sanity ————— *)
+
+let test_chaos_schedule_shape () =
+  for seed = 0 to 199 do
+    let rng = Rng.create (Int64.of_int seed) in
+    let f = Fault.chaos rng ~n_sources:4 ~horizon:100. in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: chaos schedule is faulty" seed)
+      true (Fault.is_faulty f);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: has at least one source window" seed)
+      true
+      (f.Fault.crashes <> []);
+    List.iter
+      (fun w ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: source window heals by 0.7·horizon" seed)
+          true
+          (w.Fault.up_at <= 70. && w.Fault.down_at < w.Fault.up_at))
+      f.Fault.crashes;
+    List.iter
+      (fun o ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: warehouse outage heals by 0.7·horizon"
+             seed)
+          true
+          (o.Fault.wh_up_at <= 70. && o.Fault.wh_down_at < o.Fault.wh_up_at))
+      f.Fault.wh_crashes;
+    let heal = Fault.last_heal f in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: last_heal is the max heal time" seed)
+      true
+      (List.for_all (fun w -> w.Fault.up_at <= heal) f.Fault.crashes
+      && List.for_all (fun o -> o.Fault.wh_up_at <= heal) f.Fault.wh_crashes)
+  done;
+  Alcotest.(check (float 0.)) "last_heal of the empty schedule" 0.
+    (Fault.last_heal Fault.none)
+
+let suite =
+  [ Alcotest.test_case "chaos schedule: shape and last_heal" `Quick
+      test_chaos_schedule_shape;
+    Alcotest.test_case "permanent source crash: degraded drain" `Quick
+      test_permanent_crash_degrades;
+    Alcotest.test_case "overlap: sweep" `Quick
+      (test_overlapping_windows "sweep" (module Sweep : Algorithm.S));
+    Alcotest.test_case "overlap: sweep-batched" `Quick
+      (test_overlapping_windows "sweep-batched"
+         (module Sweep_batched : Algorithm.S));
+    Alcotest.test_case "chaos invariants: sweep" `Slow
+      (chaos_case ~tag:"sweep" ~floor:Checker.Strong ~golden:true
+         (module Sweep : Algorithm.S));
+    Alcotest.test_case "chaos invariants: sweep-batched" `Slow
+      (chaos_case ~tag:"sweep-batched" ~floor:Checker.Strong ~golden:true
+         (module Sweep_batched : Algorithm.S));
+    Alcotest.test_case "chaos invariants: nested-sweep" `Slow
+      (chaos_case ~tag:"nested-sweep" ~floor:Checker.Strong ~golden:true
+         (module Nested_sweep : Algorithm.S));
+    Alcotest.test_case "chaos invariants: strobe" `Slow
+      (chaos_case ~tag:"strobe" ~floor:Checker.Strong ~golden:false
+         (module Strobe : Algorithm.S));
+    Alcotest.test_case "chaos invariants: c-strobe" `Slow
+      (chaos_case ~tag:"c-strobe" ~floor:Checker.Convergent ~golden:false
+         (module C_strobe : Algorithm.S)) ]

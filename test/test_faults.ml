@@ -213,7 +213,7 @@ let test_backoff_schedule_deterministic () =
     let times = ref [] in
     let s =
       Transport.sender
-        ~config:{ Transport.rto = 1.0; backoff = 2.0; max_rto = 8.0; jitter }
+        ~config:{ Transport.default_config with rto = 1.0; max_rto = 8.0; jitter }
         e ~rng:(Rng.create seed)
         ~send_frame:(function
           | Transport.Data _ -> times := Engine.now e :: !times
@@ -233,6 +233,147 @@ let test_backoff_schedule_deterministic () =
     (schedule ~jitter:0.25 ~seed:9L);
   Alcotest.(check bool) "different seeds jitter differently" true
     (schedule ~jitter:0.25 ~seed:9L <> schedule ~jitter:0.25 ~seed:10L)
+
+(* ————— query deadlines: suspension, resume, ack liveness ————— *)
+
+let no_jitter ~rto ~deadline =
+  { Transport.rto; backoff = 2.0; max_rto = 64.0; jitter = 0.;
+    deadline = Some deadline }
+
+(* A frame that is never acknowledged suspends its sender once the
+   deadline passes: retransmission stops, [on_deadline] reports the
+   oldest seq, sends made while suspended buffer silently, and
+   [resume_sender] retransmits the whole window with a fresh deadline
+   clock (and, still unacknowledged, expires again). *)
+let test_deadline_suspends_buffers_resumes () =
+  let e = Engine.create () in
+  let sent = ref [] and expired = ref [] in
+  let s =
+    Transport.sender
+      ~config:(no_jitter ~rto:1.0 ~deadline:3.5)
+      ~on_deadline:(fun ~seq -> expired := (Engine.now e, seq) :: !expired)
+      e ~rng:(Rng.create 3L)
+      ~send_frame:(function
+        | Transport.Data { seq; _ } -> sent := (Engine.now e, seq) :: !sent
+        | Transport.Ack _ -> ())
+  in
+  Transport.send s "a";
+  (* the deadline is checked at retransmission-timer firings: transmits
+     at 0, 1, 3; the t=7 timer finds the frame 7 > 3.5 overdue *)
+  Engine.at e ~time:8.0 (fun () ->
+      Alcotest.(check bool) "suspended after the deadline" true
+        (Transport.sender_suspended s);
+      Alcotest.(check int) "expiry counted" 1
+        (Transport.sender_stats s).Transport.deadline_expiries;
+      (* a send while suspended must not transmit *)
+      Transport.send s "b");
+  Engine.at e ~time:10.0 (fun () -> Transport.resume_sender s);
+  ignore (Engine.run ~until:30.0 e);
+  let until_suspension, after_resume =
+    List.partition (fun (t, _) -> t < 10.) (List.rev !sent)
+  in
+  Alcotest.(check (list (pair (float 0.) int)))
+    "transmissions stop at suspension (buffered send stays dark)"
+    [ (0., 0); (1., 0); (3., 0) ]
+    until_suspension;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "resume retransmits the window oldest first, then backs off again"
+    [ (10., 0); (10., 1); (11., 0); (11., 1); (13., 0); (13., 1) ]
+    after_resume;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "one expiry per suspension, oldest seq, deadline clock reset by resume"
+    [ (7., 0); (17., 0) ]
+    (List.rev !expired);
+  Alcotest.(check bool) "suspended again at the end" true
+    (Transport.sender_suspended s)
+
+(* Round-trip wiring with latency 1.0 each way: the ack clears the
+   window before any timer fires and [on_ack] reports the cumulative
+   seq — the liveness evidence the breaker layer consumes. *)
+let test_deadline_ack_fires_on_ack () =
+  let e = Engine.create () in
+  let delivered = ref [] and acked = ref [] in
+  let receiver_cell = ref None in
+  let s =
+    Transport.sender
+      ~config:(no_jitter ~rto:4.0 ~deadline:8.0)
+      ~on_ack:(fun ~seq -> acked := (Engine.now e, seq) :: !acked)
+      e ~rng:(Rng.create 3L)
+      ~send_frame:(fun f ->
+        Engine.schedule e ~delay:1.0 (fun () ->
+            Transport.receiver_on_frame (Option.get !receiver_cell) f))
+  in
+  let r =
+    Transport.receiver
+      ~send_frame:(fun f ->
+        Engine.schedule e ~delay:1.0 (fun () -> Transport.sender_on_frame s f))
+      ~deliver:(fun p -> delivered := p :: !delivered)
+      ()
+  in
+  receiver_cell := Some r;
+  Transport.send s "a";
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "delivered exactly once" [ "a" ] !delivered;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "on_ack fired once, after one round trip"
+    [ (2., 0) ]
+    (List.rev !acked);
+  Alcotest.(check int) "no expiries" 0
+    (Transport.sender_stats s).Transport.deadline_expiries;
+  Alcotest.(check int) "window drained" 0 (Transport.unacked s)
+
+(* The delivered-but-ack-lost pathology: the payload got through but
+   every ack is dropped until after the sender suspends. The probe
+   retransmission is duplicate-suppressed at the receiver — there is no
+   second delivery, so a breaker watching only answers would wait
+   forever — but the re-ack gets through and [on_ack] proves the link
+   alive. *)
+let test_deadline_ack_lost_heals_via_on_ack () =
+  let e = Engine.create () in
+  let delivered = ref [] and acked = ref [] in
+  let drop_acks = ref true in
+  let receiver_cell = ref None in
+  let s =
+    Transport.sender
+      ~config:(no_jitter ~rto:3.0 ~deadline:5.0)
+      ~on_ack:(fun ~seq -> acked := (Engine.now e, seq) :: !acked)
+      e ~rng:(Rng.create 3L)
+      ~send_frame:(fun f ->
+        Engine.schedule e ~delay:1.0 (fun () ->
+            Transport.receiver_on_frame (Option.get !receiver_cell) f))
+  in
+  let r =
+    Transport.receiver
+      ~send_frame:(fun f ->
+        if not !drop_acks then
+          Engine.schedule e ~delay:1.0 (fun () ->
+              Transport.sender_on_frame s f))
+      ~deliver:(fun p -> delivered := p :: !delivered)
+      ()
+  in
+  receiver_cell := Some r;
+  Transport.send s "a";
+  Engine.at e ~time:6.0 (fun () -> drop_acks := false);
+  Engine.at e ~time:10.0 (fun () ->
+      Alcotest.(check bool) "suspended: every ack was lost" true
+        (Transport.sender_suspended s);
+      Alcotest.(check (list string)) "payload already delivered" [ "a" ]
+        !delivered;
+      Alcotest.(check (list (pair (float 0.) int))) "no ack seen yet" []
+        !acked);
+  Engine.at e ~time:12.0 (fun () -> Transport.resume_sender s);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "still delivered exactly once" [ "a" ]
+    !delivered;
+  Alcotest.(check bool) "probe was duplicate-suppressed" true
+    ((Transport.receiver_stats r).Transport.duplicates_suppressed >= 2);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "the re-ack heals: on_ack fired once"
+    [ (14., 0) ]
+    (List.rev !acked);
+  Alcotest.(check bool) "no longer suspended" false
+    (Transport.sender_suspended s);
+  Alcotest.(check int) "window drained" 0 (Transport.unacked s)
 
 (* ————— seeded fault-schedule property harness ————— *)
 
@@ -369,6 +510,12 @@ let suite =
       `Quick test_spike_only_exactly_once_in_order;
     Alcotest.test_case "transport: backoff schedule deterministic" `Quick
       test_backoff_schedule_deterministic;
+    Alcotest.test_case "deadline: suspend, buffer, resume, re-expire" `Quick
+      test_deadline_suspends_buffers_resumes;
+    Alcotest.test_case "deadline: clean round trip fires on_ack" `Quick
+      test_deadline_ack_fires_on_ack;
+    Alcotest.test_case "deadline: ack-lost delivery heals via on_ack" `Quick
+      test_deadline_ack_lost_heals_via_on_ack;
     Alcotest.test_case "property: sweep complete on 100 faulty seeds" `Quick
       test_sweep_complete_under_faults;
     Alcotest.test_case "property: nested sweep strong on random schedules"

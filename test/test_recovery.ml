@@ -142,7 +142,8 @@ let test_checkpoint_roundtrip () =
         [| { Checkpoint.next_seq = 2; acked_upto = 1; window = [] };
            { Checkpoint.next_seq = 5; acked_upto = 2;
              window = [ (3, Message.Fetch { qid = 1; target = 0 }) ] };
-           { Checkpoint.next_seq = 0; acked_upto = -1; window = [] } |] }
+           { Checkpoint.next_seq = 0; acked_upto = -1; window = [] } |];
+      breaker = Snap.List [ Snap.Int 0; Snap.Int 2 ] }
   in
   let c' = Checkpoint.decode (Checkpoint.encode c) in
   Alcotest.(check string) "checkpoint bytes stable"
@@ -157,7 +158,7 @@ let test_checkpoint_roundtrip () =
 let dummy_capture () =
   { Checkpoint.taken_at = 0.; wal_pos = 0; view = Bag.create (); queue = [];
     queue_next_arrival = 0; next_qid = 0; algo = Snap.Unit;
-    recv_expected = [||]; senders = [||] }
+    recv_expected = [||]; senders = [||]; breaker = Snap.Unit }
 
 let test_store_checkpoint_cadence () =
   let s = Store.create ~checkpoint_every:3 () in
