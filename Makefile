@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json faults recover chaos bench bench-json bench-compare examples doc clean
+.PHONY: all build test lint lint-json faults recover chaos serve bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -35,6 +35,13 @@ recover:
 chaos:
 	CHAOS_SEEDS=50 dune exec test/test_main.exe -- test chaos
 
+# Read-path serving suite at full scale: 25 seeded read storms per
+# algorithm (flash-crowd bursts, admission control, staleness SLOs,
+# session guarantees, degraded serving under an open breaker). `dune
+# runtest` runs the same suite at 5 seeds.
+serve:
+	SERVE_SEEDS=25 dune exec test/test_main.exe -- test serving
+
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:
 	dune exec bench/main.exe
@@ -47,8 +54,8 @@ bench-json:
 
 # Like bench-json, but additionally compare against the most recent
 # committed BENCH_<n>.json and fail on a >25% regression in
-# messages-per-update or staleness p99 (both deterministic per seed;
-# wall-clock figures are never gated).
+# messages-per-update, staleness p99 or read-staleness p99 (all
+# deterministic per seed; wall-clock figures are never gated).
 bench-compare:
 	dune exec bench/main.exe -- micro --json-out BENCH.json --scale 0.2
 	baseline=$$(ls BENCH_[0-9]*.json 2>/dev/null | sort -V | tail -1); \

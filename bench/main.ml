@@ -190,7 +190,10 @@ let run_bench_json ~scale path =
       (* chaos exercises the resilience counters (query_timeouts,
          breaker_trips, stalled_updates, degraded_time) so the perf gate
          validates them against a run where they are live, not zero *)
-      [ "concurrent"; "centralized"; "chaos" ]
+      (* read-heavy and flash-crowd exercise the serving counters
+         (reads_served/stale/shed, read staleness quantiles) the same
+         way *)
+      [ "concurrent"; "centralized"; "chaos"; "read-heavy"; "flash-crowd" ]
   in
   let experiments =
     List.concat_map

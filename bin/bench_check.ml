@@ -92,7 +92,8 @@ let compare_docs ~old_doc ~new_doc =
               | _ -> ())
             [ ("messages_per_update", counter "messages_per_update");
               ( "staleness_p99",
-                histogram_stat ~hist:"staleness" ~stat:"p99" ) ])
+                histogram_stat ~hist:"staleness" ~stat:"p99" );
+              ("read_staleness_p99", counter "read_staleness_p99") ])
     (entries new_doc);
   (!compared, List.rev !regressions)
 

@@ -14,8 +14,8 @@ open Repro_harness
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     domain seed latency centralized drop duplicate spike spike_factor crashes
     wh_crashes chaos checkpoint_every queue_capacity batch_max deadline
-    breaker_k probe_limit stall_cap no_check show_trace trace_spans json_out
-    explain_sql =
+    breaker_k probe_limit stall_cap read_rate staleness_slo read_cap no_check
+    show_trace trace_spans json_out explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -141,6 +141,19 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     Printf.eprintf "--stall-cap must be >= 1, got %d\n" stall_cap;
     exit 2
   end;
+  (match read_rate with
+  | Some r when r < 0. ->
+      Printf.eprintf "--read-rate must be >= 0, got %g\n" r;
+      exit 2
+  | _ -> ());
+  if staleness_slo <= 0. then begin
+    Printf.eprintf "--staleness-slo must be > 0, got %g\n" staleness_slo;
+    exit 2
+  end;
+  if read_cap < 1 then begin
+    Printf.eprintf "--read-cap must be >= 1, got %d\n" read_cap;
+    exit 2
+  end;
   let deadline =
     match deadline with
     | Some _ as d -> d
@@ -166,6 +179,10 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       breaker_k;
       probe_limit;
       stall_cap;
+      read_rate = Option.value read_rate ~default:base.Scenario.read_rate;
+      staleness_slo;
+      read_cap;
+      read_burst = base.Scenario.read_burst;
       seed = Int64.of_int seed }
   in
   let alg =
@@ -228,8 +245,8 @@ let preset =
     & info [ "preset" ] ~docv:"NAME"
         ~doc:
           "Start from a named scenario (sequential, concurrent, bursty, \
-           adversarial, centralized, degraded, crashy, chaos); other flags \
-           override it.")
+           adversarial, centralized, degraded, crashy, chaos, read-heavy, \
+           flash-crowd); other flags override it.")
 
 let n = Arg.(value & opt int 4 & info [ "n"; "sources" ] ~doc:"Number of data sources.")
 let updates = Arg.(value & opt int 100 & info [ "u"; "updates" ] ~doc:"Update transactions to generate.")
@@ -339,6 +356,32 @@ let stall_cap =
            stalled behind open breakers, maintenance falls back to \
            blocking on the dead source.")
 
+let read_rate =
+  Arg.(
+    value & opt (some float) None
+    & info [ "read-rate" ] ~docv:"R"
+        ~doc:
+          "Attach the serving tier and issue $(docv) reads per sim time \
+           unit against the materialized view (0 or unset = no read path; \
+           presets read-heavy and flash-crowd set their own rate).")
+
+let staleness_slo =
+  Arg.(
+    value & opt float 2.0
+    & info [ "staleness-slo" ] ~docv:"S"
+        ~doc:
+          "Staleness SLO in sim time units: reads within $(docv) of view \
+           lag are fresh; beyond it they are served stale (stamped) up to \
+           a hard ceiling of 8x the SLO, past which they are shed.")
+
+let read_cap =
+  Arg.(
+    value & opt int 16
+    & info [ "read-cap" ] ~docv:"CAP"
+        ~doc:
+          "Admission-control token count: max reads in flight; further \
+           reads are shed, never queued (only with $(b,--read-rate)).")
+
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
 
@@ -381,6 +424,7 @@ let cmd =
       $ drop $ duplicate $ spike $ spike_factor $ crashes
       $ wh_crashes $ chaos $ checkpoint_every $ queue_capacity $ batch_max
       $ deadline $ breaker_k $ probe_limit $ stall_cap
+      $ read_rate $ staleness_slo $ read_cap
       $ no_check $ show_trace $ trace_spans $ json_out $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

@@ -303,6 +303,75 @@ let check_convergent view obs =
   if Bag.equal final obs.final_view then Ok ()
   else Error "final view differs from the fully-updated database state"
 
+(* ————— session guarantees over the read path ————— *)
+
+type read_view = {
+  session : int;
+  issued_at : float;
+  version : int;
+  incorporated : int array;
+  acked : int array;
+}
+
+type session_report = {
+  reads_graded : int;
+  monotonic_reads : bool;
+  mr_violations : int;
+  read_your_writes : bool;
+  ryw_violations : int;
+}
+
+(* Grade the read log in serve order. Monotonic reads: per session, the
+   observed install version never decreases (and neither does any
+   component of the incorporated vector — a view that un-installed an
+   update would be a regression even at the same version count).
+   Read-your-writes: the served view reflects at least every update of
+   the session's own source that the warehouse had acknowledged when the
+   read was issued. *)
+let check_sessions ~n_sources reads =
+  if n_sources < 1 then invalid_arg "Checker.check_sessions: n_sources < 1";
+  let last_version = Array.make n_sources (-1) in
+  let last_inc = Array.make n_sources [||] in
+  let mr_violations = ref 0 in
+  let ryw_violations = ref 0 in
+  let graded = ref 0 in
+  List.iter
+    (fun r ->
+      if r.session < 0 || r.session >= n_sources then
+        invalid_arg "Checker.check_sessions: session out of range";
+      incr graded;
+      let s = r.session in
+      let component_regressed prev cur =
+        Array.length prev = Array.length cur
+        && (let bad = ref false in
+            Array.iteri (fun i p -> if cur.(i) < p then bad := true) prev;
+            !bad)
+      in
+      let regressed =
+        r.version < last_version.(s)
+        || (last_inc.(s) <> [||] && component_regressed last_inc.(s) r.incorporated)
+      in
+      if regressed then incr mr_violations;
+      last_version.(s) <- max last_version.(s) r.version;
+      last_inc.(s) <- Array.copy r.incorporated;
+      if r.incorporated.(s) < r.acked.(s) then incr ryw_violations)
+    reads;
+  { reads_graded = !graded;
+    monotonic_reads = !mr_violations = 0;
+    mr_violations = !mr_violations;
+    read_your_writes = !ryw_violations = 0;
+    ryw_violations = !ryw_violations }
+
+let pp_session_report ppf r =
+  Format.fprintf ppf
+    "%d reads graded; monotonic-reads %s (%d violations); read-your-writes \
+     %s (%d violations)"
+    r.reads_graded
+    (if r.monotonic_reads then "OK" else "VIOLATED")
+    r.mr_violations
+    (if r.read_your_writes then "OK" else "violated")
+    r.ryw_violations
+
 let check ?(degraded = false) view obs =
   let states_checked = List.length obs.installs + 1 in
   (* A wrong final view is inconsistent no matter what the install

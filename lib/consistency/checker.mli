@@ -70,3 +70,46 @@ val check : ?degraded:bool -> View_def.t -> observation -> result
 val expected_states :
   View_def.t -> initial:Relation.t array -> deliveries:Message.update list ->
   Bag.t array
+
+(** {2 Session guarantees over the read path}
+
+    The serving tier ({!Repro_serving.Server}) answers reads from the
+    materialized view while maintenance may be lagging. Two classic
+    session guarantees are graded post-hoc from the read log:
+
+    - {b monotonic reads}: within one session, the view version observed
+      never goes backwards (a later read never sees an older view);
+    - {b read-your-writes}: a read issued by session [s] (sessions are
+      pinned to source sites) reflects every update of source [s] the
+      warehouse had {e acknowledged} — delivered into its queue — by the
+      time the read was issued.
+
+    Stale serving can violate read-your-writes by design (that is what
+    the staleness stamp is for); the checker measures how often, it does
+    not forbid it. *)
+
+(** One served (not shed) read, in serve order. *)
+type read_view = {
+  session : int;  (** client session; pinned to a source id for RYW *)
+  issued_at : float;
+  version : int;  (** warehouse install count observed at serve time *)
+  incorporated : int array;
+      (** per-source count of updates reflected in the served view *)
+  acked : int array;
+      (** per-source count of updates the warehouse had acknowledged
+          when the read was issued *)
+}
+
+type session_report = {
+  reads_graded : int;
+  monotonic_reads : bool;
+  mr_violations : int;
+  read_your_writes : bool;
+  ryw_violations : int;
+}
+
+(** [check_sessions ~n_sources reads] grades the read log (serve
+    order). An empty log trivially satisfies both guarantees. *)
+val check_sessions : n_sources:int -> read_view list -> session_report
+
+val pp_session_report : Format.formatter -> session_report -> unit

@@ -93,7 +93,9 @@ let in_context ctx = Result.map_error (fun e -> ctx ^ ": " ^ e)
 let required_counters =
   [ "updates_incorporated"; "queries_sent"; "answers_received";
     "query_weight"; "answer_weight"; "installs"; "messages_per_update";
-    "query_timeouts"; "breaker_trips"; "stalled_updates"; "degraded_time" ]
+    "query_timeouts"; "breaker_trips"; "stalled_updates"; "degraded_time";
+    "reads_served"; "reads_stale"; "reads_shed"; "read_staleness_p50";
+    "read_staleness_p99" ]
 
 let required_histogram_stats = [ "count"; "p50"; "p90"; "p99"; "max" ]
 

@@ -7,6 +7,9 @@ open Repro_consistency
 open Repro_workload
 open Repro_durability
 module Obs = Repro_observability.Obs
+module Backpressure = Repro_serving.Backpressure
+module Server = Repro_serving.Server
+module Read_gen = Repro_serving.Read_gen
 
 (* The harness's single sanctioned wall-clock read. The values feed only
    the reporting fields (wall_seconds, recovery_seconds) — never a
@@ -27,6 +30,8 @@ type result = {
   events : int;
   completed : bool;
   degraded : bool;
+  reads : Server.record list;  (** serve-order read log; [] without serving *)
+  sessions : Checker.session_report option;
 }
 
 let algorithm_by_name ?(batch_max = 16) = function
@@ -414,6 +419,58 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
         wh_crashes);
   Update_gen.drive engine (Rng.split rng) scenario.stream ~view
     ~initial:initial_copy ~apply ();
+  (* The serving tier attaches only when the scenario asks for reads;
+     every rng split below is gated on that, so read-free runs stay
+     byte-identical to pre-serving builds. Reads are issued against the
+     live node ([the_node] survives crash recovery), staleness is fed by
+     the node's delivery and install listeners (both replay-suppressed,
+     both carried across recovery). *)
+  let server =
+    if scenario.read_rate <= 0. then None
+    else begin
+      let slo = scenario.staleness_slo in
+      let config =
+        { Server.default_config with
+          Server.staleness_slo = slo; staleness_ceiling = slo *. 8.;
+          read_cap = scenario.read_cap }
+      in
+      let srv =
+        Server.create ~config ~engine ~rng:(Rng.split rng) ~obs ~n_sources:n
+          ~view:(fun () -> Node.view_contents (the_node ()))
+          ()
+      in
+      Node.add_delivery_listener warehouse (fun (u : Message.update) ->
+          Server.note_delivery srv ~source:u.Message.txn.Message.source
+            ~txn:u.Message.txn.Message.seq);
+      Node.add_install_txns_listener warehouse (fun txns ->
+          Server.note_install srv
+            (List.map
+               (fun (id : Message.txn_id) -> (id.Message.source, id.Message.seq))
+               txns));
+      let horizon =
+        let h =
+          float_of_int scenario.stream.Update_gen.n_updates
+          *. scenario.stream.Update_gen.mean_gap
+        in
+        if h > 0. then h else 60.  (* read-only run: a fixed window *)
+      in
+      let rcfg =
+        { Read_gen.default with
+          Read_gen.rate = scenario.read_rate;
+          n_reads =
+            Read_gen.reads_over ~rate:scenario.read_rate
+              ~burst:scenario.read_burst ~horizon;
+          arity = Array.length (View_def.projection view);
+          domain = scenario.domain; burst = scenario.read_burst }
+      in
+      if rcfg.Read_gen.n_reads > 0 then
+        Read_gen.drive engine (Rng.split rng) rcfg ~n_sessions:n
+          ~read:(fun ~session ~kind ->
+            ignore (Server.read srv ~session ~kind))
+          ();
+      Some srv
+    end
+  in
   let completed =
     match Engine.run ?max_events engine with
     | `Drained -> true
@@ -458,6 +515,19 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
       m.Metrics.queue_deferred <- Backpressure.deferred bp;
       m.Metrics.queue_shed <- Backpressure.shed bp
   | None -> ());
+  (match server with
+  | Some srv ->
+      m.Metrics.reads_served <- Server.served srv;
+      m.Metrics.reads_stale <- Server.stale srv;
+      m.Metrics.reads_shed <- Server.shed srv;
+      m.Metrics.read_staleness_p50 <- Server.staleness_p50 srv;
+      m.Metrics.read_staleness_p99 <- Server.staleness_p99 srv
+  | None -> ());
+  let sessions =
+    Option.map
+      (fun srv -> Checker.check_sessions ~n_sources:n (Server.read_log srv))
+      server
+  in
   let verdict =
     if check && completed then
       Checker.check ~degraded view
@@ -477,7 +547,9 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     wall_seconds = wall_clock () -. wall_start;
     final_view_tuples = Bag.total (Node.view_contents warehouse);
     final_view = Bag.copy (Node.view_contents warehouse);
-    events = Engine.executed engine; completed; degraded }
+    events = Engine.executed engine; completed; degraded;
+    reads = (match server with Some srv -> Server.log srv | None -> []);
+    sessions }
 
 type scripted_outcome = {
   node : Node.t;
@@ -546,4 +618,7 @@ let pp_result ppf r =
     r.algorithm r.scenario.Scenario.name Metrics.pp r.metrics
     Checker.pp_verdict r.verdict.Checker.verdict r.verdict.Checker.detail
     r.sim_time r.events r.wall_seconds
-    (if r.degraded then " [DEGRADED: breakers open at end of run]" else "")
+    (if r.degraded then " [DEGRADED: breakers open at end of run]" else "");
+  match r.sessions with
+  | Some s -> Format.fprintf ppf "@,  sessions: %a" Checker.pp_session_report s
+  | None -> ()

@@ -34,6 +34,12 @@ type result = {
           (source outage outlasting the run): parked updates remain in
           the queue and the verdict was computed with
           [Checker.check ~degraded:true] *)
+  reads : Repro_serving.Server.record list;
+      (** the serving tier's read log in serve order (shed reads
+          included); [] when [scenario.read_rate = 0] *)
+  sessions : Checker.session_report option;
+      (** session-guarantee grades (monotonic reads, read-your-writes)
+          over the served reads; [None] without a serving tier *)
 }
 
 (** Outcome of a {!run_scripted} run, exposing everything needed for

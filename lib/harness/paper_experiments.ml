@@ -26,7 +26,8 @@ let scenario ?(name = "exp") ?(n = 4) ?(init = 30) ?domain
     stream = stream ~updates ~gap; latency = Latency.Uniform (0.5, 1.5);
     topology; faults = Fault.none; checkpoint_every = 8;
     queue_capacity = None; batch_max = 16; deadline = None; breaker_k = 3;
-    probe_limit = 0; stall_cap = 256; seed }
+    probe_limit = 0; stall_cap = 256; read_rate = 0.; staleness_slo = 2.0;
+    read_cap = 16; read_burst = None; seed }
 
 let mpu (r : Experiment.result) =
   (* round trips (query + answer) per incorporated update *)

@@ -19,6 +19,10 @@ type t = {
   breaker_k : int;
   probe_limit : int;
   stall_cap : int;
+  read_rate : float;
+  staleness_slo : float;
+  read_cap : int;
+  read_burst : Repro_serving.Read_gen.burst option;
   seed : int64;
 }
 
@@ -27,7 +31,8 @@ let default =
     stream = Update_gen.default; latency = Latency.Uniform (0.5, 1.5);
     topology = Distributed; faults = Fault.none; checkpoint_every = 8;
     queue_capacity = None; batch_max = 16; deadline = None; breaker_k = 3;
-    probe_limit = 0; stall_cap = 256; seed = 42L }
+    probe_limit = 0; stall_cap = 256; read_rate = 0.; staleness_slo = 2.0;
+    read_cap = 16; read_burst = None; seed = 42L }
 
 let presets =
   [ (* updates spaced far apart: no concurrency, every algorithm should be
@@ -106,7 +111,31 @@ let presets =
             crashes =
               [ { Fault.source = 1; down_at = 25.; up_at = 70. };
                 { Fault.source = 3; down_at = 55.; up_at = 90. } ];
-            wh_crashes = [ { Fault.wh_down_at = 40.; wh_up_at = 52. } ] } } )
+            wh_crashes = [ { Fault.wh_down_at = 40.; wh_up_at = 52. } ] } } );
+    (* sustained read pressure over a busy write stream: the serving tier
+       must stamp staleness honestly and never block a read *)
+    ( "read-heavy",
+      { default with
+        name = "read-heavy"; n_sources = 4;
+        stream = { Update_gen.default with n_updates = 120; mean_gap = 0.7 };
+        read_rate = 8.0; staleness_slo = 2.0; read_cap = 16 } );
+    (* a flash crowd (10× read burst) colliding with a source outage:
+       maintenance lags behind the open breaker while reads spike, so the
+       server must degrade gracefully — stale-but-stamped answers within
+       the ceiling, shed beyond it or past the in-flight cap *)
+    ( "flash-crowd",
+      { default with
+        name = "flash-crowd"; n_sources = 4;
+        stream = { Update_gen.default with n_updates = 100; mean_gap = 1.0 };
+        deadline = Some 8.; breaker_k = 3; probe_limit = 0; stall_cap = 64;
+        read_rate = 4.0; staleness_slo = 2.0; read_cap = 12;
+        read_burst =
+          Some { Repro_serving.Read_gen.at = 30.; duration = 20.;
+                 multiplier = 10. };
+        faults =
+          { Fault.link = Fault.lossy ~drop:0.05 ~duplicate:0.05 ();
+            crashes = [ { Fault.source = 1; down_at = 25.; up_at = 55. } ];
+            wh_crashes = [] } } )
   ]
 
 let find_preset name = List.assoc_opt name presets
@@ -121,5 +150,12 @@ let pp ppf t =
     | Distributed -> "distributed"
     | Centralized -> "centralized")
     t.seed;
+  if t.read_rate > 0. then
+    Format.fprintf ppf " reads[rate=%g slo=%g cap=%d%s]" t.read_rate
+      t.staleness_slo t.read_cap
+      (match t.read_burst with
+      | Some b ->
+          Format.asprintf " burst=%gx@@%g+%g" b.multiplier b.at b.duration
+      | None -> "");
   if Fault.is_faulty t.faults then
     Format.fprintf ppf " faults[%a]" Fault.pp t.faults

@@ -49,6 +49,17 @@ type t = {
       (** parked-update bound for degraded mode: once this many updates
           are stalled behind open breakers the engines fall back to
           blocking on the dead source. *)
+  read_rate : float;
+      (** mean serving-tier reads per sim-time unit; 0 (the default)
+          attaches no serving tier at all — byte-identical to runs
+          predating the read path. *)
+  staleness_slo : float;
+      (** reads within this view lag are [Fresh]; beyond it they are
+          served [Stale] (stamped) up to a hard ceiling of 8× the SLO,
+          past which they are shed. *)
+  read_cap : int;  (** max reads in flight (admission-control tokens) *)
+  read_burst : Repro_serving.Read_gen.burst option;
+      (** optional flash-crowd window multiplying the read rate *)
   seed : int64;
 }
 
@@ -56,7 +67,8 @@ val default : t
 
 (** [quick_presets] — a few named scenarios used by examples, tests and
     the CLI ([sequential], [concurrent], [bursty], [adversarial],
-    [centralized], [degraded], [crashy], [chaos]). *)
+    [centralized], [degraded], [crashy], [chaos], [read-heavy],
+    [flash-crowd]). *)
 val presets : (string * t) list
 
 val find_preset : string -> t option

@@ -3,26 +3,36 @@ type t = {
   waiting : (unit -> unit) Queue.t array;  (* per-source FIFO *)
   mutable deferred : int;
   mutable shed : int;
+  mutable cursor : int;  (* round-robin admission position *)
 }
 
 let create ~n_sources ~capacity =
   if capacity < 1 then invalid_arg "Backpressure.create: capacity < 1";
   if n_sources < 1 then invalid_arg "Backpressure.create: n_sources < 1";
   { tokens = capacity; waiting = Array.init n_sources (fun _ -> Queue.create ());
-    deferred = 0; shed = 0 }
+    deferred = 0; shed = 0; cursor = 0 }
 
 let waiting_count t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.waiting
 
-(* Admit deferred updates lowest source first, one pass per release —
-   deterministic, and per-source FIFO order is preserved because an
-   update only ever waits behind earlier updates of its own source. *)
+(* Admit deferred updates round-robin from a persistent cursor —
+   deterministic, and fair. (Always resuming the lowest-numbered source
+   first starved high-index sources under sustained load: every release
+   went to source 0's queue while source n−1 waited forever.) Per-source
+   FIFO order is preserved because an update only ever waits behind
+   earlier updates of its own source. *)
 let rec pump t =
   if t.tokens > 0 then
-    let rec find i =
-      if i >= Array.length t.waiting then None
-      else if Queue.is_empty t.waiting.(i) then find (i + 1)
-      else Some (Queue.pop t.waiting.(i))
+    let n = Array.length t.waiting in
+    let rec find tried =
+      if tried >= n then None
+      else
+        let i = (t.cursor + tried) mod n in
+        if Queue.is_empty t.waiting.(i) then find (tried + 1)
+        else begin
+          t.cursor <- (i + 1) mod n;
+          Some (Queue.pop t.waiting.(i))
+        end
     in
     match find 0 with
     | None -> ()

@@ -24,7 +24,8 @@ val create : n_sources:int -> capacity:int -> t
     this source's earlier waiters, or shed (only when [noop]). *)
 val submit : t -> source:int -> noop:bool -> (unit -> unit) -> unit
 
-(** Return [n] tokens and admit waiting updates (lowest source first). *)
+(** Return [n] tokens and admit waiting updates, round-robin across
+    sources from a persistent cursor (deterministic, starvation-free). *)
 val release : t -> int -> unit
 
 (** Updates that had to wait at least once. *)

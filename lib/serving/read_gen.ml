@@ -1,0 +1,70 @@
+open Repro_relational
+open Repro_sim
+
+type kind = Point of Tuple.t | Aggregate
+
+type burst = { at : float; duration : float; multiplier : float }
+
+type config = {
+  rate : float;
+  n_reads : int;
+  p_point : float;
+  arity : int;
+  domain : int;
+  burst : burst option;
+}
+
+let default =
+  { rate = 4.0; n_reads = 100; p_point = 0.7; arity = 2; domain = 16;
+    burst = None }
+
+let in_burst cfg now =
+  match cfg.burst with
+  | None -> false
+  | Some b -> now >= b.at && now < b.at +. b.duration
+
+(* Mean inter-read gap at sim time [now]: 1/rate, compressed by the
+   burst multiplier inside the flash-crowd window. *)
+let mean_gap cfg now =
+  let base = 1. /. cfg.rate in
+  if in_burst cfg now then
+    match cfg.burst with
+    | Some b -> base /. b.multiplier
+    | None -> base
+  else base
+
+let gen_kind rng cfg =
+  if Rng.bool rng cfg.p_point then
+    (* a point lookup: probe the view for one concrete output tuple
+       (usually absent — a primary-key miss — sometimes a hit) *)
+    Point (Tuple.ints (List.init cfg.arity (fun _ -> Rng.int rng cfg.domain)))
+  else Aggregate
+
+(* How many reads [rate] sustains over [horizon] sim-time units, burst
+   excess included — the harness uses this to size [n_reads] from a
+   scenario's write horizon. *)
+let reads_over ~rate ~burst ~horizon =
+  if rate <= 0. then 0
+  else
+    let extra =
+      match burst with
+      | None -> 0.
+      | Some b -> rate *. (b.multiplier -. 1.) *. b.duration
+    in
+    int_of_float ((rate *. horizon) +. extra)
+
+let drive engine rng cfg ~n_sessions ~read () =
+  if cfg.rate <= 0. then invalid_arg "Read_gen.drive: rate <= 0";
+  if n_sessions < 1 then invalid_arg "Read_gen.drive: n_sessions < 1";
+  let rec emit remaining =
+    if remaining > 0 then begin
+      let session = Rng.int rng n_sessions in
+      read ~session ~kind:(gen_kind rng cfg);
+      Engine.schedule engine
+        ~delay:(Rng.exponential rng ~mean:(mean_gap cfg (Engine.now engine)))
+        (fun () -> emit (remaining - 1))
+    end
+  in
+  Engine.schedule engine
+    ~delay:(Rng.exponential rng ~mean:(mean_gap cfg 0.))
+    (fun () -> emit cfg.n_reads)

@@ -1,0 +1,47 @@
+(** Seeded read-workload generator for the serving tier.
+
+    Mirrors {!Repro_workload.Update_gen} on the read side: point lookups
+    and aggregate reads arrive as a Poisson process at a configurable
+    rate, optionally compressed through a {e flash-crowd} burst window
+    during which the arrival rate is multiplied. Fully driven by the
+    simulation engine and a split of the run's seeded PRNG, so read
+    storms replay bit-identically. *)
+
+open Repro_relational
+open Repro_sim
+
+type kind =
+  | Point of Tuple.t  (** probe the view for one output tuple's count *)
+  | Aggregate  (** whole-view aggregate (total multiplicity) *)
+
+(** Flash-crowd window: between [at] and [at +. duration] the read rate
+    is multiplied by [multiplier]. *)
+type burst = { at : float; duration : float; multiplier : float }
+
+type config = {
+  rate : float;  (** mean reads per sim-time unit (outside any burst) *)
+  n_reads : int;  (** total reads to issue *)
+  p_point : float;  (** probability a read is a point lookup *)
+  arity : int;  (** output arity of the view being probed *)
+  domain : int;  (** attribute domain for generated point probes *)
+  burst : burst option;
+}
+
+val default : config
+
+(** Is sim time [now] inside the configured burst window? *)
+val in_burst : config -> float -> bool
+
+(** How many reads [rate] sustains over [horizon] sim-time units,
+    burst excess included — used to size [n_reads] from a scenario's
+    write horizon. 0 when [rate <= 0]. *)
+val reads_over : rate:float -> burst:burst option -> horizon:float -> int
+
+(** [drive engine rng cfg ~n_sessions ~read ()] schedules [cfg.n_reads]
+    read arrivals with exponential inter-arrival gaps (mean [1/rate],
+    compressed inside the burst window). Each arrival calls
+    [read ~session ~kind] with a session uniform in [0, n_sessions).
+    Raises [Invalid_argument] when [cfg.rate <= 0] or [n_sessions < 1]. *)
+val drive :
+  Engine.t -> Rng.t -> config -> n_sessions:int ->
+  read:(session:int -> kind:kind -> unit) -> unit -> unit

@@ -36,6 +36,11 @@ type t = {
   mutable breaker_trips : int;
   mutable stalled_updates : int;
   mutable degraded_time : float;
+  mutable reads_served : int;
+  mutable reads_stale : int;
+  mutable reads_shed : int;
+  mutable read_staleness_p50 : float;
+  mutable read_staleness_p99 : float;
 }
 
 let create () =
@@ -49,7 +54,8 @@ let create () =
     checkpoint_bytes = 0; replayed_records = 0; recovery_seconds = 0.;
     snapshots_fetched = 0; queue_deferred = 0; queue_shed = 0; batches = 0;
     max_batch = 0; query_timeouts = 0; breaker_trips = 0; stalled_updates = 0;
-    degraded_time = 0. }
+    degraded_time = 0.; reads_served = 0; reads_stale = 0; reads_shed = 0;
+    read_staleness_p50 = 0.; read_staleness_p99 = 0. }
 
 let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
 
@@ -118,6 +124,11 @@ let fields t : (string * [ `Int of int | `Float of float ]) list =
     ("breaker_trips", `Int t.breaker_trips);
     ("stalled_updates", `Int t.stalled_updates);
     ("degraded_time", `Float t.degraded_time);
+    ("reads_served", `Int t.reads_served);
+    ("reads_stale", `Int t.reads_stale);
+    ("reads_shed", `Int t.reads_shed);
+    ("read_staleness_p50", `Float t.read_staleness_p50);
+    ("read_staleness_p99", `Float t.read_staleness_p99);
     ("mean_staleness", `Float (mean_staleness t));
     ("queries_per_update", `Float (queries_per_update t));
     ("messages_per_update", `Float (messages_per_update t)) ]
@@ -160,4 +171,10 @@ let pp ppf t =
       "@,resilience: %d query timeouts, %d breaker trips, %d stalled \
        updates, %.3fs degraded"
       t.query_timeouts t.breaker_trips t.stalled_updates t.degraded_time;
+  if t.reads_served > 0 || t.reads_shed > 0 then
+    Format.fprintf ppf
+      "@,serving: %d served (%d stale), %d shed; read staleness p50 %.3f, \
+       p99 %.3f"
+      t.reads_served t.reads_stale t.reads_shed t.read_staleness_p50
+      t.read_staleness_p99;
   Format.fprintf ppf "@]"

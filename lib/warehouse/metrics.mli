@@ -42,6 +42,11 @@ type t = {
   mutable breaker_trips : int;  (** circuit-breaker Closed→Open edges *)
   mutable stalled_updates : int;  (** updates parked behind an open breaker *)
   mutable degraded_time : float;  (** sim-time spent with ≥1 breaker open *)
+  mutable reads_served : int;  (** reads answered (fresh + stale) *)
+  mutable reads_stale : int;  (** served reads over the staleness SLO *)
+  mutable reads_shed : int;  (** reads rejected by admission control *)
+  mutable read_staleness_p50 : float;  (** median staleness stamp served *)
+  mutable read_staleness_p99 : float;  (** tail staleness stamp served *)
 }
 
 val create : unit -> t

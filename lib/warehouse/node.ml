@@ -37,6 +37,8 @@ type t = {
   mutable rev_deliveries : Message.update list;
   mutable rev_listeners : (Delta.t -> unit) list;  (* newest first *)
   mutable rev_incorporate_listeners : (int -> unit) list;
+  mutable rev_delivery_listeners : (Message.update -> unit) list;
+  mutable rev_install_txn_listeners : (Message.txn_id list -> unit) list;
 }
 
 let algo t = Option.get t.algo
@@ -111,7 +113,14 @@ let wire t =
       List.iter (fun f -> f delta) (List.rev t.rev_listeners);
       List.iter
         (fun f -> f (List.length txns))
-        (List.rev t.rev_incorporate_listeners)
+        (List.rev t.rev_incorporate_listeners);
+      (match t.rev_install_txn_listeners with
+      | [] -> ()
+      | ls ->
+          let ids =
+            List.map (fun e -> e.Update_queue.update.Message.txn) txns
+          in
+          List.iter (fun f -> f ids) (List.rev ls))
     end
   in
   { Algorithm.engine = t.engine; view = t.view; trace = t.trace; obs = t.obs;
@@ -150,7 +159,8 @@ let create engine ~view ~algorithm ~send ~init ?durability ?metrics
       record_history; trace; obs; store = durability; breaker; stall_cap;
       next_qid = 0; replaying = false; replay_installs = Queue.create ();
       algo = None; rev_installs = []; rev_deliveries = []; rev_listeners = [];
-      rev_incorporate_listeners = [] }
+      rev_incorporate_listeners = []; rev_delivery_listeners = [];
+      rev_install_txn_listeners = [] }
   in
   t.algo <- Some (Algorithm.instantiate algorithm (wire t));
   wire_breaker t;
@@ -211,7 +221,8 @@ let handle_update t update ~arrived_at =
       t.metrics.Metrics.updates_received + 1;
     t.metrics.Metrics.notice_weight <-
       t.metrics.Metrics.notice_weight + Delta.weight update.Message.delta;
-    t.rev_deliveries <- update :: t.rev_deliveries
+    t.rev_deliveries <- update :: t.rev_deliveries;
+    List.iter (fun f -> f update) (List.rev t.rev_delivery_listeners)
   end;
   let entry = Update_queue.append t.queue update ~arrived_at in
   if not t.replaying then begin
@@ -326,6 +337,12 @@ let add_install_listener t f = t.rev_listeners <- f :: t.rev_listeners
 
 let add_incorporate_listener t f =
   t.rev_incorporate_listeners <- f :: t.rev_incorporate_listeners
+
+let add_delivery_listener t f =
+  t.rev_delivery_listeners <- f :: t.rev_delivery_listeners
+
+let add_install_txns_listener t f =
+  t.rev_install_txn_listeners <- f :: t.rev_install_txn_listeners
 
 let view_contents t = t.data
 let obs t = t.obs

@@ -291,10 +291,67 @@ let test_degenerate_all_noop_deltas () =
   Alcotest.(check bool) "batched no-op install at least strong" true
     (Checker.compare_verdict r.Checker.verdict Checker.Strong <= 0)
 
+(* Degraded-mode degenerate inputs: a run that ends with breakers still
+   open may have delivered nothing, installed nothing, or consist purely
+   of reads. [check ~degraded:true] must still grade these rather than
+   crash or misclassify. *)
+
+let test_degraded_zero_updates () =
+  (* nothing delivered, nothing installed, view untouched: the run is
+     trivially complete even under the degraded grader — degraded mode
+     must not demote a vacuous history *)
+  let r =
+    Checker.check ~degraded:true view
+      { Checker.initial_sources = Paper_example.initial (); deliveries = [];
+        installs = []; final_view = Paper_example.v0 }
+  in
+  Alcotest.check Rig.verdict "zero-update degraded run is complete"
+    Checker.Complete r.Checker.verdict
+
+let test_degraded_read_only_with_parked_updates () =
+  (* updates were delivered but the breaker opened before any install:
+     the view honestly reflects the empty incorporated subset, so the
+     run grades Degraded — not Inconsistent, and not a crash *)
+  let r =
+    Checker.check ~degraded:true view
+      { Checker.initial_sources = Paper_example.initial (); deliveries;
+        installs = []; final_view = Paper_example.v0 }
+  in
+  Alcotest.check Rig.verdict "parked deliveries grade degraded"
+    Checker.Degraded r.Checker.verdict;
+  (* without the degraded flag the same history is inconsistent: the
+     deliveries were never incorporated and the final view differs from
+     the fully-updated state *)
+  let r =
+    Checker.check view
+      { Checker.initial_sources = Paper_example.initial (); deliveries;
+        installs = []; final_view = Paper_example.v0 }
+  in
+  Alcotest.check Rig.verdict "same history without the flag is inconsistent"
+    Checker.Inconsistent r.Checker.verdict
+
+let test_degraded_dishonest_final_view_rejected () =
+  (* degraded mode is not a free pass: if the final view does not match
+     the incorporated subset's state it is still inconsistent *)
+  let junk = Bag.of_list [ (Tuple.ints [ 0; 0 ], 1) ] in
+  let r =
+    Checker.check ~degraded:true view
+      { Checker.initial_sources = Paper_example.initial (); deliveries;
+        installs = []; final_view = junk }
+  in
+  Alcotest.check Rig.verdict "dishonest degraded view rejected"
+    Checker.Inconsistent r.Checker.verdict
+
 let suite =
   suite
   @ [ Alcotest.test_case "degenerate: empty initial database" `Quick
         test_degenerate_empty_initial;
+      Alcotest.test_case "degraded: zero-update run still grades" `Quick
+        test_degraded_zero_updates;
+      Alcotest.test_case "degraded: read-only run with parked updates" `Quick
+        test_degraded_read_only_with_parked_updates;
+      Alcotest.test_case "degraded: dishonest final view rejected" `Quick
+        test_degraded_dishonest_final_view_rejected;
       Alcotest.test_case "degenerate: zero updates" `Quick
         test_degenerate_zero_updates;
       Alcotest.test_case "degenerate: all no-op deltas" `Quick

@@ -14,6 +14,7 @@ open Repro_warehouse
 open Repro_consistency
 open Repro_harness
 open Repro_workload
+module Backpressure = Repro_serving.Backpressure
 
 (* ————— codec round trips ————— *)
 
@@ -228,12 +229,90 @@ let test_backpressure_fifo_and_shed () =
   Alcotest.(check int) "one shed" 1 (Backpressure.shed bp);
   Alcotest.(check int) "two waiting" 2 (Backpressure.waiting_count bp);
   Backpressure.release bp 1;
-  Alcotest.(check (list string)) "lowest source admitted first"
+  Alcotest.(check (list string)) "cursor admits source 0 first"
     [ "a1"; "b0"; "a0" ] !ran;
   Backpressure.release bp 1;
   Alcotest.(check (list string)) "then the next source" [ "b1"; "a1"; "b0"; "a0" ]
     !ran;
   Alcotest.(check int) "queues drained" 0 (Backpressure.waiting_count bp)
+
+let test_backpressure_round_robin_no_starvation () =
+  let bp = Backpressure.create ~n_sources:3 ~capacity:1 in
+  let ran = ref [] in
+  let submit source tag =
+    Backpressure.submit bp ~source ~noop:false (fun () -> ran := tag :: !ran)
+  in
+  submit 0 "a0";  (* takes the only token *)
+  submit 1 "b";
+  submit 2 "c";
+  (* Sustained source-0 pressure: a fresh source-0 update arrives before
+     every release. The old lowest-source-first policy admitted only
+     source 0's queue here and starved source 2 (the highest index)
+     forever; the round-robin cursor must admit every source within
+     n releases. *)
+  for i = 1 to 4 do
+    submit 0 (Printf.sprintf "a%d" i);
+    Backpressure.release bp 1
+  done;
+  Alcotest.(check (list string))
+    "round-robin admits sources 1 and 2 despite sustained source-0 load"
+    [ "a0"; "a1"; "b"; "c"; "a2" ]
+    (List.rev !ran);
+  Alcotest.(check int) "the rest still waits" 2
+    (Backpressure.waiting_count bp)
+
+(* ————— breaker probe schedule across checkpoint/restore mid-Open ————— *)
+
+(* Capture a breaker snapshot while source 0 is Open with a probe timer
+   pending (exactly what a warehouse checkpoint taken mid-outage holds),
+   then restore it into two fresh incarnations on identically seeded
+   engines. Restore re-schedules the probe from its own seeded rng
+   stream, so both incarnations must replay a bit-identical probe
+   schedule — crash recovery cannot fork the simulation. Each probe is
+   answered with another deadline expiry (k = 1 re-trips immediately),
+   walking the backoff ladder a few rungs. *)
+let test_breaker_probe_schedule_deterministic_across_restore () =
+  let mk () =
+    let engine = Engine.create ~seed:77L () in
+    let metrics = Metrics.create () in
+    let b =
+      Breaker.create engine
+        ~rng:(Rng.split (Engine.rng engine))
+        ~config:{ Breaker.default_config with Breaker.k = 1 }
+        ~metrics ~n:2
+    in
+    (engine, b)
+  in
+  let snap =
+    let engine, b = mk () in
+    let s = ref Repro_durability.Snap.Unit in
+    Engine.at engine ~time:0. (fun () ->
+        Breaker.force_open b 0;
+        (* mid-Open: the probe timer is pending, not yet fired *)
+        s := Breaker.snapshot b;
+        Breaker.halt b);
+    ignore (Engine.run engine);
+    !s
+  in
+  let probes_after_restore () =
+    let engine, b = mk () in
+    let times = ref [] in
+    Breaker.set_on_probe b (fun i ->
+        times := (Engine.now engine, i) :: !times;
+        if List.length !times < 4 then ignore (Breaker.record_timeout b i));
+    Engine.at engine ~time:0. (fun () -> Breaker.restore b snap);
+    ignore (Engine.run engine);
+    List.rev !times
+  in
+  let a = probes_after_restore () in
+  let b = probes_after_restore () in
+  Alcotest.(check int) "restored breaker probes down the backoff ladder" 4
+    (List.length a);
+  Alcotest.(check bool) "probe schedule bit-identical across restores" true
+    (a = b);
+  List.iter
+    (fun (_, i) -> Alcotest.(check int) "probes target the open source" 0 i)
+    a
 
 (* ————— seeded warehouse-crash property harness ————— *)
 
@@ -478,6 +557,10 @@ let suite =
       test_update_queue_capacity;
     Alcotest.test_case "backpressure: per-source FIFO, shed, release" `Quick
       test_backpressure_fifo_and_shed;
+    Alcotest.test_case "backpressure: round-robin admission, no starvation"
+      `Quick test_backpressure_round_robin_no_starvation;
+    Alcotest.test_case "breaker: probe schedule deterministic across restore"
+      `Quick test_breaker_probe_schedule_deterministic_across_restore;
     Alcotest.test_case "property: sweep complete on 50 crashy seeds" `Quick
       test_sweep_complete_across_crashes;
     Alcotest.test_case "property: nested sweep strong on 25 crashy seeds"
