@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json faults recover chaos serve bench bench-json bench-compare examples doc clean
+.PHONY: all build test lint lint-json faults recover chaos serve aux bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -41,6 +41,15 @@ chaos:
 # runtest` runs the same suite at 5 seeds.
 serve:
 	SERVE_SEEDS=25 dune exec test/test_main.exe -- test serving
+
+# Self-maintenance differential suite at full depth: 100 seeds per
+# algorithm (sweep, sweep-batched, nested-sweep, strobe) proving the
+# auxiliary-projection path (DESIGN.md §14) produces bit-identical
+# views, replays and verdicts versus --aux off, plus the random
+# join-spec answerability property. `dune runtest` runs the same
+# suite at 5 seeds.
+aux:
+	AUX_SEEDS=100 dune exec test/test_main.exe -- test aux
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:

@@ -193,7 +193,11 @@ let run_bench_json ~scale path =
       (* read-heavy and flash-crowd exercise the serving counters
          (reads_served/stale/shed, read staleness quantiles) the same
          way *)
-      [ "concurrent"; "centralized"; "chaos"; "read-heavy"; "flash-crowd" ]
+      (* self-maint exercises the self-maintenance counters
+         (local_answers, aux_bytes, aux_hit_rate) with full aux
+         projections — the gate checks messages/update < 1 there *)
+      [ "concurrent"; "centralized"; "chaos"; "read-heavy"; "flash-crowd";
+        "self-maint" ]
   in
   let experiments =
     List.concat_map

@@ -14,8 +14,8 @@ open Repro_harness
 let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     domain seed latency centralized drop duplicate spike spike_factor crashes
     wh_crashes chaos checkpoint_every queue_capacity batch_max deadline
-    breaker_k probe_limit stall_cap read_rate staleness_slo read_cap no_check
-    show_trace trace_spans json_out explain_sql =
+    breaker_k probe_limit stall_cap read_rate staleness_slo read_cap aux
+    no_check show_trace trace_spans json_out explain_sql =
   (match explain_sql with
   | Some query ->
       (match Repro_relational.View_parser.parse query with
@@ -154,6 +154,16 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
     Printf.eprintf "--read-cap must be >= 1, got %d\n" read_cap;
     exit 2
   end;
+  let aux_mode =
+    match aux with
+    | None -> base.Scenario.aux_mode
+    | Some s -> (
+        match Repro_warehouse.Aux_store.mode_of_string s with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "unknown --aux %S (off|keys-only|full)\n" s;
+            exit 2)
+  in
   let deadline =
     match deadline with
     | Some _ as d -> d
@@ -183,6 +193,7 @@ let run_cmd algorithm preset n updates gap p_insert txn_size placement init
       staleness_slo;
       read_cap;
       read_burst = base.Scenario.read_burst;
+      aux_mode;
       seed = Int64.of_int seed }
   in
   let alg =
@@ -246,7 +257,7 @@ let preset =
         ~doc:
           "Start from a named scenario (sequential, concurrent, bursty, \
            adversarial, centralized, degraded, crashy, chaos, read-heavy, \
-           flash-crowd); other flags override it.")
+           flash-crowd, self-maint); other flags override it.")
 
 let n = Arg.(value & opt int 4 & info [ "n"; "sources" ] ~doc:"Number of data sources.")
 let updates = Arg.(value & opt int 100 & info [ "u"; "updates" ] ~doc:"Update transactions to generate.")
@@ -382,6 +393,17 @@ let read_cap =
           "Admission-control token count: max reads in flight; further \
            reads are shed, never queued (only with $(b,--read-rate)).")
 
+let aux =
+  Arg.(
+    value & opt (some string) None
+    & info [ "aux" ] ~docv:"MODE"
+        ~doc:
+          "Self-maintenance auxiliary projections (DESIGN.md \\u{00A7}14): \
+           $(b,off), $(b,keys-only) (keys + join columns) or $(b,full) \
+           (every referenced column — sweep legs answered locally from the \
+           aux store, no source queries). The self-maint preset sets \
+           $(b,full).")
+
 let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the consistency checker (faster for huge runs).")
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full simulation trace.")
 
@@ -424,7 +446,7 @@ let cmd =
       $ drop $ duplicate $ spike $ spike_factor $ crashes
       $ wh_crashes $ chaos $ checkpoint_every $ queue_capacity $ batch_max
       $ deadline $ breaker_k $ probe_limit $ stall_cap
-      $ read_rate $ staleness_slo $ read_cap
+      $ read_rate $ staleness_slo $ read_cap $ aux
       $ no_check $ show_trace $ trace_spans $ json_out $ explain_sql)
 
 let () = exit (Cmd.eval cmd)

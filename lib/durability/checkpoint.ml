@@ -20,6 +20,7 @@ type t = {
   recv_expected : int array;
   senders : sender_state array;
   breaker : Snap.t;  (* circuit-breaker state; Snap.Unit when none *)
+  aux : Snap.t;  (* aux-store projections; Snap.Unit when off *)
 }
 
 let put_sender b s =
@@ -63,7 +64,8 @@ let put b t =
   Snap.put b t.algo;
   Codec.put_list b (fun b i -> Codec.put_int b i) (Array.to_list t.recv_expected);
   Codec.put_list b put_sender (Array.to_list t.senders);
-  Snap.put b t.breaker
+  Snap.put b t.breaker;
+  Snap.put b t.aux
 
 let get r =
   let taken_at = Codec.get_float r in
@@ -76,8 +78,9 @@ let get r =
   let recv_expected = Array.of_list (Codec.get_list r Codec.get_int) in
   let senders = Array.of_list (Codec.get_list r get_sender) in
   let breaker = Snap.get r in
+  let aux = Snap.get r in
   { taken_at; wal_pos; view; queue; queue_next_arrival; next_qid; algo;
-    recv_expected; senders; breaker }
+    recv_expected; senders; breaker; aux }
 
 let encode = Codec.encode put
 let decode = Codec.decode get

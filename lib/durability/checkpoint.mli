@@ -51,6 +51,9 @@ type t = {
   breaker : Snap.t;
       (** per-source circuit-breaker state ([Snap.Unit] when the run has
           no breaker) *)
+  aux : Snap.t;
+      (** self-maintenance aux-store projections ([Snap.Unit] when the
+          run has no aux store) *)
 }
 
 val put : Buffer.t -> t -> unit

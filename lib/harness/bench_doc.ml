@@ -87,15 +87,22 @@ let iter_all f l =
 
 let in_context ctx = Result.map_error (fun e -> ctx ^ ": " ^ e)
 
-(* The counters every algorithm entry must report, whatever the run.
-   The resilience counters are zero on healthy runs but must always be
-   present — a BENCH.json missing them predates the breaker layer. *)
-let required_counters =
+(* The maintenance counters present since the first BENCH.json — the
+   floor every document of any era must clear. *)
+let core_counters =
   [ "updates_incorporated"; "queries_sent"; "answers_received";
-    "query_weight"; "answer_weight"; "installs"; "messages_per_update";
-    "query_timeouts"; "breaker_trips"; "stalled_updates"; "degraded_time";
-    "reads_served"; "reads_stale"; "reads_shed"; "read_staleness_p50";
-    "read_staleness_p99" ]
+    "query_weight"; "answer_weight"; "installs"; "messages_per_update" ]
+
+(* The counters every algorithm entry must report, whatever the run.
+   The resilience/serving/self-maintenance counters are zero on runs
+   that never exercise them but must always be present — a BENCH.json
+   missing them predates the corresponding layer (validate a baseline
+   of an older era with [~lenient:true]). *)
+let required_counters =
+  core_counters
+  @ [ "query_timeouts"; "breaker_trips"; "stalled_updates"; "degraded_time";
+      "reads_served"; "reads_stale"; "reads_shed"; "read_staleness_p50";
+      "read_staleness_p99"; "local_answers"; "aux_bytes"; "aux_hit_rate" ]
 
 let required_histogram_stats = [ "count"; "p50"; "p90"; "p99"; "max" ]
 
@@ -110,16 +117,16 @@ let validate_histograms entry =
         hists
   | Some _ -> Error "field \"histograms\" is not an object"
 
-let validate_algorithm entry =
+let validate_algorithm ~required entry =
   let* algorithm = want_string "algorithm" entry in
   let* _ = want_string "scenario" entry in
   in_context
     (Printf.sprintf "algorithm %S" algorithm)
     (let* counters = field "counters" entry in
-     let* () = iter_all (fun c -> want_number c counters) required_counters in
+     let* () = iter_all (fun c -> want_number c counters) required in
      validate_histograms entry)
 
-let validate doc =
+let validate ?(lenient = false) doc =
   let* s = want_string "schema" doc in
   if s <> schema then
     Error (Printf.sprintf "schema %S, expected %S" s schema)
@@ -147,4 +154,6 @@ let validate doc =
     in
     let* algorithms = want_list "algorithms" doc in
     if algorithms = [] then Error "no algorithm entries"
-    else iter_all validate_algorithm algorithms
+    else
+      let required = if lenient then core_counters else required_counters in
+      iter_all (validate_algorithm ~required) algorithms

@@ -41,6 +41,13 @@ val make :
     row has its timing, that at least one algorithm entry exists, and
     that each entry carries the required counters
     (updates_incorporated, queries_sent, answers_received, query_weight,
-    answer_weight, installs) and, for each histogram present, finite
-    count/p50/p90/p99/max. *)
-val validate : Jsonw.t -> (unit, string) result
+    answer_weight, installs, messages_per_update plus the resilience,
+    serving and self-maintenance counters) and, for each histogram
+    present, finite count/p50/p90/p99/max.
+
+    [~lenient:true] requires only the core maintenance counters —
+    use it for a [--against] baseline generated before a newer layer
+    added its counters (e.g. BENCH_7.json predates local_answers /
+    aux_bytes / aux_hit_rate). Freshly generated documents are always
+    validated strictly. *)
+val validate : ?lenient:bool -> Jsonw.t -> (unit, string) result

@@ -295,10 +295,13 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
       Some (Store.create ~checkpoint_every:scenario.checkpoint_every ())
     else None
   in
+  let aux =
+    Aux_store.create ~view ~mode:scenario.aux_mode ~initial:initial_copy
+  in
   let warehouse =
     Node.create engine ~view ~algorithm ~send:send_to ~init:initial_view
       ?durability:store ~metrics ?queue_capacity:scenario.queue_capacity
-      ?breaker ~stall_cap:scenario.stall_cap ~record_history:check ~trace
+      ?breaker ~aux ~stall_cap:scenario.stall_cap ~record_history:check ~trace
       ~obs ()
   in
   node := Some warehouse;
@@ -523,6 +526,10 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
       m.Metrics.read_staleness_p50 <- Server.staleness_p50 srv;
       m.Metrics.read_staleness_p99 <- Server.staleness_p99 srv
   | None -> ());
+  (* the storage side of the self-maintenance trade-off (deterministic:
+     canonical encoding of the final projections) *)
+  if Aux_store.mode aux <> Aux_store.Off then
+    m.Metrics.aux_bytes <- Aux_store.bytes aux;
   let sessions =
     Option.map
       (fun srv -> Checker.check_sessions ~n_sources:n (Server.read_log srv))
@@ -560,7 +567,8 @@ type scripted_outcome = {
 }
 
 let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
-    ?(obs = Obs.disabled ()) ~algorithm ~view ~initial ~updates () =
+    ?(obs = Obs.disabled ()) ?(aux_mode = Aux_store.Off) ~algorithm ~view
+    ~initial ~updates () =
   let open Repro_relational in
   let engine = Engine.create ~seed () in
   Obs.set_clock obs (Engine.clock engine);
@@ -591,7 +599,9 @@ let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
   let warehouse =
     Node.create engine ~view ~algorithm
       ~send:(fun i msg -> Channel.send down.(i) msg)
-      ~init:initial_view ~trace ~obs ()
+      ~init:initial_view
+      ~aux:(Aux_store.create ~view ~mode:aux_mode ~initial:initial_copy)
+      ~trace ~obs ()
   in
   node := Some warehouse;
   List.iter

@@ -61,6 +61,7 @@ val run_scripted :
   ?seed:int64 ->
   ?trace_enabled:bool ->
   ?obs:Repro_observability.Obs.t ->
+  ?aux_mode:Repro_warehouse.Aux_store.mode ->
   algorithm:(module Repro_warehouse.Algorithm.S) ->
   view:Repro_relational.View_def.t ->
   initial:Repro_relational.Relation.t array ->

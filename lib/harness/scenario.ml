@@ -23,6 +23,7 @@ type t = {
   staleness_slo : float;
   read_cap : int;
   read_burst : Repro_serving.Read_gen.burst option;
+  aux_mode : Repro_warehouse.Aux_store.mode;
   seed : int64;
 }
 
@@ -32,7 +33,8 @@ let default =
     topology = Distributed; faults = Fault.none; checkpoint_every = 8;
     queue_capacity = None; batch_max = 16; deadline = None; breaker_k = 3;
     probe_limit = 0; stall_cap = 256; read_rate = 0.; staleness_slo = 2.0;
-    read_cap = 16; read_burst = None; seed = 42L }
+    read_cap = 16; read_burst = None;
+    aux_mode = Repro_warehouse.Aux_store.Off; seed = 42L }
 
 let presets =
   [ (* updates spaced far apart: no concurrency, every algorithm should be
@@ -135,7 +137,18 @@ let presets =
         faults =
           { Fault.link = Fault.lossy ~drop:0.05 ~duplicate:0.05 ();
             crashes = [ { Fault.source = 1; down_at = 25.; up_at = 55. } ];
-            wh_crashes = [] } } )
+            wh_crashes = [] } } );
+    (* self-maintenance showcase (DESIGN.md §14): the concurrent regime
+       with a skewed (Zipf) update placement and full aux projections —
+       every sweep leg answered locally, messages/update ≪ 1 *)
+    ( "self-maint",
+      { default with
+        name = "self-maint"; n_sources = 4;
+        stream =
+          { Update_gen.default with
+            n_updates = 120; mean_gap = 0.7;
+            placement = Update_gen.Zipf 1.1 };
+        aux_mode = Repro_warehouse.Aux_store.Full } )
   ]
 
 let find_preset name = List.assoc_opt name presets
@@ -157,5 +170,8 @@ let pp ppf t =
       | Some b ->
           Format.asprintf " burst=%gx@@%g+%g" b.multiplier b.at b.duration
       | None -> "");
+  if t.aux_mode <> Repro_warehouse.Aux_store.Off then
+    Format.fprintf ppf " aux=%s"
+      (Repro_warehouse.Aux_store.mode_to_string t.aux_mode);
   if Fault.is_faulty t.faults then
     Format.fprintf ppf " faults[%a]" Fault.pp t.faults

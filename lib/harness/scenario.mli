@@ -60,6 +60,10 @@ type t = {
   read_cap : int;  (** max reads in flight (admission-control tokens) *)
   read_burst : Repro_serving.Read_gen.burst option;
       (** optional flash-crowd window multiplying the read rate *)
+  aux_mode : Repro_warehouse.Aux_store.mode;
+      (** self-maintenance aux projections (DESIGN.md §14): [Off],
+          [Keys_only] (keys + join columns) or [Full] (every referenced
+          column — all sweep legs answered locally) *)
   seed : int64;
 }
 
@@ -68,7 +72,7 @@ val default : t
 (** [quick_presets] — a few named scenarios used by examples, tests and
     the CLI ([sequential], [concurrent], [bursty], [adversarial],
     [centralized], [degraded], [crashy], [chaos], [read-heavy],
-    [flash-crowd]). *)
+    [flash-crowd], [self-maint]). *)
 val presets : (string * t) list
 
 val find_preset : string -> t option

@@ -8,6 +8,7 @@ type ctx = {
   trace : Trace.t;
   obs : Repro_observability.Obs.t;
   metrics : Metrics.t;
+  aux : Aux_store.t;
   queue : Update_queue.t;
   send : int -> Message.to_source -> unit;
   install : Delta.t -> txns:Update_queue.entry list -> unit;
@@ -71,22 +72,25 @@ let entry_of_snap s =
 (* ————— degraded-mode helpers (shared by the sweep engines) ————— *)
 
 (* An update from source [i] sweeps every other source, so it is
-   eligible only while all of them have closed breakers: when source [j]
-   is down, only source-[j] updates proceed. *)
-let sweep_eligible ctx (e : Update_queue.entry) =
+   eligible only while all of them have closed breakers — or can be
+   answered locally from the aux store ([local], DESIGN.md §14): a leg
+   that never leaves the warehouse does not care about breakers. *)
+let sweep_eligible ?(local = fun _ -> false) ctx (e : Update_queue.entry) =
   let i = e.update.Message.txn.source in
   let n = View_def.n_sources ctx.view in
-  List.for_all ctx.source_ok (Sweep_order.order ~n ~i)
+  List.for_all
+    (fun j -> ctx.source_ok j || local j)
+    (Sweep_order.order ~n ~i)
 
 (* Count queued entries currently parked behind open breakers; each is
    counted in [stalled_updates] once (monotone arrival mark). Returns
    (parked now, new mark). *)
-let note_parked ctx ~stall_mark ~event =
+let note_parked ?(local = fun _ -> false) ctx ~stall_mark ~event =
   let parked = ref 0 in
   let mark = ref stall_mark in
   List.iter
     (fun (e : Update_queue.entry) ->
-      if not (sweep_eligible ctx e) then begin
+      if not (sweep_eligible ~local ctx e) then begin
         incr parked;
         if e.arrival > !mark then begin
           mark := e.arrival;
@@ -102,3 +106,22 @@ let note_parked ctx ~stall_mark ~event =
       end)
     (Update_queue.entries ctx.queue);
   (!parked, !mark)
+
+(* ————— self-maintenance helper (shared by the sweep engines) ————— *)
+
+(* Try to answer the leg joining [partial] with source [target] from the
+   aux store; on success count it, trace it, and return the extended
+   partial. [overlay] is the algorithm's delivered-but-uninstalled delta
+   of [target] (see Aux_store.local_answer). *)
+let local_answer ctx ~name ?span ~target ~partial ~overlay () =
+  match Aux_store.local_answer ctx.aux ~target ~partial ~overlay with
+  | None -> None
+  | Some p ->
+      ctx.metrics.Metrics.local_answers <-
+        ctx.metrics.Metrics.local_answers + 1;
+      Trace.emit ctx.trace ~time:(Engine.now ctx.engine) ~who:"warehouse"
+        "%s: leg %d answered locally from aux store" name target;
+      if Repro_observability.Obs.active ctx.obs then
+        Repro_observability.Obs.event ctx.obs ?span (name ^ ".local-answer")
+          [ ("source", Repro_observability.Tracer.I target) ];
+      Some p

@@ -18,6 +18,9 @@ type ctx = {
       (** structured spans + histograms (disabled by default; one branch
           per emission when off) *)
   metrics : Metrics.t;
+  aux : Aux_store.t;
+      (** auxiliary projections for self-maintenance (DESIGN.md §14);
+          [Aux_store.off ()] when disabled *)
   queue : Update_queue.t;  (** the UpdateMessageQueue of Fig. 4 *)
   send : int -> Message.to_source -> unit;
       (** transmit to source [i] (metrics-instrumented by the node) *)
@@ -98,11 +101,34 @@ val entry_of_snap : Repro_durability.Snap.t -> Update_queue.entry
 (** {2 Degraded-mode helpers} — shared by the sweep-family engines. *)
 
 (** An update from source [i] sweeps every other source; with circuit
-    breakers it may start only while all of them are [ctx.source_ok]. *)
-val sweep_eligible : ctx -> Update_queue.entry -> bool
+    breakers it may start only while every leg's source is
+    [ctx.source_ok] — or locally answerable per [local] (default:
+    none). *)
+val sweep_eligible :
+  ?local:(int -> bool) -> ctx -> Update_queue.entry -> bool
 
 (** Count queued entries parked behind open breakers into
     [metrics.stalled_updates], each once (monotone arrival mark),
     emitting [event] per newly parked entry. Returns
-    [(parked_now, new_mark)]. *)
-val note_parked : ctx -> stall_mark:int -> event:string -> int * int
+    [(parked_now, new_mark)]. [local] as in {!sweep_eligible}. *)
+val note_parked :
+  ?local:(int -> bool) ->
+  ctx -> stall_mark:int -> event:string -> int * int
+
+(** {2 Self-maintenance helper} — shared by the sweep-family engines
+    (DESIGN.md §14). *)
+
+(** [local_answer ctx ~name ?span ~target ~partial ~overlay ()] tries to
+    answer the sweep leg against [target] from [ctx.aux]
+    ({!Aux_store.local_answer}); on success bumps
+    [metrics.local_answers] and emits a trace line and an
+    ["<name>.local-answer"] observability event under [span]. *)
+val local_answer :
+  ctx ->
+  name:string ->
+  ?span:Repro_observability.Tracer.id ->
+  target:int ->
+  partial:Partial.t ->
+  overlay:Delta.t ->
+  unit ->
+  Partial.t option

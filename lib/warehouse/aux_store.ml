@@ -1,0 +1,173 @@
+open Repro_relational
+module Snap = Repro_durability.Snap
+
+type mode = Off | Keys_only | Full
+
+let mode_to_string = function
+  | Off -> "off"
+  | Keys_only -> "keys-only"
+  | Full -> "full"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Some Off
+  | "keys" | "keys-only" -> Some Keys_only
+  | "full" -> Some Full
+  | _ -> None
+
+type t = {
+  mode : mode;
+  view : View_def.t option;
+  tracked : int array array;
+  (* required ⊆ tracked, per source: the leg against that source can be
+     answered from the projection alone. *)
+  answerable : bool array;
+  widths : int array;
+  projs : Bag.t array;
+  genesis : Bag.t array;
+}
+
+let off () =
+  { mode = Off; view = None; tracked = [||]; answerable = [||]; widths = [||];
+    projs = [||]; genesis = [||] }
+
+(* Local columns of source [j] among a list of global attribute
+   indices. *)
+let localize view j globals =
+  let ofs = View_def.offset view j and w = View_def.width view j in
+  List.filter_map
+    (fun g -> if g >= ofs && g < ofs + w then Some (g - ofs) else None)
+    globals
+
+(* Global attributes a leg's result can depend on: every join equality
+   column (join keys), every join residual's attributes (Algebra.join
+   evaluates residuals against both operands of the combined range),
+   the selection's attributes and the projected attributes (both applied
+   to the full-width tuple at the end of the sweep). *)
+let referenced view =
+  let acc = ref [] in
+  let add g = acc := g :: !acc in
+  Array.iter
+    (fun (js : Join_spec.t) ->
+      List.iter
+        (fun (l, r) ->
+          add l;
+          add r)
+        js.Join_spec.equalities;
+      match js.Join_spec.residual with
+      | Some p -> List.iter add (Predicate.attrs_used p)
+      | None -> ())
+    (View_def.joins view);
+  List.iter add (Predicate.attrs_used (View_def.selection view));
+  Array.iter add (View_def.projection view);
+  !acc
+
+let join_columns view =
+  let acc = ref [] in
+  Array.iter
+    (fun (js : Join_spec.t) ->
+      List.iter
+        (fun (l, r) ->
+          acc := l :: r :: !acc)
+        js.Join_spec.equalities)
+    (View_def.joins view);
+  !acc
+
+let project_relation rel cols =
+  let b = Bag.create () in
+  Relation.iter (fun tup c -> Bag.add b (Tuple.project tup cols) c) rel;
+  b
+
+let create ~view ~mode ~initial =
+  match mode with
+  | Off -> off ()
+  | _ ->
+      let n = View_def.n_sources view in
+      if Array.length initial <> n then
+        invalid_arg
+          (Printf.sprintf "Aux_store.create: %d initial relations for %d sources"
+             (Array.length initial) n);
+      let refd = referenced view and jcols = join_columns view in
+      let required = Array.init n (fun j -> localize view j refd) in
+      let tracked =
+        Array.init n (fun j ->
+            let keys = Schema.key_indices (View_def.schema view j) in
+            let wanted =
+              match mode with
+              | Off -> assert false
+              | Keys_only -> keys @ localize view j jcols
+              | Full -> keys @ required.(j)
+            in
+            Array.of_list (List.sort_uniq compare wanted))
+      in
+      let answerable =
+        Array.init n (fun j ->
+            List.for_all
+              (fun c -> Array.exists (fun c' -> c' = c) tracked.(j))
+              required.(j))
+      in
+      let widths = Array.init n (View_def.width view) in
+      { mode; view = Some view; tracked; answerable; widths;
+        projs = Array.init n (fun j -> project_relation initial.(j) tracked.(j));
+        genesis =
+          Array.init n (fun j -> project_relation initial.(j) tracked.(j)) }
+
+let mode t = t.mode
+let tracked t j = if t.mode = Off then [||] else t.tracked.(j)
+let answers t j = t.mode <> Off && t.answerable.(j)
+
+let apply t ~source delta =
+  if t.mode <> Off then
+    Delta.iter
+      (fun tup c -> Bag.add t.projs.(source) (Tuple.project tup t.tracked.(source)) c)
+      delta
+
+(* Lift a projected tuple back to source width: tracked columns carry
+   their values, untracked columns become Null placeholders. Safe
+   because answerability guarantees no join key, residual, selection or
+   projection attribute is untracked — a Null is never consulted and
+   never survives the final projection. *)
+let lift t j proj =
+  let lifted = Delta.empty () in
+  Bag.iter
+    (fun pt c ->
+      let full = Array.make t.widths.(j) Value.Null in
+      Array.iteri (fun k col -> full.(col) <- pt.(k)) t.tracked.(j);
+      Bag.add lifted full c)
+    proj;
+  lifted
+
+let local_answer t ~target ~partial ~overlay =
+  if not (answers t target) then None
+  else begin
+    let view = Option.get t.view in
+    let j = target in
+    let proj = Bag.copy t.projs.(j) in
+    Delta.iter
+      (fun tup c -> Bag.add proj (Tuple.project tup t.tracked.(j)) c)
+      overlay;
+    let pj = { Partial.lo = j; hi = j; data = lift t j proj } in
+    Some
+      (if j < partial.Partial.lo then Algebra.join view pj partial
+       else Algebra.join view partial pj)
+  end
+
+let snapshot t =
+  match t.mode with
+  | Off -> Snap.Unit
+  | _ ->
+      Snap.List
+        (Array.to_list (Array.map (fun b -> Snap.Delta (Bag.copy b)) t.projs))
+
+let restore t s =
+  if t.mode <> Off then begin
+    let parts = Snap.to_list s in
+    if List.length parts <> Array.length t.projs then
+      invalid_arg "Aux_store.restore: source count mismatch";
+    List.iteri (fun j p -> t.projs.(j) <- Bag.copy (Snap.to_delta p)) parts
+  end
+
+let reset t =
+  Array.iteri (fun j g -> t.projs.(j) <- Bag.copy g) t.genesis
+
+let bytes t = String.length (Snap.encode (snapshot t))

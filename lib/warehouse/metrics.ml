@@ -41,6 +41,8 @@ type t = {
   mutable reads_shed : int;
   mutable read_staleness_p50 : float;
   mutable read_staleness_p99 : float;
+  mutable local_answers : int;
+  mutable aux_bytes : int;
 }
 
 let create () =
@@ -55,7 +57,8 @@ let create () =
     snapshots_fetched = 0; queue_deferred = 0; queue_shed = 0; batches = 0;
     max_batch = 0; query_timeouts = 0; breaker_trips = 0; stalled_updates = 0;
     degraded_time = 0.; reads_served = 0; reads_stale = 0; reads_shed = 0;
-    read_staleness_p50 = 0.; read_staleness_p99 = 0. }
+    read_staleness_p50 = 0.; read_staleness_p99 = 0.; local_answers = 0;
+    aux_bytes = 0 }
 
 let note_queue_length t len = if len > t.max_queue then t.max_queue <- len
 
@@ -83,6 +86,12 @@ let messages_per_update t =
   else
     float_of_int (t.queries_sent + t.answers_received)
     /. float_of_int t.updates_incorporated
+
+(* Fraction of sweep legs answered from the aux store instead of a
+   remote round trip (self-maintenance hit rate, DESIGN.md §14). *)
+let aux_hit_rate t =
+  let legs = t.local_answers + t.queries_sent in
+  if legs = 0 then 0. else float_of_int t.local_answers /. float_of_int legs
 
 (* Canonical flat export for the observability registry / BENCH.json.
    Order is the declaration order above; derived means go last. *)
@@ -129,9 +138,12 @@ let fields t : (string * [ `Int of int | `Float of float ]) list =
     ("reads_shed", `Int t.reads_shed);
     ("read_staleness_p50", `Float t.read_staleness_p50);
     ("read_staleness_p99", `Float t.read_staleness_p99);
+    ("local_answers", `Int t.local_answers);
+    ("aux_bytes", `Int t.aux_bytes);
     ("mean_staleness", `Float (mean_staleness t));
     ("queries_per_update", `Float (queries_per_update t));
-    ("messages_per_update", `Float (messages_per_update t)) ]
+    ("messages_per_update", `Float (messages_per_update t));
+    ("aux_hit_rate", `Float (aux_hit_rate t)) ]
 
 let pp ppf t =
   Format.fprintf ppf
@@ -177,4 +189,8 @@ let pp ppf t =
        p99 %.3f"
       t.reads_served t.reads_stale t.reads_shed t.read_staleness_p50
       t.read_staleness_p99;
+  if t.local_answers > 0 || t.aux_bytes > 0 then
+    Format.fprintf ppf
+      "@,self-maint: %d local answers (%.0f%% of legs), aux store %d B"
+      t.local_answers (100. *. aux_hit_rate t) t.aux_bytes;
   Format.fprintf ppf "@]"

@@ -47,6 +47,8 @@ type t = {
   mutable reads_shed : int;  (** reads rejected by admission control *)
   mutable read_staleness_p50 : float;  (** median staleness stamp served *)
   mutable read_staleness_p99 : float;  (** tail staleness stamp served *)
+  mutable local_answers : int;  (** sweep legs answered from the aux store *)
+  mutable aux_bytes : int;  (** encoded aux-store size at end of run *)
 }
 
 val create : unit -> t
@@ -71,6 +73,10 @@ val queries_per_update : t -> float
 (** Total protocol messages (queries + answers) per incorporated txn —
     the cost batching drives toward O(n/k). *)
 val messages_per_update : t -> float
+
+(** Fraction of sweep legs answered locally from the aux store,
+    [local_answers / (local_answers + queries_sent)] (0 when no legs). *)
+val aux_hit_rate : t -> float
 
 (** Canonical flat export (declaration order, derived means last) for
     the observability registry and BENCH.json. *)

@@ -4,6 +4,10 @@ include Sweep_engine.Make (struct
   (* No on-line error correction — the whole point of this baseline. *)
   let compensate = false
 
+  (* And no self-maintenance either: the baseline measures the cost of
+     always asking the sources. *)
+  let local_answers = false
+
   type extra = unit
 
   let create_extra _ = ()

@@ -63,11 +63,39 @@ struct
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
       ~who:"warehouse" fmt
 
+  let local t j = Aux_store.answers t.ctx.Algorithm.aux j
+
+  (* A remote answer from [j] reflects installed state + the absorbed-
+     but-uninstalled batch deltas from [j] (queued interference is
+     compensated away, then absorbed as child frames). The aux
+     projection holds only installed state, so overlay the batch. A
+     local answer does NOT absorb queued updates from [j] — they stay
+     queued for their own later ViewChange, exactly the already-correct
+     forced-termination (SWEEP) path. *)
+  let batch_overlay t j =
+    Delta.sum
+      (List.filter_map
+         (fun (e : Update_queue.entry) ->
+           if e.update.Message.txn.source = j then
+             Some e.update.Message.delta
+           else None)
+         t.rev_batch)
+
   let rec advance t =
     match t.stack with
     | [] -> start_next t
     | frame :: parents -> (
         match frame.pending with
+        | j :: rest when local t j -> (
+            match
+              Algorithm.local_answer t.ctx ~name ~span:frame.span ~target:j
+                ~partial:frame.dv ~overlay:(batch_overlay t j) ()
+            with
+            | Some dv ->
+                frame.pending <- rest;
+                frame.dv <- dv;
+                advance t
+            | None -> assert false (* local t j implies answerable *))
         | j :: rest ->
             frame.pending <- rest;
             frame.outstanding <- j;

@@ -26,6 +26,7 @@ type t = {
   obs : Obs.t;
   store : Store.t option;
   breaker : Breaker.t option;
+  aux : Aux_store.t;
   stall_cap : int;
   mutable next_qid : int;
   mutable replaying : bool;
@@ -64,9 +65,20 @@ let wire t =
     end;
     t.send i msg
   in
+  (* The aux projections advance exactly when updates are installed —
+     also during replay, which rebuilds them from the same delta stream
+     the crash destroyed. *)
+  let apply_aux txns =
+    List.iter
+      (fun (e : Update_queue.entry) ->
+        Aux_store.apply t.aux ~source:e.update.Message.txn.Message.source
+          e.update.Message.delta)
+      txns
+  in
   let install delta ~txns =
     if t.replaying then begin
       Bag.merge_into ~into:t.data delta;
+      apply_aux txns;
       Queue.push (Delta.copy delta) t.replay_installs
     end
     else begin
@@ -86,6 +98,7 @@ let wire t =
           delta false
       in
       Bag.merge_into ~into:t.data delta;
+      apply_aux txns;
       t.metrics.Metrics.installs <- t.metrics.Metrics.installs + 1;
       t.metrics.Metrics.updates_incorporated <-
         t.metrics.Metrics.updates_incorporated + List.length txns;
@@ -124,7 +137,8 @@ let wire t =
     end
   in
   { Algorithm.engine = t.engine; view = t.view; trace = t.trace; obs = t.obs;
-    metrics = t.metrics; queue = t.queue; send = instrumented_send; install;
+    metrics = t.metrics; aux = t.aux; queue = t.queue;
+    send = instrumented_send; install;
     view_contents = (fun () -> t.data);
     fresh_qid =
       (fun () ->
@@ -149,14 +163,15 @@ let wire_breaker t =
           Algorithm.packed_on_source_up (algo t) i)
 
 let create engine ~view ~algorithm ~send ~init ?durability ?metrics
-    ?queue_capacity ?breaker ?(stall_cap = 256) ?(record_history = true)
-    ?(trace = Trace.create ()) ?(obs = Obs.disabled ()) () =
+    ?queue_capacity ?breaker ?(aux = Aux_store.off ()) ?(stall_cap = 256)
+    ?(record_history = true) ?(trace = Trace.create ())
+    ?(obs = Obs.disabled ()) () =
   let data = Bag.copy (Relation.as_bag init) in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let t =
     { engine; view; algorithm; send; data; initial = Bag.copy data; metrics;
       queue = Update_queue.create ?capacity:queue_capacity ();
-      record_history; trace; obs; store = durability; breaker; stall_cap;
+      record_history; trace; obs; store = durability; breaker; aux; stall_cap;
       next_qid = 0; replaying = false; replay_installs = Queue.create ();
       algo = None; rev_installs = []; rev_deliveries = []; rev_listeners = [];
       rev_incorporate_listeners = []; rev_delivery_listeners = [];
@@ -212,6 +227,10 @@ let recover ~prev ?checkpoint () =
       | Some (c : Checkpoint.t) when c.breaker <> Snap.Unit ->
           Breaker.restore b c.breaker
       | _ -> Breaker.reset b));
+  (match checkpoint with
+  | Some (c : Checkpoint.t) when c.aux <> Snap.Unit ->
+      Aux_store.restore t.aux c.aux
+  | _ -> Aux_store.reset t.aux);
   wire_breaker t;
   t
 
@@ -329,7 +348,8 @@ let checkpoint t ~wal_pos ~recv_expected ~senders : Checkpoint.t =
     breaker =
       (match t.breaker with
       | Some b -> Breaker.snapshot b
-      | None -> Snap.Unit) }
+      | None -> Snap.Unit);
+    aux = Aux_store.snapshot t.aux }
 
 (* prepend (O(1) per registration); install reverses so listeners still
    fire in registration order *)
@@ -349,6 +369,7 @@ let obs t = t.obs
 let metrics t = t.metrics
 let queue t = t.queue
 let breaker t = t.breaker
+let aux t = t.aux
 
 let degraded t =
   match t.breaker with Some b -> Breaker.degraded b | None -> false

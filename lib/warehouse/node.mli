@@ -64,6 +64,7 @@ val create :
   ?metrics:Metrics.t ->
   ?queue_capacity:int ->
   ?breaker:Breaker.t ->
+  ?aux:Aux_store.t ->
   ?stall_cap:int ->
   ?record_history:bool ->
   ?trace:Trace.t ->
@@ -140,6 +141,10 @@ val queue : t -> Update_queue.t
 
 (** The breaker passed at {!create}, if any. *)
 val breaker : t -> Breaker.t option
+
+(** The self-maintenance aux store ([Aux_store.off ()] when none was
+    passed to {!create}). *)
+val aux : t -> Aux_store.t
 
 (** At least one source's breaker is currently not closed. *)
 val degraded : t -> bool

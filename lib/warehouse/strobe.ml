@@ -85,8 +85,32 @@ let flush t =
 
 let maybe_flush t = if t.rev_uqs = [] then flush t
 
-let advance t q =
+let local t j = Aux_store.answers t.ctx.Algorithm.aux j
+
+(* A live remote answer from [j] reflects installed state + the batch
+   deltas from [j] already delivered but awaiting flush (FIFO: anything
+   applied at [j] before it answered reached our mailbox first). The aux
+   projection holds installed state only, so overlay the batch. *)
+let batch_overlay t j =
+  Delta.sum
+    (List.filter_map
+       (fun (e : Update_queue.entry) ->
+         if e.update.Message.txn.source = j then Some e.update.Message.delta
+         else None)
+       t.rev_batch)
+
+let rec advance t q =
   match q.pending with
+  | j :: rest when local t j -> (
+      match
+        Algorithm.local_answer t.ctx ~name ~span:q.span ~target:j
+          ~partial:q.dv ~overlay:(batch_overlay t j) ()
+      with
+      | Some dv ->
+          q.pending <- rest;
+          q.dv <- dv;
+          advance t q
+      | None -> assert false (* local t j implies answerable *))
   | j :: rest ->
       q.pending <- rest;
       q.outstanding <- j;

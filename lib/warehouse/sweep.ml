@@ -3,6 +3,7 @@ let sweep_order ~n ~i = Sweep_order.order ~n ~i
 include Sweep_engine.Make (struct
   let name = "sweep"
   let compensate = true
+  let local_answers = true
 
   type extra = unit
 

@@ -102,6 +102,21 @@ struct
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
       ~who:"warehouse" fmt
 
+  let local t j = Aux_store.answers t.ctx.Algorithm.aux j
+
+  (* What a leg [j] of the leg for source [src] must reflect beyond the
+     installed state the aux projection holds: a left-leg source
+     (j < src) contributes its new state R_j + D_j — overlay the batch's
+     combined delta; a right-leg source (j > src) its old state R_j —
+     no overlay. (The remote path reaches the same states by subtracting
+     L_j, and additionally D_j when j > src, from the live answer.) *)
+  let leg_overlay b ~src j =
+    if j < src then
+      match List.assoc_opt j b.combined with
+      | Some d -> d
+      | None -> Delta.empty ()
+    else Delta.empty ()
+
   let rec advance t =
     match t.batch with
     | None -> ()
@@ -130,18 +145,29 @@ struct
 
   and advance_leg t b leg =
     match leg.pending with
-    | j :: rest ->
-        leg.pending <- rest;
-        leg.outstanding <- j;
-        leg.temp <- leg.dv;
-        leg.query_span <-
-          (if Obs.active t.ctx.obs then
-             Obs.span t.ctx.obs ~parent:leg.span "query"
-               [ ("source", Tracer.I j); ("qid", Tracer.I leg.qid) ]
-           else Tracer.none);
-        t.ctx.send j
-          (Message.Sweep_query
-             { qid = leg.qid; target = j; partial = Partial.copy leg.dv })
+    | j :: rest -> (
+        match
+          if local t j then
+            Algorithm.local_answer t.ctx ~name ~span:leg.span ~target:j
+              ~partial:leg.dv ~overlay:(leg_overlay b ~src:leg.src j) ()
+          else None
+        with
+        | Some dv ->
+            leg.pending <- rest;
+            leg.dv <- dv;
+            advance_leg t b leg
+        | None ->
+            leg.pending <- rest;
+            leg.outstanding <- j;
+            leg.temp <- leg.dv;
+            leg.query_span <-
+              (if Obs.active t.ctx.obs then
+                 Obs.span t.ctx.obs ~parent:leg.span "query"
+                   [ ("source", Tracer.I j); ("qid", Tracer.I leg.qid) ]
+               else Tracer.none);
+            t.ctx.send j
+              (Message.Sweep_query
+                 { qid = leg.qid; target = j; partial = Partial.copy leg.dv }))
     | [] ->
         let view_delta = Algebra.select_project t.ctx.view leg.dv in
         trace t "%s: leg for source %d yields %a" name leg.src Delta.pp
@@ -168,8 +194,8 @@ struct
     | Some _ -> ()
     | None -> (
         let parked, mark =
-          Algorithm.note_parked t.ctx ~stall_mark:t.stall_mark
-            ~event:(name ^ ".park")
+          Algorithm.note_parked ~local:(local t) t.ctx
+            ~stall_mark:t.stall_mark ~event:(name ^ ".park")
         in
         t.stall_mark <- mark;
         let drained =
@@ -177,7 +203,7 @@ struct
             Update_queue.take t.ctx.queue ~max:t.batch_max
           else
             Update_queue.take_eligible t.ctx.queue ~max:t.batch_max
-              ~eligible:(Algorithm.sweep_eligible t.ctx)
+              ~eligible:(Algorithm.sweep_eligible ~local:(local t) t.ctx)
         in
         match drained with
         | [] -> ()
@@ -270,12 +296,14 @@ struct
         invalid_arg (name ^ ": unexpected message kind")
 
   (* Does any not-yet-finished work of batch [b] query source [j]? Every
-     leg for a source ≠ [j] sweeps [j]; the [j]-leg itself does not. *)
-  let batch_needs b j =
+     leg for a source ≠ [j] sweeps [j]; the [j]-leg itself does not —
+     and no leg does when [j] is locally answerable. *)
+  let batch_needs t b j =
     (match b.current with
-    | Some leg -> leg.outstanding = j || List.mem j leg.pending
+    | Some leg ->
+        leg.outstanding = j || (List.mem j leg.pending && not (local t j))
     | None -> false)
-    || List.exists (fun (src, _) -> src <> j) b.remaining
+    || ((not (local t j)) && List.exists (fun (src, _) -> src <> j) b.remaining)
 
   (* Source [j]'s breaker opened. If the batch still has a leg through
      [j], abort the whole batch: discard the accumulated view delta,
@@ -285,7 +313,7 @@ struct
      more smaller eligible batches) recomputes from scratch. *)
   let on_source_down t j =
     (match t.batch with
-    | Some b when batch_needs b j ->
+    | Some b when batch_needs t b j ->
         (match b.current with
         | Some leg when leg.outstanding >= 0 ->
             t.aborted <- leg.qid :: t.aborted;

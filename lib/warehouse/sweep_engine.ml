@@ -8,6 +8,14 @@ module type POLICY = sig
   val name : string
   val compensate : bool
 
+  (* Whether sweep legs may be answered from the aux store (DESIGN.md
+     §14). Requires the policy to install each completed entry before
+     the next ViewChange starts: the aux projections advance at install
+     time, and a policy that buffers completed-but-uninstalled entries
+     (sweep-global) would leave their deltas visible to neither the aux
+     store nor the interference-compensation queue scan. *)
+  val local_answers : bool
+
   type extra
 
   val create_extra : Algorithm.ctx -> extra
@@ -58,6 +66,13 @@ module Make (P : POLICY) = struct
     Trace.emit t.ctx.Algorithm.trace ~time:(Engine.now t.ctx.engine)
       ~who:"warehouse" fmt
 
+  (* Legs answerable from the aux store need no remote round trip —
+     and no compensation: the projections advance at install time, so
+     they equal exactly what a compensated remote answer reflects
+     (queued interference never made it into either). *)
+  let local t j =
+    P.local_answers && Aux_store.answers t.ctx.Algorithm.aux j
+
   (* Degraded mode (DESIGN.md §12): parked entries stay in the queue,
      which keeps them visible to the [from_source] interference test — a
      sweep that overtakes them still subtracts their effect from
@@ -65,7 +80,7 @@ module Make (P : POLICY) = struct
      replay-after-heal converges to the fault-free view. *)
   let note_parked t =
     let parked, mark =
-      Algorithm.note_parked t.ctx ~stall_mark:t.stall_mark
+      Algorithm.note_parked ~local:(local t) t.ctx ~stall_mark:t.stall_mark
         ~event:(P.name ^ ".park")
     in
     t.stall_mark <- mark;
@@ -76,18 +91,32 @@ module Make (P : POLICY) = struct
     | None -> ()
     | Some vc -> (
         match vc.pending with
-        | j :: rest ->
-            vc.pending <- rest;
-            vc.outstanding <- j;
-            vc.temp <- vc.dv;
-            vc.leg <-
-              (if Obs.active t.ctx.obs then
-                 Obs.span t.ctx.obs ~parent:vc.span "query"
-                   [ ("source", Tracer.I j); ("qid", Tracer.I vc.qid) ]
-               else Tracer.none);
-            t.ctx.send j
-              (Message.Sweep_query
-                 { qid = vc.qid; target = j; partial = Partial.copy vc.dv })
+        | j :: rest -> (
+            match
+              if local t j then
+                Algorithm.local_answer t.ctx ~name:P.name ~span:vc.span
+                  ~target:j ~partial:vc.dv ~overlay:(Delta.empty ()) ()
+              else None
+            with
+            | Some dv ->
+                (* leg answered from the aux store: no message, no
+                   compensation (the projection already reflects exactly
+                   the installed state a compensated answer would) *)
+                vc.pending <- rest;
+                vc.dv <- dv;
+                advance t
+            | None ->
+                vc.pending <- rest;
+                vc.outstanding <- j;
+                vc.temp <- vc.dv;
+                vc.leg <-
+                  (if Obs.active t.ctx.obs then
+                     Obs.span t.ctx.obs ~parent:vc.span "query"
+                       [ ("source", Tracer.I j); ("qid", Tracer.I vc.qid) ]
+                   else Tracer.none);
+                t.ctx.send j
+                  (Message.Sweep_query
+                     { qid = vc.qid; target = j; partial = Partial.copy vc.dv }))
         | [] ->
             let view_delta = Algebra.select_project t.ctx.view vc.dv in
             trace t "%s: ViewChange(%a) yields %a" P.name Message.pp_txn_id
@@ -111,7 +140,7 @@ module Make (P : POLICY) = struct
             Update_queue.pop t.ctx.queue
           else
             Update_queue.pop_eligible t.ctx.queue
-              ~eligible:(Algorithm.sweep_eligible t.ctx)
+              ~eligible:(Algorithm.sweep_eligible ~local:(local t) t.ctx)
         in
         match popped with
         | None -> ()
@@ -196,7 +225,8 @@ module Make (P : POLICY) = struct
      compensation path, so aborting never double-applies anything. *)
   let on_source_down t j =
     (match t.current with
-    | Some vc when vc.outstanding = j || List.mem j vc.pending ->
+    | Some vc
+      when vc.outstanding = j || (List.mem j vc.pending && not (local t j)) ->
         t.aborted <- vc.qid :: t.aborted;
         Update_queue.push_front t.ctx.queue vc.entry;
         t.current <- None;

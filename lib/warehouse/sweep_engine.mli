@@ -15,6 +15,14 @@ module type POLICY = sig
       says no — that is its entire difference from SWEEP.) *)
   val compensate : bool
 
+  (** May sweep legs be answered from the aux store (DESIGN.md §14)?
+      Requires that every completed entry is installed before the next
+      ViewChange starts: aux projections advance at install time, so a
+      policy that buffers completed-but-uninstalled entries
+      (sweep-global) would leave their deltas visible to neither the
+      projections nor the interference-compensation queue scan. *)
+  val local_answers : bool
+
   (** Per-instance policy state (install buffers, transaction ledgers…). *)
   type extra
 

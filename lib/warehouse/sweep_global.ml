@@ -14,6 +14,12 @@ include Sweep_engine.Make (struct
   let name = "sweep-global"
   let compensate = true
 
+  (* Completed entries are buffered (not installed) while a global
+     transaction is open; their deltas would be visible to neither the
+     aux projections nor the queue scan, so local answers are unsound
+     here (see POLICY.local_answers). *)
+  let local_answers = false
+
   type extra = ledger
 
   let create_extra _ =

@@ -32,3 +32,40 @@ let verdict =
       Checker.compare_verdict a b = 0)
 
 let final_view outcome = Node.view_contents outcome.node
+
+(* ————— seeded storm scaffolding ————— *)
+
+(* The seeded property suites (chaos, serving, aux) share one shape: an
+   env-scaled seed count, a loop over seeds, and a deterministic-replay
+   core. Factored here so a new suite is the invariants, not the rig. *)
+
+(* Seed count for an env-scaled suite: $VAR if set and parseable
+   (clamped to >= 1), else [default] — `dune runtest` stays fast while
+   `make chaos` / `make serve` / `make aux` raise the count. *)
+let seeds_env ~var ~default =
+  match Sys.getenv_opt var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> max 1 n
+      | None -> default)
+  | None -> default
+
+(* Run [f seed] for [n] seeds starting at [from] (default 1, the storm
+   suites' convention; the recovery fuzzers start at 0). *)
+let for_seeds ?(from = 1) n f =
+  for seed = from to from + n - 1 do
+    f seed
+  done
+
+(* Deterministic-replay core: two runs of the same seeded scenario must
+   agree bit-for-bit on the final view and tick-for-tick on the
+   simulation. Suites layer their own equalities on top (breaker trips,
+   read logs, WAL counters, aux snapshots). [ctx] prefixes the check
+   names, e.g. "sweep seed 3". *)
+let check_replay ~ctx (a : Experiment.result) (b : Experiment.result) =
+  Alcotest.check bag (ctx ^ ": replay is bit-identical")
+    a.Experiment.final_view b.Experiment.final_view;
+  Alcotest.(check int) (ctx ^ ": replay: same events") a.Experiment.events
+    b.Experiment.events;
+  Alcotest.(check (float 0.)) (ctx ^ ": replay: same sim time")
+    a.Experiment.sim_time b.Experiment.sim_time

@@ -28,13 +28,7 @@ open Repro_consistency
 open Repro_harness
 open Repro_workload
 
-let chaos_seeds =
-  match Sys.getenv_opt "CHAOS_SEEDS" with
-  | Some s ->
-      (match int_of_string_opt (String.trim s) with
-      | Some n -> max 1 n
-      | None -> 6)
-  | None -> 6
+let chaos_seeds = Rig.seeds_env ~var:"CHAOS_SEEDS" ~default:6
 
 let n_updates = 40
 let mean_gap = 1.5
@@ -81,12 +75,7 @@ let check_invariants ~tag ~floor ~golden algo seed =
     n_updates r.Experiment.metrics.Metrics.updates_incorporated;
   (* 2. deterministic replay *)
   let r2 = run scenario algo in
-  Alcotest.check Rig.bag (ctx "replay is bit-identical")
-    r.Experiment.final_view r2.Experiment.final_view;
-  Alcotest.(check int) (ctx "replay: same events") r.Experiment.events
-    r2.Experiment.events;
-  Alcotest.(check (float 0.)) (ctx "replay: same sim time")
-    r.Experiment.sim_time r2.Experiment.sim_time;
+  Rig.check_replay ~ctx:(Printf.sprintf "%s seed %d" tag seed) r r2;
   Alcotest.(check int) (ctx "replay: same breaker trips")
     r.Experiment.metrics.Metrics.breaker_trips
     r2.Experiment.metrics.Metrics.breaker_trips;
@@ -125,9 +114,7 @@ let check_invariants ~tag ~floor ~golden algo seed =
   end
 
 let chaos_case ~tag ~floor ~golden algo () =
-  for seed = 1 to chaos_seeds do
-    check_invariants ~tag ~floor ~golden algo seed
-  done
+  Rig.for_seeds chaos_seeds (check_invariants ~tag ~floor ~golden algo)
 
 (* ————— permanent source crash: degraded drain, no stall ————— *)
 

@@ -27,13 +27,7 @@ open Repro_harness
 open Repro_workload
 open Repro_serving
 
-let serve_seeds =
-  match Sys.getenv_opt "SERVE_SEEDS" with
-  | Some s ->
-      (match int_of_string_opt (String.trim s) with
-      | Some n -> max 1 n
-      | None -> 5)
-  | None -> 5
+let serve_seeds = Rig.seeds_env ~var:"SERVE_SEEDS" ~default:5
 
 (* ————— session-guarantee checker ————— *)
 
@@ -319,10 +313,7 @@ let check_storm ~tag algo seed =
   let r2 = Experiment.run ~max_events:500_000 scenario algo in
   Alcotest.(check bool) (ctx "replay: identical read log") true
     (r.Experiment.reads = r2.Experiment.reads);
-  Alcotest.check Rig.bag (ctx "replay: identical final view")
-    r.Experiment.final_view r2.Experiment.final_view;
-  Alcotest.(check int) (ctx "replay: same events") r.Experiment.events
-    r2.Experiment.events;
+  Rig.check_replay ~ctx:(Printf.sprintf "%s seed %d" tag seed) r r2;
   (* 4. session guarantees: MR must hold (the view version the server
      exposes never regresses); RYW is measured, not required *)
   match r.Experiment.sessions with
@@ -333,10 +324,7 @@ let check_storm ~tag algo seed =
       Alcotest.(check int) (ctx "every served read graded")
         m.Metrics.reads_served s.Checker.reads_graded
 
-let storm_case ~tag algo () =
-  for seed = 1 to serve_seeds do
-    check_storm ~tag algo seed
-  done
+let storm_case ~tag algo () = Rig.for_seeds serve_seeds (check_storm ~tag algo)
 
 (* ————— shed only above cap ————— *)
 
