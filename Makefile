@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json faults recover chaos serve aux bench bench-json bench-compare examples doc clean
+.PHONY: all build test lint lint-json faults recover chaos serve aux joins bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -8,7 +8,7 @@ build:
 test:
 	dune runtest
 
-# Repository-invariant static analysis (rules L1-L5, see DESIGN.md §11).
+# Repository-invariant static analysis (rules L1-L6, see DESIGN.md §11).
 # Fails on any error-severity finding not covered by an audited
 # `(* lint: allow <rule> <reason> *)` pragma.
 lint:
@@ -50,6 +50,14 @@ serve:
 # suite at 5 seeds.
 aux:
 	AUX_SEEDS=100 dune exec test/test_main.exe -- test aux
+
+# Join-strategy differential suite at full depth: 100 seeds per
+# algorithm proving pairwise, probe and trie execution produce
+# bit-identical views, replays and verdicts (including under crash and
+# outage schedules), and that the default probe path never degrades to
+# an unindexed scan. `dune runtest` runs the same suite at 5 seeds.
+joins:
+	JOIN_SEEDS=100 dune exec test/test_main.exe -- test join-strategies
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 bench:

@@ -38,7 +38,8 @@ let load ?lenient path =
       Printf.eprintf "bench_check: %s: invalid JSON: %s\n" path msg;
       exit 1
   | Ok doc -> (
-      match Repro_harness.Bench_doc.validate ?lenient doc with
+      let warn msg = Printf.eprintf "bench_check: %s: warning: %s\n" path msg in
+      match Repro_harness.Bench_doc.validate ?lenient ~warn doc with
       | Ok () -> doc
       | Error msg ->
           Printf.eprintf "bench_check: %s: %s\n" path msg;

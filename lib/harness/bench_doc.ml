@@ -102,7 +102,8 @@ let required_counters =
   core_counters
   @ [ "query_timeouts"; "breaker_trips"; "stalled_updates"; "degraded_time";
       "reads_served"; "reads_stale"; "reads_shed"; "read_staleness_p50";
-      "read_staleness_p99"; "local_answers"; "aux_bytes"; "aux_hit_rate" ]
+      "read_staleness_p99"; "local_answers"; "aux_bytes"; "aux_hit_rate";
+      "unindexed_scans" ]
 
 let required_histogram_stats = [ "count"; "p50"; "p90"; "p99"; "max" ]
 
@@ -117,16 +118,30 @@ let validate_histograms entry =
         hists
   | Some _ -> Error "field \"histograms\" is not an object"
 
-let validate_algorithm ~required entry =
+(* [soft] counters are checked but tolerated when absent: each miss is
+   reported through [warn] instead of failing the gate, so a lenient
+   pass is never silent about what it waved through. *)
+let validate_algorithm ~required ~soft ~warn entry =
   let* algorithm = want_string "algorithm" entry in
-  let* _ = want_string "scenario" entry in
+  let* scenario = want_string "scenario" entry in
   in_context
     (Printf.sprintf "algorithm %S" algorithm)
     (let* counters = field "counters" entry in
      let* () = iter_all (fun c -> want_number c counters) required in
+     List.iter
+       (fun c ->
+         match want_number c counters with
+         | Ok () -> ()
+         | Error _ ->
+             warn
+               (Printf.sprintf
+                  "algorithm %S on %S: counter %S missing (accepted \
+                   leniently; baseline predates it)"
+                  algorithm scenario c))
+       soft;
      validate_histograms entry)
 
-let validate ?(lenient = false) doc =
+let validate ?(lenient = false) ?(warn = fun _ -> ()) doc =
   let* s = want_string "schema" doc in
   if s <> schema then
     Error (Printf.sprintf "schema %S, expected %S" s schema)
@@ -155,5 +170,12 @@ let validate ?(lenient = false) doc =
     let* algorithms = want_list "algorithms" doc in
     if algorithms = [] then Error "no algorithm entries"
     else
-      let required = if lenient then core_counters else required_counters in
-      iter_all (validate_algorithm ~required) algorithms
+      let required, soft =
+        if lenient then
+          ( core_counters,
+            List.filter
+              (fun c -> not (List.mem c core_counters))
+              required_counters )
+        else (required_counters, [])
+      in
+      iter_all (validate_algorithm ~required ~soft ~warn) algorithms

@@ -49,5 +49,8 @@ val make :
     use it for a [--against] baseline generated before a newer layer
     added its counters (e.g. BENCH_7.json predates local_answers /
     aux_bytes / aux_hit_rate). Freshly generated documents are always
-    validated strictly. *)
-val validate : ?lenient:bool -> Jsonw.t -> (unit, string) result
+    validated strictly. A lenient pass is never silent: every missing
+    non-core counter is reported through [warn] (one line each; default
+    ignores them — [bench_check] forwards them to stderr). *)
+val validate :
+  ?lenient:bool -> ?warn:(string -> unit) -> Jsonw.t -> (unit, string) result

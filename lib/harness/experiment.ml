@@ -72,6 +72,10 @@ let algorithms_for (s : Scenario.t) =
 let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     ?max_events (scenario : Scenario.t) (algorithm : (module Algorithm.S)) =
   let wall_start = wall_clock () in
+  let strategy = scenario.join_strategy in
+  (* probes that degraded to O(n) scans, attributed to this run by
+     delta — under the default Probe strategy the suites assert 0 *)
+  let scans_before = Base_table.unindexed_scans () in
   let engine = Engine.create ~seed:scenario.seed () in
   Obs.set_clock obs (Engine.clock engine);
   let rng = Engine.rng engine in
@@ -238,7 +242,8 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
         in
         let sources =
           Array.init n (fun i ->
-              Source_node.create engine ~view ~id:i ~init:initial.(i)
+              Source_node.create ~strategy engine ~view ~id:i
+                ~init:initial.(i)
                 ~send:(fun m -> up_send.(i) m)
                 ~trace)
         in
@@ -273,7 +278,8 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
             Channel.send ch
         in
         let site =
-          Eca_site.create engine ~view ~inits:initial ~send:up ~trace
+          Eca_site.create ~strategy engine ~view ~inits:initial ~send:up
+            ~trace
         in
         let deliver_down m = Eca_site.handle site m in
         let down =
@@ -296,7 +302,8 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     else None
   in
   let aux =
-    Aux_store.create ~view ~mode:scenario.aux_mode ~initial:initial_copy
+    Aux_store.create ~view ~mode:scenario.aux_mode ~strategy
+      ~initial:initial_copy ()
   in
   let warehouse =
     Node.create engine ~view ~algorithm ~send:send_to ~init:initial_view
@@ -530,6 +537,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
      canonical encoding of the final projections) *)
   if Aux_store.mode aux <> Aux_store.Off then
     m.Metrics.aux_bytes <- Aux_store.bytes aux;
+  m.Metrics.unindexed_scans <- Base_table.unindexed_scans () - scans_before;
   let sessions =
     Option.map
       (fun srv -> Checker.check_sessions ~n_sources:n (Server.read_log srv))
@@ -567,8 +575,9 @@ type scripted_outcome = {
 }
 
 let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
-    ?(obs = Obs.disabled ()) ?(aux_mode = Aux_store.Off) ~algorithm ~view
-    ~initial ~updates () =
+    ?(obs = Obs.disabled ()) ?(aux_mode = Aux_store.Off)
+    ?(join_strategy = Join_strategy.default) ~algorithm ~view ~initial
+    ~updates () =
   let open Repro_relational in
   let engine = Engine.create ~seed () in
   Obs.set_clock obs (Engine.clock engine);
@@ -586,7 +595,8 @@ let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
   in
   let sources =
     Array.init n (fun i ->
-        Source_node.create engine ~view ~id:i ~init:initial.(i)
+        Source_node.create ~strategy:join_strategy engine ~view ~id:i
+          ~init:initial.(i)
           ~send:(fun m -> Channel.send up.(i) m)
           ~trace)
   in
@@ -600,7 +610,9 @@ let run_scripted ?(latency = 1.0) ?(seed = 7L) ?(trace_enabled = true)
     Node.create engine ~view ~algorithm
       ~send:(fun i msg -> Channel.send down.(i) msg)
       ~init:initial_view
-      ~aux:(Aux_store.create ~view ~mode:aux_mode ~initial:initial_copy)
+      ~aux:
+        (Aux_store.create ~view ~mode:aux_mode ~strategy:join_strategy
+           ~initial:initial_copy ())
       ~trace ~obs ()
   in
   node := Some warehouse;

@@ -28,6 +28,7 @@ let canonical_rule r =
   | "l3" | "quadratic" -> Some "L3"
   | "l4" | "exception-hygiene" -> Some "L4"
   | "l5" | "snapshot-complete" -> Some "L5"
+  | "l6" | "probe-less-join" -> Some "L6"
   | _ -> None
 
 (* The comment opener is part of the marker so that prose, hint strings

@@ -505,7 +505,49 @@ let l5 ctx (str : structure) =
           @ if SSet.mem field rest_labels then [] else [ miss "restore" ])
         fields
 
+(* ————— L6 · probe-less joins in the warehouse ————— *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* The 27× gap this repo's index layer closed: [Algebra.extend] walks
+   every stored tuple per delta row, so a bare call in the warehouse's
+   per-update path silently reopens the scan bottleneck. Warehouse code
+   must go through [Algebra.extend_with_probe] backed by the leg's
+   persistent index; the only legitimate scans (pairwise fallback for
+   cross-product junctions, explicit [--join pairwise] strategy) carry a
+   pragma naming the reason. *)
+let l6 ctx (str : structure) =
+  if not (contains (norm_path ctx.file) "lib/warehouse/") then []
+  else begin
+    let out = ref [] in
+    iter_exprs
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } when path_of txt = [ "Algebra"; "extend" ]
+          ->
+            out :=
+              finding ctx ~loc ~rule:"L6" ~severity:Finding.Error
+                ~message:
+                  "bare `Algebra.extend` in lib/warehouse scans every \
+                   stored tuple per delta row, bypassing the persistent \
+                   indexes"
+                ~hint:
+                  "probe the leg's index through \
+                   `Algebra.extend_with_probe` (see \
+                   Aux_store.local_answer); if this site is a deliberate \
+                   scan — cross-product junction, explicit pairwise \
+                   strategy — say why with a `lint: allow L6` pragma"
+              :: !out
+        | _ -> ())
+      (fun it s -> it.structure it s)
+      str;
+    List.rev !out
+  end
+
 let all : (string * (ctx -> structure -> Finding.t list)) list =
-  [ ("L1", l1); ("L2", l2); ("L3", l3); ("L4", l4); ("L5", l5) ]
+  [ ("L1", l1); ("L2", l2); ("L3", l3); ("L4", l4); ("L5", l5); ("L6", l6) ]
 
 let run ctx str = List.concat_map (fun (_, rule) -> rule ctx str) all

@@ -82,9 +82,9 @@ let compensate view ~answer ~(interfering : Delta.t) ~(temp : Partial.t) =
   Partial.sub answer error
 
 let extend_with_probe view (p : Partial.t) ~source ~probe =
-  let side =
-    if source = p.lo - 1 then Some `Left
-    else if source = p.hi + 1 then Some `Right
+  let dir =
+    if source = p.lo - 1 then `Left
+    else if source = p.hi + 1 then `Right
     else
       invalid_arg
         (Printf.sprintf
@@ -92,32 +92,57 @@ let extend_with_probe view (p : Partial.t) ~source ~probe =
            source p.lo p.hi)
   in
   let spec =
-    match side with
-    | Some `Left -> View_def.join_between view source
-    | Some `Right -> View_def.join_between view p.hi
-    | None -> assert false
+    match dir with
+    | `Left -> View_def.join_between view source
+    | `Right -> View_def.join_between view p.hi
   in
-  match (spec.Join_spec.equalities, spec.Join_spec.residual, side) with
-  | [ (lg, rg) ], None, Some dir ->
+  match spec.Join_spec.equalities with
+  | [] -> None (* cross-product junction: no column to probe on *)
+  | eqs ->
       let src_ofs = View_def.offset view source in
       let p_ofs = View_def.offset view p.lo in
-      (* the equality names one attribute in [source] and one inside [p] *)
-      let src_col, p_col =
+      (* each equality names one attribute in [source] and one inside
+         [p]; the first drives the probe, the rest filter candidates *)
+      let local (lg, rg) =
         match dir with
         | `Left -> (lg - src_ofs, rg - p_ofs)
         | `Right -> (rg - src_ofs, lg - p_ofs)
+      in
+      let (src_col, p_col), rest =
+        match List.map local eqs with
+        | first :: rest -> (first, rest)
+        | [] -> assert false
+      in
+      let residual_ok stup ptup =
+        match spec.Join_spec.residual with
+        | None -> true
+        | Some pr ->
+            let lookup g =
+              match dir with
+              | `Left ->
+                  if g < p_ofs then stup.(g - src_ofs) else ptup.(g - p_ofs)
+              | `Right ->
+                  if g < src_ofs then ptup.(g - p_ofs) else stup.(g - src_ofs)
+            in
+            Predicate.eval ~lookup pr
       in
       let result = Delta.empty () in
       Delta.iter
         (fun ptup pc ->
           List.iter
             (fun (stup, sc) ->
-              let combined =
-                match dir with
-                | `Left -> Tuple.concat stup ptup
-                | `Right -> Tuple.concat ptup stup
-              in
-              Delta.add result combined (pc * sc))
+              if
+                List.for_all
+                  (fun (sc', pc') -> stup.(sc') = ptup.(pc'))
+                  rest
+                && residual_ok stup ptup
+              then
+                let combined =
+                  match dir with
+                  | `Left -> Tuple.concat stup ptup
+                  | `Right -> Tuple.concat ptup stup
+                in
+                Delta.add result combined (pc * sc))
             (probe ~col:src_col ~value:(Tuple.get ptup p_col)))
         p.data;
       let lo, hi =
@@ -126,7 +151,6 @@ let extend_with_probe view (p : Partial.t) ~source ~probe =
         | `Right -> (p.lo, source)
       in
       Some { Partial.lo; hi; data = result }
-  | _ -> None
 
 let merge_overlap view ~at ~(left : Partial.t) ~(right : Partial.t) =
   if left.hi <> at || right.lo <> at then

@@ -1,0 +1,18 @@
+type t = Pairwise | Probe | Trie
+
+let default = Probe
+let all = [ Pairwise; Probe; Trie ]
+
+let to_string = function
+  | Pairwise -> "pairwise"
+  | Probe -> "probe"
+  | Trie -> "trie"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "pairwise" | "scan" | "hash" -> Some Pairwise
+  | "probe" | "index" | "indexed" -> Some Probe
+  | "trie" | "leapfrog" -> Some Trie
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

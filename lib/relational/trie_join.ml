@@ -1,0 +1,190 @@
+(* Sort-order tries over join columns, in the spirit of (incremental)
+   leapfrog triejoin. A chain SPJ view has exactly one junction between
+   adjacent sources, so the general LFTJ variable ordering degenerates
+   to one sorted intersection per junction: the delta's distinct join
+   values leapfrog against the trie's sorted keys, galloping past the
+   gaps, and only the matching groups ever touch tuples. [eval_chain]
+   strings those intersections together, fanning out from the pinned
+   delta — the whole multiway join is |junctions| intersections over
+   delta-sized frontiers, never a hash build over a base relation. *)
+
+type level = { key : Value.t; rows : (Tuple.t * int) array }
+type t = { col : int; levels : level array }
+
+let col t = t.col
+let cardinal t = Array.length t.levels
+
+let of_iter iter ~col =
+  let groups : (Value.t, (Tuple.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  iter (fun tup c ->
+      let v = Tuple.get tup col in
+      match Hashtbl.find_opt groups v with
+      | Some l -> l := (tup, c) :: !l
+      | None -> Hashtbl.replace groups v (ref [ (tup, c) ]));
+  let keys =
+    List.sort Value.compare (Hashtbl.fold (fun v _ acc -> v :: acc) groups [])
+  in
+  { col;
+    levels =
+      Array.of_list
+        (List.map
+           (fun v ->
+             let rows = Array.of_list !(Hashtbl.find groups v) in
+             (* canonical row order: the trie for a given relation state
+                is independent of its update history *)
+             Array.sort compare rows;
+             { key = v; rows })
+           keys) }
+
+let of_relation rel ~col = of_iter (fun f -> Relation.iter f rel) ~col
+
+let of_rows rows ~col =
+  of_iter (fun f -> List.iter (fun (tup, c) -> f tup c) rows) ~col
+
+(* Smallest index in [lo, len) whose key is >= v: exponential gallop to
+   bracket, then binary search inside the bracket — the "leapfrog" seek
+   that lets an intersection skip runs of non-matching keys in
+   O(log gap) instead of O(gap). *)
+let seek ~get ~len lo v =
+  if lo >= len || Value.compare (get lo) v >= 0 then lo
+  else begin
+    let step = ref 1 in
+    while lo + !step < len && Value.compare (get (lo + !step)) v < 0 do
+      step := !step * 2
+    done;
+    let l = ref (lo + (!step / 2)) and r = ref (min (lo + !step) len) in
+    (* get !l < v; !r = len or get !r >= v *)
+    while !r - !l > 1 do
+      let m = (!l + !r) / 2 in
+      if Value.compare (get m) v < 0 then l := m else r := m
+    done;
+    !r
+  end
+
+let probe t value =
+  let len = Array.length t.levels in
+  let i = seek ~get:(fun i -> t.levels.(i).key) ~len 0 value in
+  if i < len && Value.compare t.levels.(i).key value = 0 then
+    Array.to_list t.levels.(i).rows
+  else []
+
+let extend view (p : Partial.t) ~source ~trie =
+  let dir =
+    if source = p.lo - 1 then `Left
+    else if source = p.hi + 1 then `Right
+    else
+      invalid_arg
+        (Printf.sprintf "Trie_join.extend: source %d not adjacent to [%d..%d]"
+           source p.lo p.hi)
+  in
+  let spec =
+    match dir with
+    | `Left -> View_def.join_between view source
+    | `Right -> View_def.join_between view p.hi
+  in
+  match spec.Join_spec.equalities with
+  | [] -> None (* cross-product junction: nothing to intersect on *)
+  | eqs ->
+      let src_ofs = View_def.offset view source in
+      let p_ofs = View_def.offset view p.lo in
+      (* each equality names one column in [source], one inside [p] *)
+      let local (lg, rg) =
+        match dir with
+        | `Left -> (lg - src_ofs, rg - p_ofs)
+        | `Right -> (rg - src_ofs, lg - p_ofs)
+      in
+      let (src_col, p_col), rest =
+        match List.map local eqs with
+        | first :: rest -> (first, rest)
+        | [] -> assert false
+      in
+      let residual_ok stup ptup =
+        match spec.Join_spec.residual with
+        | None -> true
+        | Some pr ->
+            let lookup g =
+              match dir with
+              | `Left ->
+                  if g < p_ofs then stup.(g - src_ofs) else ptup.(g - p_ofs)
+              | `Right ->
+                  if g < src_ofs then ptup.(g - p_ofs) else stup.(g - src_ofs)
+            in
+            Predicate.eval ~lookup pr
+      in
+      (* group the delta frontier by its join value ... *)
+      let groups : (Value.t, (Tuple.t * int) list ref) Hashtbl.t =
+        Hashtbl.create (max 16 (Delta.cardinal p.data))
+      in
+      Delta.iter
+        (fun ptup pc ->
+          let v = Tuple.get ptup p_col in
+          match Hashtbl.find_opt groups v with
+          | Some l -> l := (ptup, pc) :: !l
+          | None -> Hashtbl.replace groups v (ref [ (ptup, pc) ]))
+        p.data;
+      let dvals =
+        Array.of_list
+          (List.sort Value.compare
+             (Hashtbl.fold (fun v _ acc -> v :: acc) groups []))
+      in
+      (* ... and leapfrog the two sorted key sequences *)
+      let t = trie ~col:src_col in
+      let result = Delta.empty () in
+      let emit v rows =
+        let group = !(Hashtbl.find groups v) in
+        Array.iter
+          (fun (stup, sc) ->
+            List.iter
+              (fun (ptup, pc) ->
+                if
+                  List.for_all
+                    (fun (sc', pc') -> stup.(sc') = ptup.(pc'))
+                    rest
+                  && residual_ok stup ptup
+                then
+                  let combined =
+                    match dir with
+                    | `Left -> Tuple.concat stup ptup
+                    | `Right -> Tuple.concat ptup stup
+                  in
+                  Delta.add result combined (pc * sc))
+              group)
+          rows
+      in
+      let nd = Array.length dvals and nt = Array.length t.levels in
+      let i = ref 0 and j = ref 0 in
+      while !i < nd && !j < nt do
+        let c = Value.compare dvals.(!i) t.levels.(!j).key in
+        if c = 0 then begin
+          emit dvals.(!i) t.levels.(!j).rows;
+          incr i;
+          incr j
+        end
+        else if c < 0 then
+          i := seek ~get:(fun k -> dvals.(k)) ~len:nd !i t.levels.(!j).key
+        else
+          j := seek ~get:(fun k -> t.levels.(k).key) ~len:nt !j dvals.(!i)
+      done;
+      let lo, hi =
+        match dir with `Left -> (source, p.hi) | `Right -> (p.lo, source)
+      in
+      Some { Partial.lo; hi; data = result }
+
+let eval_chain view ~pin:(k, d) ~trie =
+  let n = View_def.n_sources view in
+  if k < 0 || k >= n then invalid_arg "Trie_join.eval_chain: pin out of range";
+  let acc = ref (Some (Partial.of_source_delta view k d)) in
+  let leg j =
+    match !acc with
+    | None -> ()
+    | Some p -> acc := extend view p ~source:j ~trie:(trie j)
+  in
+  for j = k - 1 downto 0 do
+    leg j
+  done;
+  for j = k + 1 to n - 1 do
+    leg j
+  done;
+  !acc

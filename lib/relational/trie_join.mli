@@ -1,0 +1,55 @@
+(** Trie-based multiway delta join (prototype).
+
+    Sort-order tries over join columns with a leapfrog-style sorted
+    intersection per junction, after (incremental) leapfrog triejoin.
+    For the chain SPJ views this repo maintains, the general trie
+    ordering degenerates to one sorted intersection per junction:
+    {!extend} intersects the delta frontier's distinct join values with
+    the trie's keys (galloping seeks skip the gaps), and {!eval_chain}
+    chains those intersections outward from the pinned delta — the whole
+    multiway join runs over delta-sized frontiers without ever hashing a
+    base relation.
+
+    Results are bag-identical to {!Algebra.extend} /
+    {!Algebra.extend_with_probe} (asserted by the strategy differential
+    suite). Tries are immutable snapshots: build one per relation state
+    ({!of_relation}) and rebuild (or cache against a dirty flag, as
+    [Base_table.trie] does) after updates. *)
+
+type t
+
+(** The source-local column the trie is keyed on. *)
+val col : t -> int
+
+(** Number of distinct keys. *)
+val cardinal : t -> int
+
+(** [of_relation rel ~col] — trie over [rel] keyed on local column
+    [col]; rows under each key carry their multiplicities. *)
+val of_relation : Relation.t -> col:int -> t
+
+(** [of_rows rows ~col] — same, from an explicit row list. *)
+val of_rows : (Tuple.t * int) list -> col:int -> t
+
+(** All rows whose key equals [value] (binary search; [[]] when
+    absent). *)
+val probe : t -> Value.t -> (Tuple.t * int) list
+
+(** [extend view p ~source ~trie] is {!Algebra.extend} executed as a
+    leapfrog intersection: [trie ~col] must return the source's trie
+    keyed on source-local column [col]. Handles any junction with at
+    least one equality (extra equalities and residuals filter the
+    matched groups); returns [None] on a cross-product junction — the
+    caller falls back to the pairwise join. *)
+val extend :
+  View_def.t -> Partial.t -> source:int -> trie:(col:int -> t) ->
+  Partial.t option
+
+(** [eval_chain view ~pin:(k, d) ~trie] evaluates the full chain with
+    source [k] pinned to delta [d] and every other position served by
+    its trie ([trie j ~col]): one intersection per junction, fanning
+    left then right from the pin. [None] when any junction lacks an
+    equality. *)
+val eval_chain :
+  View_def.t -> pin:int * Delta.t -> trie:(int -> col:int -> t) ->
+  Partial.t option

@@ -9,9 +9,21 @@ type t = {
   src : int;
   rel : Relation.t;
   indexes : (int * index) list;
+  mutable tries : (int * Trie_join.t) list;
+      (* lazily built sort-order tries, invalidated wholesale by [apply];
+         only the Trie strategy ever populates this cache *)
   mutable next_seq : int;
   mutable rev_log : (Message.txn_id * Delta.t) list;
 }
+
+(* Probes that found no index and degraded to an O(n) relation scan.
+   Process-global because this library cannot see the warehouse's
+   Metrics record; the harness snapshots the counter around each run
+   (Metrics.unindexed_scans) and the default-strategy suites assert it
+   stays 0. *)
+let scans = ref 0
+let unindexed_scans () = !scans
+let reset_unindexed_scans () = scans := 0
 
 let index_add (idx : index) tup col count =
   let v = Tuple.get tup col in
@@ -30,7 +42,26 @@ let index_add (idx : index) tup col count =
   end
   else Hashtbl.replace bucket tup c
 
-let create ~source ?(indexes = []) rel =
+(* The local columns of source [id] named by the chain's join
+   conditions: those get persistent hash indexes so sweep queries probe
+   instead of scanning. *)
+let join_columns view id =
+  let ofs = View_def.offset view id in
+  let of_joins i pick =
+    if i < 0 || i >= View_def.n_sources view - 1 then []
+    else
+      List.map
+        (fun eq -> pick eq - ofs)
+        (View_def.join_between view i).Join_spec.equalities
+  in
+  of_joins (id - 1) snd @ of_joins id fst
+
+let create ~source ?(indexes = []) ?view rel =
+  let indexes =
+    match view with
+    | None -> indexes
+    | Some v -> indexes @ join_columns v source
+  in
   let indexes =
     List.map
       (fun col ->
@@ -39,29 +70,47 @@ let create ~source ?(indexes = []) rel =
         (col, idx))
       (List.sort_uniq Int.compare indexes)
   in
-  { src = source; rel; indexes; next_seq = 0; rev_log = [] }
+  { src = source; rel; indexes; tries = []; next_seq = 0; rev_log = [] }
 
 let source t = t.src
 let relation t = t.rel
 let indexed_columns t = List.map fst t.indexes
 
 let probe t ~col ~value =
-  let idx =
-    match List.assoc_opt col t.indexes with
-    | Some idx -> idx
-    | None ->
-        invalid_arg
-          (Printf.sprintf
-             "Base_table.probe: source %d has no index on column %d \
-              (indexed columns: %s)"
-             t.src col
-             (match t.indexes with
-             | [] -> "none"
-             | l -> String.concat ", " (List.map (fun (c, _) -> string_of_int c) l)))
-  in
-  match Hashtbl.find_opt idx value with
-  | None -> []
-  | Some bucket -> Hashtbl.fold (fun tup c acc -> (tup, c) :: acc) bucket []
+  match List.assoc_opt col t.indexes with
+  | Some idx -> (
+      match Hashtbl.find_opt idx value with
+      | None -> []
+      | Some bucket -> Hashtbl.fold (fun tup c acc -> (tup, c) :: acc) bucket [])
+  | None ->
+      (* No index: degrade to a counted O(n) scan rather than fail the
+         query — the default-strategy suites assert the counter stays 0,
+         so a call-site regression surfaces in tests, not in latency. *)
+      scans := !scans + 1;
+      let acc = ref [] in
+      Relation.iter
+        (fun tup c -> if Tuple.get tup col = value then acc := (tup, c) :: !acc)
+        t.rel;
+      !acc
+
+let trie t ~col =
+  match List.assoc_opt col t.tries with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        match List.assoc_opt col t.indexes with
+        | Some idx ->
+            (* build from the index: values are already grouped *)
+            Trie_join.of_rows
+              (Hashtbl.fold
+                 (fun _ bucket acc ->
+                   Hashtbl.fold (fun tup c acc -> (tup, c) :: acc) bucket acc)
+                 idx [])
+              ~col
+        | None -> Trie_join.of_relation t.rel ~col
+      in
+      t.tries <- (col, tr) :: t.tries;
+      tr
 
 let apply t delta =
   (match Relation.apply t.rel delta with
@@ -75,6 +124,7 @@ let apply t delta =
     (fun (col, idx) ->
       Delta.iter (fun tup c -> index_add idx tup col c) delta)
     t.indexes;
+  t.tries <- [];
   let txn = { Message.source = t.src; seq = t.next_seq } in
   t.next_seq <- t.next_seq + 1;
   t.rev_log <- (txn, Delta.copy delta) :: t.rev_log;

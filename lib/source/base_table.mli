@@ -8,21 +8,43 @@ open Repro_protocol
 
 type t
 
-(** [create ~source ?indexes rel] — [indexes] lists local columns to keep
-    persistent hash indexes on (typically the relation's join columns);
-    indexes are maintained incrementally by {!apply} and served by
+(** [create ~source ?indexes ?view rel] — [indexes] lists local columns
+    to keep persistent hash indexes on; [view] additionally derives this
+    source's join columns from the chain's join conditions
+    ({!join_columns}) so every delta join leg can probe by default.
+    Indexes are maintained incrementally by {!apply} and served by
     {!probe}. *)
-val create : source:int -> ?indexes:int list -> Relation.t -> t
+val create : source:int -> ?indexes:int list -> ?view:View_def.t ->
+  Relation.t -> t
 
 val source : t -> int
+
+(** The local columns of source [id] named by [view]'s join equalities —
+    the columns {!create} auto-indexes when given [?view]. *)
+val join_columns : View_def.t -> int -> int list
 
 (** Columns with a live index. *)
 val indexed_columns : t -> int list
 
 (** [probe t ~col ~value] — all tuples whose [col] equals [value], with
-    multiplicities. Raises [Invalid_argument] naming the source and the
-    column when [col] is not indexed. *)
+    multiplicities. Served by the persistent index when [col] is
+    indexed; otherwise degrades to an O(n) relation scan counted in
+    {!unindexed_scans} (the default-strategy suites assert that counter
+    stays 0, so a regression to the scan path fails tests instead of
+    silently costing 27×). *)
 val probe : t -> col:int -> value:Value.t -> (Tuple.t * int) list
+
+(** Probes (process-wide) that found no index and degraded to a scan.
+    The harness snapshots this around each run into
+    [Metrics.unindexed_scans]. *)
+val unindexed_scans : unit -> int
+
+val reset_unindexed_scans : unit -> unit
+
+(** [trie t ~col] — sort-order trie over the current relation keyed on
+    [col] (built from the persistent index when one exists), cached
+    until the next {!apply}. Serves the [Trie] join strategy. *)
+val trie : t -> col:int -> Trie_join.t
 
 (** The live relation (mutated by {!apply}); treat as read-only. *)
 val relation : t -> Relation.t

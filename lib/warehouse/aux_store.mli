@@ -45,12 +45,22 @@ type t
     the default for nodes created without auxiliary state. *)
 val off : unit -> t
 
-(** [create ~view ~mode ~initial] projects the initial base relations.
-    [initial.(j)] must be source [j]'s relation at warehouse genesis
-    (the state [init] the initial view was computed from). *)
-val create : view:View_def.t -> mode:mode -> initial:Relation.t array -> t
+(** [create ~view ~mode ?strategy ~initial ()] projects the initial base
+    relations. [initial.(j)] must be source [j]'s relation at warehouse
+    genesis (the state [init] the initial view was computed from).
+    [strategy] (default {!Join_strategy.default}) selects how
+    {!local_answer} executes its leg: [Probe]/[Trie] probe persistent
+    hash indexes kept on every projected join column; [Pairwise] copies
+    the projection and hash-joins (the pre-index execution). All
+    strategies return bit-identical answers. *)
+val create :
+  view:View_def.t -> mode:mode -> ?strategy:Join_strategy.t ->
+  initial:Relation.t array -> unit -> t
 
 val mode : t -> mode
+
+(** The join execution strategy {!local_answer} uses. *)
+val strategy : t -> Join_strategy.t
 
 (** Tracked local columns of source [j] (sorted; [[||]] when off). *)
 val tracked : t -> int -> int array

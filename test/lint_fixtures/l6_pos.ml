@@ -1,0 +1,3 @@
+(* L6 positive fixture: a probe-less extend. The test lints this source
+   under a lib/warehouse/ path, where the scan is a bug. *)
+let answer view partial delta = Algebra.extend view partial delta

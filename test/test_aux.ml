@@ -57,7 +57,7 @@ let test_snapshot_byte_identity () =
   let view = Paper_example.view in
   let mk () =
     Aux_store.create ~view ~mode:Aux_store.Full
-      ~initial:(Paper_example.initial ())
+      ~initial:(Paper_example.initial ()) ()
   in
   let all = [ Paper_example.d_r2; Paper_example.d_r3; Paper_example.d_r1 ] in
   let apply aux l =
@@ -93,34 +93,34 @@ let test_snapshot_byte_identity () =
   Alcotest.(check bool) "off store snapshots Unit" true
     (Snap.equal (Aux_store.snapshot (Aux_store.off ())) Snap.Unit)
 
-(* ————— Base_table.probe error contract ————— *)
+(* ————— Base_table.probe unindexed-fallback contract ————— *)
 
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
-let test_probe_error_message () =
-  let rel = Relation.of_tuples [ Tuple.ints [ 1; 2; 3 ] ] in
+(* An unindexed probe no longer raises: it degrades to a counted O(n)
+   scan with the same answer an index would give, and the degradation is
+   observable in [unindexed_scans] (the default-strategy suites assert
+   that counter stays 0). *)
+let test_probe_scan_fallback () =
+  let rel = Relation.of_tuples [ Tuple.ints [ 1; 2; 3 ]; Tuple.ints [ 4; 2; 5 ] ] in
   let bt = Base_table.create ~source:2 ~indexes:[ 0; 2 ] rel in
+  Base_table.reset_unindexed_scans ();
   Alcotest.(check bool) "indexed probe answers" true
     (Base_table.probe bt ~col:0 ~value:(Value.int 1) <> []);
-  (match Base_table.probe bt ~col:1 ~value:(Value.int 2) with
-  | exception Invalid_argument msg ->
-      List.iter
-        (fun sub ->
-          Alcotest.(check bool)
-            (Printf.sprintf "error names %S (got %S)" sub msg)
-            true (contains ~sub msg))
-        [ "source 2"; "no index on column 1"; "indexed columns: 0, 2" ]
-  | _ -> Alcotest.fail "unindexed probe must raise Invalid_argument");
-  let bare = Base_table.create ~source:0 (Relation.of_tuples [ Tuple.ints [ 7 ] ]) in
-  match Base_table.probe bare ~col:0 ~value:(Value.int 7) with
-  | exception Invalid_argument msg ->
-      Alcotest.(check bool)
-        (Printf.sprintf "index-free table says \"none\" (got %S)" msg)
-        true (contains ~sub:"none" msg)
-  | _ -> Alcotest.fail "probe on an index-free table must raise"
+  Alcotest.(check int) "indexed probes are not counted" 0
+    (Base_table.unindexed_scans ());
+  let hits = Base_table.probe bt ~col:1 ~value:(Value.int 2) in
+  Alcotest.(check int) "scan fallback finds both matches" 2
+    (List.length hits);
+  Alcotest.(check int) "the degraded probe is counted" 1
+    (Base_table.unindexed_scans ());
+  let bare =
+    Base_table.create ~source:0 (Relation.of_tuples [ Tuple.ints [ 7 ] ])
+  in
+  Alcotest.(check bool) "index-free table still answers" true
+    (Base_table.probe bare ~col:0 ~value:(Value.int 7) <> []);
+  Alcotest.(check int) "and is counted too" 2 (Base_table.unindexed_scans ());
+  Base_table.reset_unindexed_scans ();
+  Alcotest.(check int) "reset zeroes the counter" 0
+    (Base_table.unindexed_scans ())
 
 (* ————— aux × open breaker (node level) ————— *)
 
@@ -134,7 +134,7 @@ let test_aux_with_open_breaker () =
   let mirror = Array.map Relation.copy inits in
   let aux =
     Aux_store.create ~view ~mode:Aux_store.Full
-      ~initial:(Array.map Relation.copy inits)
+      ~initial:(Array.map Relation.copy inits) ()
   in
   let metrics = Metrics.create () in
   let breaker = Breaker.create engine ~rng:(Rng.create 1L) ~metrics ~n:3 in
@@ -311,7 +311,7 @@ let check_property seed =
       let mname = Aux_store.mode_to_string mode in
       let mirror = Array.map Relation.copy base in
       let aux =
-        Aux_store.create ~view ~mode ~initial:(Array.map Relation.copy base)
+        Aux_store.create ~view ~mode ~initial:(Array.map Relation.copy base) ()
       in
       (* answerability matches the spec *)
       for j = 0 to n - 1 do
@@ -505,8 +505,8 @@ let suite =
   [ Alcotest.test_case "aux mode: parse and print" `Quick test_mode_strings;
     Alcotest.test_case "aux snapshot: checkpoint + WAL replay byte identity"
       `Quick test_snapshot_byte_identity;
-    Alcotest.test_case "Base_table.probe: descriptive unindexed error" `Quick
-      test_probe_error_message;
+    Alcotest.test_case "Base_table.probe: counted scan fallback" `Quick
+      test_probe_scan_fallback;
     Alcotest.test_case "aux x open breaker: local installs, zero messages"
       `Quick test_aux_with_open_breaker;
     Alcotest.test_case "property: answerable iff projections determine leg"

@@ -25,6 +25,10 @@ let read_fixture name =
 let lint ?(has_mli = false) name =
   Driver.lint_source ~has_mli ~file:name (read_fixture name)
 
+(* Lint a fixture as if it lived at [file] — for the path-scoped L6. *)
+let lint_as ~file name =
+  Driver.lint_source ~has_mli:false ~file (read_fixture name)
+
 let rule_lines (r : Driver.file_report) =
   List.map (fun (f : Finding.t) -> (f.rule, f.line)) r.findings
 
@@ -80,6 +84,25 @@ let test_l5 () =
         (contains f.Finding.message "t.label")
   | _ -> Alcotest.fail "expected one finding");
   check_findings "l5_neg silent" [] (lint "l5_neg.ml")
+
+let test_l6 () =
+  let r = lint_as ~file:"lib/warehouse/l6_pos.ml" "l6_pos.ml" in
+  check_findings "l6_pos fires inside lib/warehouse" [ ("L6", 3) ] r;
+  (match r.findings with
+  | [ f ] ->
+      Alcotest.(check string) "probe-less extend is an error" "error"
+        (Finding.severity_label f.Finding.severity)
+  | _ -> Alcotest.fail "expected one finding");
+  check_findings "same source is silent outside the warehouse" []
+    (lint_as ~file:"lib/source/l6_pos.ml" "l6_pos.ml");
+  let neg = lint_as ~file:"lib/warehouse/l6_neg.ml" "l6_neg.ml" in
+  check_findings "l6_neg: probe path silent, pragma'd scan suppressed" []
+    neg;
+  match neg.Driver.suppressed with
+  | [ (f, _) ] ->
+      Alcotest.(check string) "the deliberate scan rode its pragma" "L6"
+        f.Finding.rule
+  | _ -> Alcotest.fail "expected exactly one suppression"
 
 (* ————— pragmas ————— *)
 
@@ -194,6 +217,8 @@ let suite =
     Alcotest.test_case "L3: quadratic fixtures" `Quick test_l3;
     Alcotest.test_case "L4: exception-hygiene fixtures" `Quick test_l4;
     Alcotest.test_case "L5: snapshot-completeness fixtures" `Quick test_l5;
+    Alcotest.test_case "L6: warehouse probe-less-extend fixtures" `Quick
+      test_l6;
     Alcotest.test_case "pragmas: suppression, unused, malformed" `Quick
       test_pragma_suppression;
     Alcotest.test_case "JSON report decodes with expected shape" `Quick

@@ -396,6 +396,70 @@ let test_validate_rejects () =
            e)
        (doc ()))
 
+(* Lenient validation tolerates a baseline missing newer counters, but
+   must name every counter it waved through — one warning line each —
+   and still fail on a missing core counter. *)
+let test_validate_lenient_warns () =
+  let damage f = map_obj (List.map (fun (k, v) ->
+      (k, if k = "algorithms" then
+            (match v with
+            | Jsonw.List [ entry ] -> Jsonw.List [ f entry ]
+            | j -> j)
+          else v)))
+  in
+  let drop_counters names doc =
+    damage (fun e ->
+        set_field "counters"
+          (List.fold_left (fun c n -> drop_field n c)
+             (Option.get (Jsonw.member "counters" e))
+             names)
+          e)
+      doc
+  in
+  let old_doc =
+    drop_counters [ "unindexed_scans"; "aux_hit_rate"; "local_answers" ]
+      (make_doc ())
+  in
+  reject "strict validation still fails" old_doc;
+  let warnings = ref [] in
+  (match
+     Bench_doc.validate ~lenient:true ~warn:(fun m -> warnings := m :: !warnings)
+       old_doc
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "lenient validation rejected: %s" e);
+  Alcotest.(check int) "one warning per missing counter" 3
+    (List.length !warnings);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Printf.sprintf "a warning names %S" c) true
+        (List.exists
+           (fun m ->
+             let n = String.length c in
+             let rec go i =
+               i + n <= String.length m
+               && (String.sub m i n = c || go (i + 1))
+             in
+             go 0)
+           !warnings))
+    [ "unindexed_scans"; "aux_hit_rate"; "local_answers" ];
+  (* a complete document warns about nothing *)
+  warnings := [];
+  (match
+     Bench_doc.validate ~lenient:true ~warn:(fun m -> warnings := m :: !warnings)
+       (make_doc ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "complete document rejected leniently: %s" e);
+  Alcotest.(check int) "no warnings on a complete document" 0
+    (List.length !warnings);
+  (* missing a core counter fails even leniently *)
+  match
+    Bench_doc.validate ~lenient:true (drop_counters [ "installs" ] (make_doc ()))
+  with
+  | Ok () -> Alcotest.fail "lenient must still require core counters"
+  | Error _ -> ()
+
 let suite =
   [ Alcotest.test_case "histogram: p50/p90/p99 within one bucket of exact (50 seeds)"
       `Quick test_quantile_accuracy;
@@ -427,4 +491,6 @@ let suite =
     Alcotest.test_case "bench gate: valid document accepted" `Quick
       test_validate_accepts;
     Alcotest.test_case "bench gate: damaged documents rejected" `Quick
-      test_validate_rejects ]
+      test_validate_rejects;
+    Alcotest.test_case "bench gate: lenient pass warns per missing counter"
+      `Quick test_validate_lenient_warns ]
