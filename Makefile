@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json faults recover chaos serve aux joins bench bench-json bench-compare examples doc clean
+.PHONY: all build test lint lint-fast lint-json lint-sarif faults recover chaos serve aux joins bench bench-json bench-compare examples doc clean
 
 all: build
 
@@ -8,15 +8,25 @@ build:
 test:
 	dune runtest
 
-# Repository-invariant static analysis (rules L1-L6, see DESIGN.md §11).
-# Fails on any error-severity finding not covered by an audited
-# `(* lint: allow <rule> <reason> *)` pragma.
+# Repository-invariant static analysis (rules L1-L9, see DESIGN.md §11
+# and §16). Fails on any error-severity finding not covered by an
+# audited `(* lint: allow <rule> <reason> *)` pragma.
 lint:
 	dune exec bin/repro_lint.exe -- lib bin bench test
+
+# Incremental pass over the files git reports changed vs HEAD; the
+# module graph forces a full run whenever a changed interface or a
+# referenced unit could shift cross-module verdicts elsewhere.
+lint-fast:
+	dune exec bin/repro_lint.exe -- --changed lib bin bench test
 
 # Same pass, machine-readable report for CI artifacts.
 lint-json:
 	dune exec bin/repro_lint.exe -- --json lib bin bench test > LINT.json
+
+# SARIF 2.1.0 interchange document (code-scanning upload format).
+lint-sarif:
+	dune exec bin/repro_lint.exe -- --sarif LINT.sarif lib bin bench test
 
 # Seeded fault-schedule property suite only (transport + fault injection).
 faults:

@@ -14,14 +14,14 @@ open Repro_harness
 let () =
   Format.printf
     "Figure 5 (SIGMOD'97): V = π[D,F] (R1 ⋈(B=C) R2 ⋈(D=E) R3)@.@.";
-  let s2, d2 = Paper_example.d_r2 in
-  let s3, d3 = Paper_example.d_r3 in
-  let s1, d1 = Paper_example.d_r1 in
+  let s2, d2 = (Paper_example.d_r2 ()) in
+  let s3, d3 = (Paper_example.d_r3 ()) in
+  let s1, d1 = (Paper_example.d_r1 ()) in
   (* ΔR2 first; ΔR3 and ΔR1 land while ΔR2's sweep query to R1 is in
      flight — the §5.2 interleaving. *)
   let outcome =
     Experiment.run_scripted ~algorithm:(module Sweep : Algorithm.S)
-      ~view:Paper_example.view
+      ~view:(Paper_example.view ())
       ~initial:(Paper_example.initial ())
       ~updates:[ (0.0, s2, d2); (1.4, s3, d3); (1.5, s1, d1) ]
       ()
@@ -33,7 +33,7 @@ let () =
         l.Trace.text)
     (Trace.lines outcome.Experiment.trace);
   Format.printf "@.view states (paper's Figure 5 warehouse column):@.";
-  Format.printf "  initial:      %a@." Bag.pp Paper_example.v0;
+  Format.printf "  initial:      %a@." Bag.pp (Paper_example.v0 ());
   List.iter2
     (fun label (r : Node.install_record) ->
       Format.printf "  after %s: %a@." label Bag.pp r.Node.view_after)

@@ -73,9 +73,6 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     ?max_events (scenario : Scenario.t) (algorithm : (module Algorithm.S)) =
   let wall_start = wall_clock () in
   let strategy = scenario.join_strategy in
-  (* probes that degraded to O(n) scans, attributed to this run by
-     delta — under the default Probe strategy the suites assert 0 *)
-  let scans_before = Base_table.unindexed_scans () in
   let engine = Engine.create ~seed:scenario.seed () in
   Obs.set_clock obs (Engine.clock engine);
   let rng = Engine.rng engine in
@@ -226,8 +223,11 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
     down_links := l :: !down_links;
     Transport.link_send l
   in
-  (* apply: how the workload performs an update at "source i". *)
-  let send_to, apply =
+  (* apply: how the workload performs an update at "source i";
+     scan_total: probes across this run's own base tables that degraded
+     to O(n) scans — under the default Probe strategy the suites
+     assert 0. *)
+  let send_to, apply, scan_total =
     match scenario.topology with
     | Scenario.Distributed ->
         let up_send =
@@ -259,13 +259,18 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
                 Channel.send ch)
         in
         ( (fun i msg -> down_send.(i) msg),
-          fun ~source ~global delta ->
+          (fun ~source ~global delta ->
             let global =
               Option.map
                 (fun (gid, parts) -> { Repro_protocol.Message.gid; parts })
                 global
             in
-            ignore (Source_node.local_update ?global sources.(source) delta) )
+            ignore (Source_node.local_update ?global sources.(source) delta)),
+          fun () ->
+            Array.fold_left
+              (fun acc s ->
+                acc + Base_table.scan_count (Source_node.table s))
+              0 sources )
     | Scenario.Centralized ->
         (* the single site plays the role of "source 0" for crash windows *)
         let up =
@@ -292,9 +297,15 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
             Channel.send ch
         in
         ( (fun _i msg -> down msg),
-          fun ~source ~global:_ delta ->
+          (fun ~source ~global:_ delta ->
             (* the centralized site applies type-3 parts as local updates *)
-            ignore (Eca_site.local_update site ~source delta) )
+            ignore (Eca_site.local_update site ~source delta)),
+          fun () ->
+            let acc = ref 0 in
+            for i = 0 to n - 1 do
+              acc := !acc + Base_table.scan_count (Eca_site.table site i)
+            done;
+            !acc )
   in
   let store =
     if wh_crashes <> [] then
@@ -537,7 +548,7 @@ let run ?(check = true) ?(trace = Trace.create ()) ?(obs = Obs.disabled ())
      canonical encoding of the final projections) *)
   if Aux_store.mode aux <> Aux_store.Off then
     m.Metrics.aux_bytes <- Aux_store.bytes aux;
-  m.Metrics.unindexed_scans <- Base_table.unindexed_scans () - scans_before;
+  m.Metrics.unindexed_scans <- scan_total ();
   let sessions =
     Option.map
       (fun srv -> Checker.check_sessions ~n_sources:n (Server.read_log srv))

@@ -134,22 +134,22 @@ let f5 () =
      simulator";
   line buf "    (SWEEP, three concurrent updates, no keys in the view).";
   line buf "";
-  let s2, d2 = Paper_example.d_r2 in
-  let s3, d3 = Paper_example.d_r3 in
-  let s1, d1 = Paper_example.d_r1 in
+  let s2, d2 = (Paper_example.d_r2 ()) in
+  let s3, d3 = (Paper_example.d_r3 ()) in
+  let s1, d1 = (Paper_example.d_r1 ()) in
   let outcome =
     Experiment.run_scripted ~algorithm:(module Sweep : Algorithm.S)
-      ~view:Paper_example.view
+      ~view:(Paper_example.view ())
       ~initial:(Paper_example.initial ())
       ~updates:[ (0.0, s2, d2); (1.4, s3, d3); (1.5, s1, d1) ]
       ()
   in
   let installs = Node.installs outcome.Experiment.node in
-  let expected = [ Paper_example.v1; Paper_example.v2; Paper_example.v3 ] in
+  let expected = [ (Paper_example.v1 ()); (Paper_example.v2 ()); (Paper_example.v3 ()) ] in
   let labels = [ "ΔR2 = +(3,5)"; "ΔR3 = −(7,8)"; "ΔR1 = −(2,3)" ] in
   let show_bag b = Format.asprintf "%a" Bag.pp b in
   let rows =
-    ("initial state", show_bag Paper_example.v0, show_bag Paper_example.v0,
+    ("initial state", show_bag (Paper_example.v0 ()), show_bag (Paper_example.v0 ()),
      "")
     :: List.map2
          (fun (label, want) (inst : Node.install_record) ->

@@ -1,5 +1,13 @@
-(* Orchestration: discover files, parse with compiler-libs, run the
-   rules, apply pragmas, render text or JSON, decide the exit status. *)
+(* Orchestration, in two phases: phase 1 discovers and parses every
+   unit once and builds the Modgraph (the cross-module rules' repo
+   model); phase 2 runs the rules over the selected units, applies
+   pragmas, renders text / JSON / SARIF and decides the exit status.
+
+   [--changed[=REF]] restricts phase 2 to the units git reports changed
+   against REF — phase 1 always covers the whole repo, so cross-module
+   verdicts stay exact for the selected files — falling back to a full
+   run when a changed interface (or a unit other units reference) could
+   shift verdicts elsewhere. *)
 
 module Jsonw = Repro_observability.Jsonw
 
@@ -7,6 +15,7 @@ type file_report = {
   file : string;
   findings : Finding.t list;  (* active (unsuppressed), sorted *)
   suppressed : (Finding.t * Pragma.t) list;  (* the audit trail *)
+  pragma_count : int;  (* pragma occurrences scanned, valid or not *)
 }
 
 type report = { files : int; reports : file_report list }
@@ -41,62 +50,193 @@ let parse_error_finding ~file msg =
   { Finding.file; line = 1; col = 0; rule = "parse";
     severity = Finding.Error; message = msg; hint = "" }
 
-(* Lint one unit from source text. [has_mli] defaults to a sibling-file
-   probe; tests override it. *)
-let lint_source ?has_mli ~file source =
+(* ————— phase 1: parse once ————— *)
+
+type parsed = {
+  p_file : string;
+  p_has_mli : bool;
+  p_source : string;
+  p_ast : Parsetree.structure option;
+  p_parse_error : Finding.t option;
+}
+
+let parse_unit ?has_mli ~file source =
   let has_mli =
     match has_mli with
     | Some b -> b
     | None -> Sys.file_exists (file ^ "i")
   in
-  let pragmas, pragma_errors = Pragma.scan source in
-  let raw =
+  let ast, err =
     match parse_impl ~file source with
-    | ast -> Rules.run { Rules.file; has_mli } ast
+    | ast -> (Some ast, None)
     | exception Syntaxerr.Error _ ->
-        [ parse_error_finding ~file "syntax error: unit skipped" ]
+        (None, Some (parse_error_finding ~file "syntax error: unit skipped"))
     | exception Lexer.Error (_, _) ->
-        [ parse_error_finding ~file "lexing error: unit skipped" ]
+        (None, Some (parse_error_finding ~file "lexing error: unit skipped"))
+  in
+  { p_file = file; p_has_mli = has_mli; p_source = source; p_ast = ast;
+    p_parse_error = err }
+
+let build_graph parsed =
+  Modgraph.build
+    (List.filter_map
+       (fun p ->
+         match p.p_ast with Some ast -> Some (p.p_file, ast) | None -> None)
+       parsed)
+
+(* ————— phase 2: rules + pragmas on one unit ————— *)
+
+let lint_parsed graph p =
+  let pragmas, pragma_errors = Pragma.scan p.p_source in
+  let raw =
+    match p.p_ast with
+    | Some ast ->
+        Rules.run { Rules.file = p.p_file; has_mli = p.p_has_mli; graph } ast
+    | None -> (
+        match p.p_parse_error with Some f -> [ f ] | None -> [])
   in
   let active, suppressed =
     List.fold_left
       (fun (active, suppressed) f ->
-        match List.find_opt (fun p -> Pragma.covers p f) pragmas with
-        | Some p ->
-            p.Pragma.used <- true;
-            (active, (f, p) :: suppressed)
+        match List.find_opt (fun pr -> Pragma.covers pr f) pragmas with
+        | Some pr ->
+            pr.Pragma.used <- true;
+            (active, (f, pr) :: suppressed)
         | None -> (f :: active, suppressed))
       ([], []) raw
   in
   let pragma_findings =
     List.map
       (fun (line, msg) ->
-        { Finding.file; line; col = 0; rule = "pragma";
+        { Finding.file = p.p_file; line; col = 0; rule = "pragma";
           severity = Finding.Error; message = msg; hint = "" })
       pragma_errors
     @ List.filter_map
-        (fun (p : Pragma.t) ->
-          if p.used then None
+        (fun (pr : Pragma.t) ->
+          if pr.used then None
           else
             Some
-              { Finding.file; line = p.line; col = 0; rule = "pragma";
-                severity = Finding.Warning;
+              { Finding.file = p.p_file; line = pr.line; col = 0;
+                rule = "pragma"; severity = Finding.Warning;
                 message =
                   Printf.sprintf
                     "pragma `allow %s` (%s) suppresses nothing; drop it"
-                    p.rule p.reason;
+                    pr.rule pr.reason;
                 hint = "" })
         pragmas
   in
-  { file;
+  { file = p.p_file;
     findings = List.sort Finding.compare (pragma_findings @ active);
-    suppressed = List.rev suppressed }
+    suppressed = List.rev suppressed;
+    pragma_count = List.length pragmas + List.length pragma_errors }
+
+(* Lint one unit from source text, with a single-unit graph — the
+   fixture entry point. [has_mli] defaults to a sibling-file probe;
+   tests override it. *)
+let lint_source ?has_mli ~file source =
+  let p = parse_unit ?has_mli ~file source in
+  lint_parsed (build_graph [ p ]) p
 
 let lint_file path = lint_source ~file:path (read_file path)
 
+(* Lint several units from source against one shared graph — the
+   cross-module fixture entry point. *)
+let lint_sources units =
+  let parsed =
+    List.map (fun (file, src) -> parse_unit ~has_mli:false ~file src) units
+  in
+  let graph = build_graph parsed in
+  { files = List.length parsed;
+    reports = List.map (lint_parsed graph) parsed }
+
+let graph_of_sources units =
+  build_graph
+    (List.map (fun (file, src) -> parse_unit ~has_mli:false ~file src) units)
+
 let lint_paths paths =
   let files = List.concat_map discover paths in
-  { files = List.length files; reports = List.map lint_file files }
+  let parsed = List.map (fun f -> parse_unit ~file:f (read_file f)) files in
+  let graph = build_graph parsed in
+  { files = List.length files;
+    reports = List.map (lint_parsed graph) parsed }
+
+(* ————— incremental planning (--changed) ————— *)
+
+(* Decide, purely from the module graph, whether linting only [changed]
+   is sound. A changed interface, or a changed unit other units
+   reference, can shift cross-module verdicts in files we would skip —
+   those force a full run. Exposed for unit tests (git is unavailable
+   in the dune sandbox). *)
+let incremental_plan ~graph ~all_files ~changed =
+  let norm p = String.concat "/" (String.split_on_char '\\' p) in
+  let all = List.map norm all_files in
+  let changed = List.map norm changed in
+  let graph_units = Modgraph.units graph in
+  let interface =
+    List.find_opt
+      (fun c ->
+        Filename.check_suffix c ".mli"
+        && List.mem (Modgraph.unit_name_of_file c) graph_units)
+      changed
+  in
+  match interface with
+  | Some mli ->
+      `Full (Printf.sprintf "interface %s changed" mli)
+  | None -> (
+      let changed_ml =
+        List.filter (fun c -> Filename.check_suffix c ".ml") changed
+      in
+      let selected =
+        List.filter
+          (fun f ->
+            List.exists
+              (fun c ->
+                f = c
+                || Filename.basename f = Filename.basename c)
+              changed_ml)
+          all
+      in
+      let referenced =
+        List.find_map
+          (fun f ->
+            let u = Modgraph.unit_name_of_file f in
+            match Modgraph.referencing_units graph u with
+            | [] -> None
+            | refs -> Some (u, refs))
+          selected
+      in
+      match referenced with
+      | Some (u, refs) ->
+          `Full
+            (Printf.sprintf "unit %s is referenced by %s" u
+               (String.concat ", " refs))
+      | None -> `Subset selected)
+
+let git_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Some (List.rev !lines)
+  | _ -> None
+
+let git_changed ref_ =
+  match
+    git_lines
+      (Printf.sprintf "git diff --name-only %s -- 2>/dev/null"
+         (Filename.quote ref_))
+  with
+  | None -> None
+  | Some diff ->
+      let untracked =
+        Option.value ~default:[]
+          (git_lines "git ls-files --others --exclude-standard 2>/dev/null")
+      in
+      Some (diff @ untracked)
 
 (* ————— aggregation & rendering ————— *)
 
@@ -109,6 +249,22 @@ let count sev r =
 
 let errors r = count Finding.Error r
 let warnings r = count Finding.Warning r
+
+let pragmas r =
+  List.fold_left (fun acc fr -> acc + fr.pragma_count) 0 r.reports
+
+(* (id, slug, active findings, suppressed findings) per rule, in rule
+   order — the per-rule accounting CI prints and the JSON embeds. *)
+let rule_stats r =
+  let active = all_findings r in
+  let supp = all_suppressed r in
+  List.map
+    (fun (id, slug, _) ->
+      ( id, slug,
+        List.length (List.filter (fun (f : Finding.t) -> f.rule = id) active),
+        List.length
+          (List.filter (fun ((f : Finding.t), _) -> f.rule = id) supp) ))
+    Rules.meta
 
 let render_text ?(show_suppressed = false) r =
   let buf = Buffer.create 1024 in
@@ -128,11 +284,19 @@ let render_text ?(show_suppressed = false) r =
              f.Finding.file f.Finding.line f.Finding.rule f.Finding.message
              p.reason))
       (all_suppressed r);
+  List.iter
+    (fun (id, slug, active, suppressed) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %-24s %d finding(s), %d suppressed\n" id slug
+           active suppressed))
+    (rule_stats r);
   Buffer.add_string buf
     (Printf.sprintf
-       "repro-lint: %d file(s), %d error(s), %d warning(s), %d suppressed\n"
+       "repro-lint: %d file(s), %d error(s), %d warning(s), %d suppressed, \
+        %d pragma(s)\n"
        r.files (errors r) (warnings r)
-       (List.length (all_suppressed r)));
+       (List.length (all_suppressed r))
+       (pragmas r));
   Buffer.contents buf
 
 let finding_json (f : Finding.t) =
@@ -154,51 +318,207 @@ let to_json r =
     [ ("version", Jsonw.str "repro-lint/1"); ("files", Jsonw.int r.files);
       ("errors", Jsonw.int (errors r));
       ("warnings", Jsonw.int (warnings r));
+      ("pragmas", Jsonw.int (pragmas r));
+      ("rules",
+       Jsonw.list
+         (List.map
+            (fun (id, slug, active, suppressed) ->
+              Jsonw.obj
+                [ ("id", Jsonw.str id); ("slug", Jsonw.str slug);
+                  ("findings", Jsonw.int active);
+                  ("suppressed", Jsonw.int suppressed) ])
+            (rule_stats r)));
       ("findings", Jsonw.list (List.map finding_json (all_findings r)));
       ("suppressions",
        Jsonw.list (List.map suppression_json (all_suppressed r))) ]
 
 let render_json r = Jsonw.to_string ~indent:2 (to_json r)
 
+(* ————— SARIF 2.1.0 ————— *)
+
+(* The minimal static-analysis interchange shape: one run, the rule
+   table from Rules.meta, one result per active finding. Suppressed
+   findings are by definition resolved, so they stay out of [results]
+   and are accounted in the run properties instead. *)
+let to_sarif r =
+  let rule_json (id, slug, _, _) =
+    let (_, _, desc) =
+      List.find (fun (i, _, _) -> i = id) Rules.meta
+    in
+    Jsonw.obj
+      [ ("id", Jsonw.str id); ("name", Jsonw.str slug);
+        ("shortDescription", Jsonw.obj [ ("text", Jsonw.str desc) ]) ]
+  in
+  let result_json (f : Finding.t) =
+    Jsonw.obj
+      [ ("ruleId", Jsonw.str f.rule);
+        ("level",
+         Jsonw.str
+           (match f.severity with
+           | Finding.Error -> "error"
+           | Finding.Warning -> "warning"));
+        ("message", Jsonw.obj [ ("text", Jsonw.str f.message) ]);
+        ("locations",
+         Jsonw.list
+           [ Jsonw.obj
+               [ ( "physicalLocation",
+                   Jsonw.obj
+                     [ ( "artifactLocation",
+                         Jsonw.obj [ ("uri", Jsonw.str f.file) ] );
+                       ( "region",
+                         Jsonw.obj
+                           [ ("startLine", Jsonw.int f.line);
+                             ("startColumn", Jsonw.int (f.col + 1)) ] ) ] )
+               ] ]) ]
+  in
+  Jsonw.obj
+    [ ("$schema",
+       Jsonw.str "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", Jsonw.str "2.1.0");
+      ("runs",
+       Jsonw.list
+         [ Jsonw.obj
+             [ ( "tool",
+                 Jsonw.obj
+                   [ ( "driver",
+                       Jsonw.obj
+                         [ ("name", Jsonw.str "repro-lint");
+                           ("version", Jsonw.str "1");
+                           ("rules",
+                            Jsonw.list (List.map rule_json (rule_stats r)))
+                         ] ) ] );
+               ("results",
+                Jsonw.list (List.map result_json (all_findings r)));
+               ( "invocations",
+                 Jsonw.list
+                   [ Jsonw.obj
+                       [ ("executionSuccessful", Jsonw.bool (errors r = 0))
+                       ] ] );
+               ( "properties",
+                 Jsonw.obj
+                   [ ("files", Jsonw.int r.files);
+                     ("suppressions",
+                      Jsonw.int (List.length (all_suppressed r)));
+                     ("pragmas", Jsonw.int (pragmas r)) ] ) ] ]) ]
+
+let render_sarif r = Jsonw.to_string ~indent:2 (to_sarif r)
+
 (* ————— CLI ————— *)
 
 let usage =
-  "usage: repro_lint [--json] [--show-suppressed] [path ...]\n\
+  "usage: repro_lint [--json] [--show-suppressed] [--sarif OUT.sarif] \
+   [--changed[=REF]] [path ...]\n\
    Lints every .ml under the given files/directories (default: lib bin \
    bench test).\n\
+   --sarif writes a SARIF 2.1.0 report alongside the chosen output.\n\
+   --changed lints only files changed vs a git ref (default HEAD), \
+   falling back to the full repo when the module graph demands it.\n\
    Exit status 1 when any error-severity finding survives pragmas."
 
 let main argv =
   let json = ref false in
   let show_suppressed = ref false in
+  let sarif_out = ref None in
+  let changed_ref = ref None in
   let paths = ref [] in
   let bad = ref None in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | "--show-suppressed" -> show_suppressed := true
-        | "--help" | "-h" -> bad := Some 0
-        | _ when String.length arg > 0 && arg.[0] = '-' -> bad := Some 2
-        | path -> paths := path :: !paths)
-    argv;
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--show-suppressed" :: rest ->
+        show_suppressed := true;
+        parse rest
+    | "--sarif" :: out :: rest ->
+        sarif_out := Some out;
+        parse rest
+    | [ "--sarif" ] -> bad := Some 2
+    | "--changed" :: rest ->
+        changed_ref := Some "HEAD";
+        parse rest
+    | ("--help" | "-h") :: _ -> bad := Some 0
+    | arg :: rest when String.length arg > 0 && arg.[0] = '-' ->
+        let prefix pre =
+          String.length arg > String.length pre
+          && String.sub arg 0 (String.length pre) = pre
+        in
+        let suffix pre =
+          String.sub arg (String.length pre)
+            (String.length arg - String.length pre)
+        in
+        if prefix "--changed=" then begin
+          changed_ref := Some (suffix "--changed=");
+          parse rest
+        end
+        else if prefix "--sarif=" then begin
+          sarif_out := Some (suffix "--sarif=");
+          parse rest
+        end
+        else bad := Some 2
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list argv));
   match !bad with
   | Some code ->
       print_endline usage;
       code
-  | None ->
+  | None -> (
       let paths =
         match List.rev !paths with
         | [] -> [ "lib"; "bin"; "bench"; "test" ]
         | ps -> ps
       in
-      (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+      match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
       | Some missing ->
           Printf.eprintf "repro_lint: no such path: %s\n" missing;
-          exit 2
-      | None -> ());
-      let r = lint_paths paths in
-      if !json then print_string (render_json r)
-      else print_string (render_text ~show_suppressed:!show_suppressed r);
-      if errors r > 0 then 1 else 0
+          2
+      | None ->
+          let files = List.concat_map discover paths in
+          let parsed =
+            List.map (fun f -> parse_unit ~file:f (read_file f)) files
+          in
+          let graph = build_graph parsed in
+          let selected =
+            match !changed_ref with
+            | None -> parsed
+            | Some ref_ -> (
+                match git_changed ref_ with
+                | None ->
+                    Printf.eprintf
+                      "repro_lint: git diff vs %s failed; full run\n" ref_;
+                    parsed
+                | Some changed -> (
+                    match
+                      incremental_plan ~graph ~all_files:files ~changed
+                    with
+                    | `Full reason ->
+                        Printf.eprintf
+                          "repro_lint: incremental fallback to full run \
+                           (%s)\n"
+                          reason;
+                        parsed
+                    | `Subset keep ->
+                        Printf.eprintf
+                          "repro_lint: incremental vs %s: %d of %d file(s)\n"
+                          ref_ (List.length keep) (List.length files);
+                        List.filter
+                          (fun p -> List.mem p.p_file keep)
+                          parsed))
+          in
+          let r =
+            { files = List.length selected;
+              reports = List.map (lint_parsed graph) selected }
+          in
+          (match !sarif_out with
+          | Some out ->
+              let oc = open_out_bin out in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc (render_sarif r))
+          | None -> ());
+          if !json then print_string (render_json r)
+          else print_string (render_text ~show_suppressed:!show_suppressed r);
+          if errors r > 0 then 1 else 0)

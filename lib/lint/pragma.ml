@@ -29,6 +29,9 @@ let canonical_rule r =
   | "l4" | "exception-hygiene" -> Some "L4"
   | "l5" | "snapshot-complete" -> Some "L5"
   | "l6" | "probe-less-join" -> Some "L6"
+  | "l7" | "toplevel-mutable-state" -> Some "L7"
+  | "l8" | "hot-path-effects" -> Some "L8"
+  | "l9" | "send-aliasing" -> Some "L9"
   | _ -> None
 
 (* The comment opener is part of the marker so that prose, hint strings

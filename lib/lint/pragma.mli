@@ -11,9 +11,10 @@ type t = {
   mutable used : bool;
 }
 
-(** Accepts "L1".."L5" and the slug names ("determinism",
+(** Accepts "L1".."L9" and the slug names ("determinism",
     "iteration-order", "quadratic", "exception-hygiene",
-    "snapshot-complete"), case-insensitively. *)
+    "snapshot-complete", "probe-less-join", "toplevel-mutable-state",
+    "hot-path-effects", "send-aliasing"), case-insensitively. *)
 val canonical_rule : string -> string option
 
 (** [scan source] returns pragmas in line order plus malformed-pragma

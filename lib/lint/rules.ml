@@ -1,15 +1,18 @@
-(* The five invariant rules, each an [Ast_iterator] walk over one
-   compilation unit's Parsetree. See DESIGN.md §11 for the mapping from
-   rule to paper/design invariant.
+(* The invariant rules. L1–L6 are per-file [Ast_iterator] walks over one
+   compilation unit's Parsetree; L7–L9 are cross-module, driven by the
+   phase-1 [Modgraph] shared across the run. See DESIGN.md §11/§16 for
+   the mapping from rule to paper/design invariant.
 
    The rules are deliberately syntactic: they over-approximate (a pragma
    with a reason settles the argument) rather than miss the systematic
    bug classes this repo has already paid for — PR 4's O(n²) appends, the
-   Strobe/ECA anomaly family, and snapshot drift after PR 2's WAL layer. *)
+   Strobe/ECA anomaly family, snapshot drift after PR 2's WAL layer, and
+   the shared-module-state races that would sink the sharded
+   OCaml-domains engine (ROADMAP item 3). *)
 
 open Parsetree
 
-type ctx = { file : string; has_mli : bool }
+type ctx = { file : string; has_mli : bool; graph : Modgraph.t }
 
 let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
 
@@ -113,7 +116,47 @@ let l1 ctx (str : structure) =
                      allow-listed wall-metrics helper carrying a `(* lint: \
                      allow L1 ... *)` pragma"
                 :: !out
+          | [ "Hashtbl"; (("hash_param" | "randomize") as fn) ] ->
+              out :=
+                finding ctx ~loc ~rule:"L1" ~severity:Finding.Error
+                  ~message:
+                    (Printf.sprintf
+                       "Hashtbl.%s: nondeterministic hashing; table \
+                        iteration order would differ across runs"
+                       fn)
+                  ~hint:
+                    "use the default Hashtbl.hash; canonical orders come \
+                     from explicit sorts, never from bucket layout"
+                :: !out
           | _ -> ())
+      | Pexp_apply
+          ( { pexp_desc =
+                Pexp_ident
+                  { txt = Longident.Ldot (Longident.Lident "Hashtbl", "create");
+                    _ };
+              _ },
+            args ) ->
+          List.iter
+            (fun (lbl, arg) ->
+              match (lbl, arg.pexp_desc) with
+              | ( Asttypes.Labelled "random",
+                  Pexp_construct
+                    ({ txt = Longident.Lident "false"; _ }, None) ) ->
+                  ()
+              | Asttypes.Labelled "random", _ ->
+                  out :=
+                    finding ctx ~loc:arg.pexp_loc ~rule:"L1"
+                      ~severity:Finding.Error
+                      ~message:
+                        "Hashtbl.create ~random: per-process seeded bucket \
+                         order breaks replay and canonical encodings"
+                      ~hint:
+                        "drop ~random (the repo's encodings sort \
+                         explicitly, so flooding resistance buys nothing \
+                         here)"
+                    :: !out
+              | _ -> ())
+            args
       | _ -> ())
     (fun it s -> it.structure it s)
     str;
@@ -547,7 +590,281 @@ let l6 ctx (str : structure) =
     List.rev !out
   end
 
+(* ————— L7 · toplevel mutable state (cross-module) ————— *)
+
+let in_lib file =
+  let f = norm_path file in
+  String.starts_with ~prefix:"lib/" f || contains f "/lib/"
+
+(* ROADMAP item 3's gate: once shards run on OCaml domains, every
+   module-init mutable value in lib/ is state those domains share
+   without an owner. The Modgraph mutability fixpoint finds them even
+   when the creation hides behind repo-local constructors
+   ([Bag.of_list], [Delta.insertion], a record whose field value is
+   [Array.of_list ...]). Values that are genuinely write-once carry a
+   pragma saying so. *)
+let l7 ctx (_ : structure) =
+  if not (in_lib ctx.file) then []
+  else
+    List.map
+      (fun (mv : Modgraph.mutable_value) ->
+        { Finding.file = ctx.file; line = mv.mv_line; col = mv.mv_col;
+          rule = "L7"; severity = Finding.Error;
+          message =
+            Printf.sprintf
+              "toplevel `%s` holds mutable structure (%s): module state \
+               shared by every future domain/shard"
+              mv.mv_name mv.mv_reason;
+          hint =
+            "make it per-instance state (a record field, or a `unit ->` \
+             constructor the caller owns); if it is write-once and \
+             read-only thereafter, say so with a `lint: allow L7` pragma" })
+      (Modgraph.mutable_values ctx.graph ~file:ctx.file)
+
+(* ————— L8 · hot-path effects (cross-module) ————— *)
+
+(* The maintenance handlers are the per-update hot path and, under the
+   simulator, the deterministic replay path: direct I/O or wall-clock
+   reads reachable from them both cost latency and desynchronize
+   replays. Observability goes through Obs, which the reachability walk
+   therefore never enters. *)
+let l8 ctx (_ : structure) =
+  List.map
+    (fun (he : Modgraph.hot_effect) ->
+      { Finding.file = ctx.file; line = he.he_line; col = he.he_col;
+        rule = "L8"; severity = Finding.Error;
+        message =
+          Printf.sprintf
+            "%s in %s is reachable from a maintenance handler (%s): \
+             direct I/O on the per-update hot path"
+            he.he_effect he.he_def he.he_chain;
+        hint =
+          "route the effect through Repro_observability.Obs (spans, \
+           counters, log buffers drained off the hot path), or pragma \
+           the site if it provably never writes" })
+    (Modgraph.hot_path_effects ctx.graph ~file:ctx.file)
+
+(* ————— L9 · send-aliasing (copy-on-send) ————— *)
+
+(* Known in-place mutators, keyed by their module-qualified path; the
+   mutated operand is the first required argument unless a ~into label
+   names it. Unqualified [:=], [incr]/[decr] and [<-] are handled
+   structurally. *)
+let mutator_target = function
+  | [ "Hashtbl"; ("replace" | "add" | "remove" | "reset" | "clear"
+                 | "filter_map_inplace") ]
+  | [ "Queue"; ("push" | "add" | "pop" | "take" | "clear" | "transfer") ]
+  | [ "Stack"; ("push" | "pop" | "clear") ]
+  | [ "Buffer"; ("add_string" | "add_char" | "add_bytes" | "add_buffer"
+                | "clear" | "reset" | "truncate") ]
+  | [ "Array"; ("set" | "fill" | "blit" | "sort" | "unsafe_set") ]
+  | [ "Bytes"; ("set" | "fill" | "blit" | "unsafe_set") ]
+  | [ "Atomic"; ("set" | "incr" | "decr") ]
+  | [ "Bag"; ("add" | "remove" | "merge_into" | "diff_into") ]
+  | [ "Delta"; "add" ]
+  | [ "Relation"; "apply" ]
+  | [ ("Base_table" | "Aux_store" | "Eca_site"); "apply" ] ->
+      true
+  | _ -> false
+
+(* Root paths of the mutable structures an expression exposes: variable
+   and field chains, stopping at [*.copy] calls (the sanctioned
+   copy-on-send barrier) and fresh constructions. *)
+let rec root_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some [ x ]
+  | Pexp_field (base, { txt; _ }) -> (
+      match root_path base with
+      | Some p -> (
+          match List.rev (path_of txt) with
+          | lbl :: _ -> Some (p @ [ lbl ])
+          | [] -> None)
+      | None -> None)
+  | Pexp_constraint (e, _) -> root_path e
+  | _ -> None
+
+let is_copy_call f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match List.rev (path_of txt) with
+      | "copy" :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let payload_roots e =
+  let out = ref [] in
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_apply (f, args) ->
+        if not (is_copy_call f) then List.iter (fun (_, a) -> go a) args
+    | Pexp_tuple es -> List.iter go es
+    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> go e
+    | Pexp_record (fields, base) ->
+        List.iter (fun (_, v) -> go v) fields;
+        Option.iter go base
+    | Pexp_constraint (e, _) | Pexp_open (_, e) -> go e
+    | Pexp_field _ | Pexp_ident _ -> (
+        match root_path e with Some p -> out := p :: !out | None -> ())
+    | _ -> ()
+  in
+  go e;
+  !out
+
+(* Prefix-compatible paths alias the same structure: sending [vc] and
+   then mutating [vc.dv] is a flagged pair; [vc.qid] vs [vc.dv] is not. *)
+let aliases sent mutated =
+  let rec pre a b =
+    match (a, b) with
+    | [], _ | _, [] -> true
+    | x :: a, y :: b -> x = y && pre a b
+  in
+  pre sent mutated
+
+let offset_of (loc : Location.t) = loc.loc_start.Lexing.pos_cnum
+
+(* Cross-shard delivery (ROADMAP item 3) makes a sent structure
+   concurrently owned by the receiver the moment send returns; mutating
+   it afterwards in the same function is a race in the domains build and
+   an aliasing bug in the simulator. The rule is lexical and per
+   definition: sends and subsequent mutations of a prefix-compatible
+   path. *)
+let l9 ctx (str : structure) =
+  if not (in_lib ctx.file) then []
+  else begin
+    let out = ref [] in
+    List.iter
+      (fun vb ->
+        let sends = ref [] in
+        let muts = ref [] in
+        iter_exprs_in_expr
+          (fun e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, args) -> (
+                let is_send =
+                  match f.pexp_desc with
+                  | Pexp_ident { txt; _ } -> (
+                      match List.rev (path_of txt) with
+                      | "send" :: _ -> true
+                      | _ -> false)
+                  | Pexp_field (_, { txt; _ }) -> (
+                      match List.rev (path_of txt) with
+                      | "send" :: _ -> true
+                      | _ -> false)
+                  | _ -> false
+                in
+                if is_send then begin
+                  let roots =
+                    List.concat_map (fun (_, a) -> payload_roots a) args
+                  in
+                  if roots <> [] then
+                    sends := (offset_of e.pexp_loc, e.pexp_loc, roots) :: !sends
+                end
+                else
+                  match f.pexp_desc with
+                  | Pexp_ident { txt; _ } -> (
+                      let parts = path_of txt in
+                      let note target =
+                        match root_path target with
+                        | Some p ->
+                            muts :=
+                              ( offset_of e.pexp_loc, e.pexp_loc, p,
+                                dotted txt )
+                              :: !muts
+                        | None -> ()
+                      in
+                      match parts with
+                      | [ ":=" ] | [ "incr" ] | [ "decr" ] -> (
+                          match args with
+                          | (_, target) :: _ -> note target
+                          | [] -> ())
+                      | _ when mutator_target parts -> (
+                          let labelled_into =
+                            List.find_opt
+                              (fun (lbl, _) -> lbl = Asttypes.Labelled "into")
+                              args
+                          in
+                          match labelled_into with
+                          | Some (_, target) -> note target
+                          | None -> (
+                              match
+                                List.find_opt
+                                  (fun (lbl, _) -> lbl = Asttypes.Nolabel)
+                                  args
+                              with
+                              | Some (_, target) -> note target
+                              | None -> ()))
+                      | _ -> ())
+                  | _ -> ())
+            | Pexp_setfield (recv, { txt; _ }, _) -> (
+                match root_path recv with
+                | Some p -> (
+                    match List.rev (path_of txt) with
+                    | lbl :: _ ->
+                        let path = p @ [ lbl ] in
+                        muts :=
+                          (offset_of e.pexp_loc, e.pexp_loc, path, "<-")
+                          :: !muts
+                    | [] -> ())
+                | None -> ())
+            | _ -> ())
+          vb.pvb_expr;
+        List.iter
+          (fun (m_off, m_loc, m_path, m_op) ->
+            match
+              List.find_opt
+                (fun (s_off, _, roots) ->
+                  s_off < m_off
+                  && List.exists (fun r -> aliases r m_path) roots)
+                (List.rev !sends)
+            with
+            | Some (_, s_loc, _) ->
+                out :=
+                  finding ctx ~loc:m_loc ~rule:"L9" ~severity:Finding.Error
+                    ~message:
+                      (Printf.sprintf
+                         "`%s` mutates `%s` after it was sent at line %d: \
+                          the receiver observes the mutation (and races \
+                          on it once shards run on domains)"
+                         m_op
+                         (String.concat "." m_path)
+                         (line_of s_loc))
+                    ~hint:
+                      "send a copy (`Partial.copy`/`Delta.copy`/\
+                       `Relation.copy`) and keep mutating the original, \
+                       or finish mutating before the send"
+                  :: !out
+            | None -> ())
+          (List.rev !muts))
+      (structure_bindings str);
+    List.sort Finding.compare !out
+  end
+
+(* ————— registry ————— *)
+
 let all : (string * (ctx -> structure -> Finding.t list)) list =
-  [ ("L1", l1); ("L2", l2); ("L3", l3); ("L4", l4); ("L5", l5); ("L6", l6) ]
+  [ ("L1", l1); ("L2", l2); ("L3", l3); ("L4", l4); ("L5", l5); ("L6", l6);
+    ("L7", l7); ("L8", l8); ("L9", l9) ]
+
+(* id, slug, one-line description — the SARIF rule table and the
+   per-rule report stats both read from here. *)
+let meta =
+  [ ("L1", "determinism",
+     "no ambient randomness, wall-clock reads or randomized hashing");
+    ("L2", "iteration-order",
+     "Hashtbl iteration must not reach encodings without a sort");
+    ("L3", "quadratic",
+     "no O(n^2) list appends or repeated List.length in loops");
+    ("L4", "exception-hygiene",
+     "no catch-all swallows or context-free raises across interfaces");
+    ("L5", "snapshot-complete",
+     "every mutable field crosses snapshot and restore");
+    ("L6", "probe-less-join",
+     "warehouse joins probe persistent indexes, never bare scans");
+    ("L7", "toplevel-mutable-state",
+     "no module-init mutable values in lib/ (domain-shared state)");
+    ("L8", "hot-path-effects",
+     "no direct I/O or wall-clock reads reachable from handlers");
+    ("L9", "send-aliasing",
+     "no mutation of a structure after sending it (copy-on-send)") ]
 
 let run ctx str = List.concat_map (fun (_, rule) -> rule ctx str) all

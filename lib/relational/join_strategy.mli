@@ -16,8 +16,8 @@
       (arXiv 1303.5313) for wide views.
 
     Legs whose join shape a strategy cannot serve (a cross-product
-    junction with no equality) fall back to [Pairwise] — the counter
-    {!Base_table.unindexed_scans} tracks the probes that degraded. *)
+    junction with no equality) fall back to [Pairwise] — the per-table
+    {!Base_table.scan_count} counter tracks the probes that degraded. *)
 
 type t = Pairwise | Probe | Trie
 

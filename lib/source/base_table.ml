@@ -14,16 +14,13 @@ type t = {
          only the Trie strategy ever populates this cache *)
   mutable next_seq : int;
   mutable rev_log : (Message.txn_id * Delta.t) list;
+  mutable scans : int;
+      (* probes that found no index and degraded to an O(n) relation
+         scan — per table, so concurrent runs (and, eventually, domains)
+         never share a counter; the harness sums its own tables into
+         Metrics.unindexed_scans and the default-strategy suites assert
+         the sum stays 0 *)
 }
-
-(* Probes that found no index and degraded to an O(n) relation scan.
-   Process-global because this library cannot see the warehouse's
-   Metrics record; the harness snapshots the counter around each run
-   (Metrics.unindexed_scans) and the default-strategy suites assert it
-   stays 0. *)
-let scans = ref 0
-let unindexed_scans () = !scans
-let reset_unindexed_scans () = scans := 0
 
 let index_add (idx : index) tup col count =
   let v = Tuple.get tup col in
@@ -70,7 +67,8 @@ let create ~source ?(indexes = []) ?view rel =
         (col, idx))
       (List.sort_uniq Int.compare indexes)
   in
-  { src = source; rel; indexes; tries = []; next_seq = 0; rev_log = [] }
+  { src = source; rel; indexes; tries = []; next_seq = 0; rev_log = [];
+    scans = 0 }
 
 let source t = t.src
 let relation t = t.rel
@@ -86,7 +84,7 @@ let probe t ~col ~value =
       (* No index: degrade to a counted O(n) scan rather than fail the
          query — the default-strategy suites assert the counter stays 0,
          so a call-site regression surfaces in tests, not in latency. *)
-      scans := !scans + 1;
+      t.scans <- t.scans + 1;
       let acc = ref [] in
       Relation.iter
         (fun tup c -> if Tuple.get tup col = value then acc := (tup, c) :: !acc)
@@ -132,3 +130,4 @@ let apply t delta =
 
 let log t = List.rev t.rev_log
 let applied t = t.next_seq
+let scan_count t = t.scans

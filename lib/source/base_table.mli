@@ -29,17 +29,15 @@ val indexed_columns : t -> int list
 (** [probe t ~col ~value] — all tuples whose [col] equals [value], with
     multiplicities. Served by the persistent index when [col] is
     indexed; otherwise degrades to an O(n) relation scan counted in
-    {!unindexed_scans} (the default-strategy suites assert that counter
+    {!scan_count} (the default-strategy suites assert that counter
     stays 0, so a regression to the scan path fails tests instead of
     silently costing 27×). *)
 val probe : t -> col:int -> value:Value.t -> (Tuple.t * int) list
 
-(** Probes (process-wide) that found no index and degraded to a scan.
-    The harness snapshots this around each run into
-    [Metrics.unindexed_scans]. *)
-val unindexed_scans : unit -> int
-
-val reset_unindexed_scans : unit -> unit
+(** Probes on this table that found no index and degraded to a scan.
+    Per table — no process-global state — so the harness sums the
+    tables it created into [Metrics.unindexed_scans]. *)
+val scan_count : t -> int
 
 (** [trie t ~col] — sort-order trie over the current relation keyed on
     [col] (built from the persistent index when one exists), cached

@@ -7,17 +7,22 @@
      R1 = {(1,3), (2,3)}   R2 = {(3,7)}   R3 = {(5,6), (7,8)}
      V  = {(7,8)[2]}
    Updates (in warehouse delivery order):
-     ΔR2 = +(3,5)   ΔR3 = −(7,8)   ΔR1 = −(2,3) *)
+     ΔR2 = +(3,5)   ΔR3 = −(7,8)   ΔR1 = −(2,3)
+
+   Everything here is a thunk: schemas, view definitions, deltas and
+   bags all embed mutable arrays/tables, and a shared toplevel copy
+   would be cross-run (and, eventually, cross-domain) mutable state.
+   Each call builds a fresh value the caller owns. *)
 
 open Repro_relational
 
-let schemas =
+let schemas () =
   [| Schema.make "R1" [ Schema.attr "A" Value.T_int; Schema.attr "B" Value.T_int ];
      Schema.make "R2" [ Schema.attr "C" Value.T_int; Schema.attr "D" Value.T_int ];
      Schema.make "R3" [ Schema.attr "E" Value.T_int; Schema.attr "F" Value.T_int ] |]
 
-let view =
-  View_def.make ~name:"paper-example" ~schemas
+let view () =
+  View_def.make ~name:"paper-example" ~schemas:(schemas ())
     ~joins:
       [| Join_spec.natural ~left_attr:1 ~right_attr:2 (* B = C *);
          Join_spec.natural ~left_attr:3 ~right_attr:4 (* D = E *) |]
@@ -30,12 +35,12 @@ let initial () =
      Relation.of_tuples [ Tuple.ints [ 5; 6 ]; Tuple.ints [ 7; 8 ] ] |]
 
 (* The three updates, as (source, delta). *)
-let d_r2 = (1, Delta.insertion (Tuple.ints [ 3; 5 ]))
-let d_r3 = (2, Delta.deletion (Tuple.ints [ 7; 8 ]))
-let d_r1 = (0, Delta.deletion (Tuple.ints [ 2; 3 ]))
+let d_r2 () = (1, Delta.insertion (Tuple.ints [ 3; 5 ]))
+let d_r3 () = (2, Delta.deletion (Tuple.ints [ 7; 8 ]))
+let d_r1 () = (0, Delta.deletion (Tuple.ints [ 2; 3 ]))
 
 (* Expected view states after each update, per Figure 5. *)
-let v0 = Bag.of_list [ (Tuple.ints [ 7; 8 ], 2) ]
-let v1 = Bag.of_list [ (Tuple.ints [ 7; 8 ], 2); (Tuple.ints [ 5; 6 ], 2) ]
-let v2 = Bag.of_list [ (Tuple.ints [ 5; 6 ], 2) ]
-let v3 = Bag.of_list [ (Tuple.ints [ 5; 6 ], 1) ]
+let v0 () = Bag.of_list [ (Tuple.ints [ 7; 8 ], 2) ]
+let v1 () = Bag.of_list [ (Tuple.ints [ 7; 8 ], 2); (Tuple.ints [ 5; 6 ], 2) ]
+let v2 () = Bag.of_list [ (Tuple.ints [ 5; 6 ], 2) ]
+let v3 () = Bag.of_list [ (Tuple.ints [ 5; 6 ], 1) ]

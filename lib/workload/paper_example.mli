@@ -6,27 +6,32 @@
     with the initial contents and the three concurrent updates the paper
     walks through. Note this view has {e no} key attributes — it is
     exactly the kind of view the Strobe family cannot maintain and SWEEP
-    can (paper §3). *)
+    can (paper §3).
+
+    Every value is a thunk returning a fresh copy: schemas, view
+    definitions, deltas and bags all embed mutable structure, and a
+    shared toplevel value would be module state visible to every run
+    and every future domain. *)
 
 open Repro_relational
 
-val schemas : Schema.t array
-val view : View_def.t
+val schemas : unit -> Schema.t array
+val view : unit -> View_def.t
 
 (** Fresh copies of the initial relations. *)
 val initial : unit -> Relation.t array
 
 (** The updates as (source index, delta): ΔR2 = +(3,5), ΔR3 = −(7,8),
     ΔR1 = −(2,3). *)
-val d_r2 : int * Delta.t
+val d_r2 : unit -> int * Delta.t
 
-val d_r3 : int * Delta.t
-val d_r1 : int * Delta.t
+val d_r3 : unit -> int * Delta.t
+val d_r1 : unit -> int * Delta.t
 
 (** Expected view contents after zero, one, two and three updates
     (Figure 5's warehouse column). *)
-val v0 : Bag.t
+val v0 : unit -> Bag.t
 
-val v1 : Bag.t
-val v2 : Bag.t
-val v3 : Bag.t
+val v1 : unit -> Bag.t
+val v2 : unit -> Bag.t
+val v3 : unit -> Bag.t

@@ -1,3 +1,7 @@
-(* L1 negative fixture: seeded rng and virtual clock only. *)
+(* L1 negative fixture: seeded rng, virtual clock, deterministic
+   hashing only. *)
 let jitter rng = Rng.float rng
 let now engine = Engine.now engine
+let tbl () = Hashtbl.create 16
+let fixed () = Hashtbl.create ~random:false 16
+let digest x = Hashtbl.hash x

@@ -2,3 +2,5 @@
 let jitter () = Random.float 1.0
 let now () = Unix.gettimeofday ()
 let cpu () = Sys.time ()
+let tbl () = Hashtbl.create ~random:true 16
+let weight x = Hashtbl.hash_param 10 100 x

@@ -1,0 +1,10 @@
+(* L7 negative fixture: immutable toplevels, factories, partial
+   applications and a write-once pragma'd registry. *)
+let limit = 42
+let names = [ "r1"; "r2" ]
+let make_table () = Hashtbl.create 16
+let first xs = List.hd xs
+let encode = Codec.encode 3
+
+(* lint: allow L7 write-once registry, populated before any domain spawns *)
+let registry = Hashtbl.create 8

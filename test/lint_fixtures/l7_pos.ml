@@ -1,0 +1,11 @@
+(* L7 positive fixture: toplevel mutable values — module state shared
+   by every future domain/shard. *)
+let cache = Hashtbl.create 16
+let total = ref 0
+let log_buf = Buffer.create 64
+let alias = cache
+
+let built =
+  let t = Hashtbl.create 8 in
+  Hashtbl.replace t "k" 1;
+  t

@@ -1,0 +1,6 @@
+(* L8 negative fixture: pure handlers; I/O exists in the unit but only
+   off the handler paths. *)
+let compute x = x + 1
+let on_update x = compute x
+let debug_dump msg = print_endline msg
+let main () = debug_dump "done"

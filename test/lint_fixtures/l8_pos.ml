@@ -1,0 +1,10 @@
+(* L8 positive fixture: maintenance handlers reaching console I/O
+   through helper hops. *)
+let log msg = print_endline msg
+
+let helper x =
+  log x;
+  x
+
+let on_update x = helper x
+let on_source_down i = Printf.printf "down %d\n" i

@@ -1,0 +1,10 @@
+(* L9 negative fixture: mutate-before-send, copy-on-send, and mutation
+   of a field disjoint from the sent one. *)
+let emit send d extra =
+  Delta.add d extra;
+  send (Delta.copy d);
+  Delta.add d extra
+
+let route node msg =
+  node.send msg.payload;
+  msg.acked <- true

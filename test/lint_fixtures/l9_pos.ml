@@ -1,0 +1,10 @@
+(* L9 positive fixture: payloads mutated after the send hands them to
+   the receiver. *)
+let emit send d extra =
+  send d;
+  Delta.add d extra;
+  d
+
+let flush node msg =
+  node.send msg;
+  msg.seq <- msg.seq + 1

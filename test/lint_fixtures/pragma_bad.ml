@@ -1,3 +1,3 @@
-(* lint: allow L9 no such rule *)
+(* lint: allow L42 no such rule *)
 (* lint: allow L1 *)
 let id x = x

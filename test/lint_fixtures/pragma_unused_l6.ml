@@ -1,0 +1,2 @@
+(* lint: allow L6 the probe path below never scans *)
+let extend probe delta = probe delta

@@ -94,7 +94,7 @@ let test_select_project () =
 
 let test_compensate_example () =
   (* the §5.2 compensation: answer − ΔR1 ⋈ TempView *)
-  let view = Paper_example.view in
+  let view = (Paper_example.view ()) in
   let temp =
     { Partial.lo = 1; hi = 1; data = Delta.of_list [ (Tuple.ints [ 3; 5 ], 1) ] }
   in

@@ -54,12 +54,12 @@ let test_mode_strings () =
    install order of the same deltas, must land on byte-identical
    encodings — the canonical-encoding guarantee checkpoints rely on. *)
 let test_snapshot_byte_identity () =
-  let view = Paper_example.view in
+  let view = (Paper_example.view ()) in
   let mk () =
     Aux_store.create ~view ~mode:Aux_store.Full
       ~initial:(Paper_example.initial ()) ()
   in
-  let all = [ Paper_example.d_r2; Paper_example.d_r3; Paper_example.d_r1 ] in
+  let all = [ (Paper_example.d_r2 ()); (Paper_example.d_r3 ()); (Paper_example.d_r1 ()) ] in
   let apply aux l =
     List.iter (fun (s, d) -> Aux_store.apply aux ~source:s d) l
   in
@@ -97,30 +97,29 @@ let test_snapshot_byte_identity () =
 
 (* An unindexed probe no longer raises: it degrades to a counted O(n)
    scan with the same answer an index would give, and the degradation is
-   observable in [unindexed_scans] (the default-strategy suites assert
-   that counter stays 0). *)
+   observable per table in [scan_count] (the default-strategy suites
+   assert the harness's sum of those counters stays 0). *)
 let test_probe_scan_fallback () =
   let rel = Relation.of_tuples [ Tuple.ints [ 1; 2; 3 ]; Tuple.ints [ 4; 2; 5 ] ] in
   let bt = Base_table.create ~source:2 ~indexes:[ 0; 2 ] rel in
-  Base_table.reset_unindexed_scans ();
   Alcotest.(check bool) "indexed probe answers" true
     (Base_table.probe bt ~col:0 ~value:(Value.int 1) <> []);
   Alcotest.(check int) "indexed probes are not counted" 0
-    (Base_table.unindexed_scans ());
+    (Base_table.scan_count bt);
   let hits = Base_table.probe bt ~col:1 ~value:(Value.int 2) in
   Alcotest.(check int) "scan fallback finds both matches" 2
     (List.length hits);
   Alcotest.(check int) "the degraded probe is counted" 1
-    (Base_table.unindexed_scans ());
+    (Base_table.scan_count bt);
   let bare =
     Base_table.create ~source:0 (Relation.of_tuples [ Tuple.ints [ 7 ] ])
   in
   Alcotest.(check bool) "index-free table still answers" true
     (Base_table.probe bare ~col:0 ~value:(Value.int 7) <> []);
-  Alcotest.(check int) "and is counted too" 2 (Base_table.unindexed_scans ());
-  Base_table.reset_unindexed_scans ();
-  Alcotest.(check int) "reset zeroes the counter" 0
-    (Base_table.unindexed_scans ())
+  Alcotest.(check int) "and is counted on its own table" 1
+    (Base_table.scan_count bare);
+  Alcotest.(check int) "without touching the first table" 1
+    (Base_table.scan_count bt)
 
 (* ————— aux × open breaker (node level) ————— *)
 

@@ -6,15 +6,15 @@ open Repro_relational
 open Repro_protocol
 open Repro_consistency
 
-let view = Paper_example.view
+let view = (Paper_example.view ())
 
 let deliveries =
   (* delivery order: ΔR2, ΔR3, ΔR1 with per-source seq numbers *)
   let mk source seq (_, delta) =
     { Message.txn = { Message.source; seq }; delta; occurred_at = 0.; global = None }
   in
-  [ mk 1 0 Paper_example.d_r2; mk 2 0 Paper_example.d_r3;
-    mk 0 0 Paper_example.d_r1 ]
+  [ mk 1 0 (Paper_example.d_r2 ()); mk 2 0 (Paper_example.d_r3 ());
+    mk 0 0 (Paper_example.d_r1 ()) ]
 
 let txn k = (List.nth deliveries k).Message.txn
 
@@ -28,18 +28,18 @@ let test_expected_states () =
       ~deliveries
   in
   Alcotest.(check int) "four states" 4 (Array.length states);
-  Alcotest.check Rig.bag "s0" Paper_example.v0 states.(0);
-  Alcotest.check Rig.bag "s1" Paper_example.v1 states.(1);
-  Alcotest.check Rig.bag "s2" Paper_example.v2 states.(2);
-  Alcotest.check Rig.bag "s3" Paper_example.v3 states.(3)
+  Alcotest.check Rig.bag "s0" (Paper_example.v0 ()) states.(0);
+  Alcotest.check Rig.bag "s1" (Paper_example.v1 ()) states.(1);
+  Alcotest.check Rig.bag "s2" (Paper_example.v2 ()) states.(2);
+  Alcotest.check Rig.bag "s3" (Paper_example.v3 ()) states.(3)
 
 let test_complete_accepted () =
   let r =
     Checker.check view
       (obs
-         [ ([ txn 0 ], Paper_example.v1); ([ txn 1 ], Paper_example.v2);
-           ([ txn 2 ], Paper_example.v3) ]
-         Paper_example.v3)
+         [ ([ txn 0 ], (Paper_example.v1 ())); ([ txn 1 ], (Paper_example.v2 ()));
+           ([ txn 2 ], (Paper_example.v3 ())) ]
+         (Paper_example.v3 ()))
   in
   Alcotest.check Rig.verdict "complete" Checker.Complete r.Checker.verdict
 
@@ -50,8 +50,8 @@ let test_contiguous_batching_complete () =
   let r =
     Checker.check view
       (obs
-         [ ([ txn 0; txn 1 ], Paper_example.v2); ([ txn 2 ], Paper_example.v3) ]
-         Paper_example.v3)
+         [ ([ txn 0; txn 1 ], (Paper_example.v2 ())); ([ txn 2 ], (Paper_example.v3 ())) ]
+         (Paper_example.v3 ()))
   in
   Alcotest.check Rig.verdict "complete" Checker.Complete r.Checker.verdict
 
@@ -67,8 +67,8 @@ let test_strong_batching_accepted () =
   let r =
     Checker.check view
       (obs
-         [ ([ txn 0; txn 2 ], states.(2)); ([ txn 1 ], Paper_example.v3) ]
-         Paper_example.v3)
+         [ ([ txn 0; txn 2 ], states.(2)); ([ txn 1 ], (Paper_example.v3 ())) ]
+         (Paper_example.v3 ()))
   in
   Alcotest.check Rig.verdict "strong" Checker.Strong r.Checker.verdict
 
@@ -79,8 +79,8 @@ let test_strong_rejects_gaps () =
   let r =
     Checker.check view
       (obs
-         [ ([ txn 0 ], Paper_example.v1); ([ txn 2 ], Paper_example.v3) ]
-         Paper_example.v3)
+         [ ([ txn 0 ], (Paper_example.v1 ())); ([ txn 2 ], (Paper_example.v3 ())) ]
+         (Paper_example.v3 ()))
   in
   Alcotest.(check bool) "not strong" true
     (Checker.compare_verdict r.Checker.verdict Checker.Strong > 0)
@@ -117,8 +117,8 @@ let test_convergent () =
   let r =
     Checker.check view
       (obs
-         [ ([ txn 0 ], junk); ([ txn 1 ], junk); ([ txn 2 ], Paper_example.v3) ]
-         Paper_example.v3)
+         [ ([ txn 0 ], junk); ([ txn 1 ], junk); ([ txn 2 ], (Paper_example.v3 ())) ]
+         (Paper_example.v3 ()))
   in
   Alcotest.check Rig.verdict "convergent" Checker.Convergent r.Checker.verdict
 
@@ -157,8 +157,8 @@ let suite =
    history in any way must degrade the verdict. A checker that accepts
    mutants would silently bless broken algorithms. *)
 let complete_installs () =
-  [ ([ txn 0 ], Paper_example.v1); ([ txn 1 ], Paper_example.v2);
-    ([ txn 2 ], Paper_example.v3) ]
+  [ ([ txn 0 ], (Paper_example.v1 ())); ([ txn 1 ], (Paper_example.v2 ()));
+    ([ txn 2 ], (Paper_example.v3 ())) ]
 
 let degraded r = Checker.compare_verdict r.Checker.verdict Checker.Complete > 0
 
@@ -176,7 +176,7 @@ let test_mutation_snapshot_tuple () =
       (complete_installs ())
   in
   Alcotest.(check bool) "spurious tuple caught" true
-    (degraded (Checker.check view (obs installs Paper_example.v3)))
+    (degraded (Checker.check view (obs installs (Paper_example.v3 ()))))
 
 let test_mutation_count_off_by_one () =
   let installs =
@@ -191,7 +191,7 @@ let test_mutation_count_off_by_one () =
       (complete_installs ())
   in
   Alcotest.(check bool) "multiplicity error caught" true
-    (degraded (Checker.check view (obs installs Paper_example.v3)))
+    (degraded (Checker.check view (obs installs (Paper_example.v3 ()))))
 
 let test_mutation_swapped_installs () =
   let installs =
@@ -200,7 +200,7 @@ let test_mutation_swapped_installs () =
     | _ -> assert false
   in
   Alcotest.(check bool) "swapped installs caught" true
-    (degraded (Checker.check view (obs installs Paper_example.v3)))
+    (degraded (Checker.check view (obs installs (Paper_example.v3 ()))))
 
 let test_mutation_duplicated_txn () =
   (* the same txn claimed by two installs *)
@@ -210,7 +210,7 @@ let test_mutation_duplicated_txn () =
     | _ -> assert false
   in
   Alcotest.(check bool) "duplicate claim caught" true
-    (degraded (Checker.check view (obs installs Paper_example.v3)))
+    (degraded (Checker.check view (obs installs (Paper_example.v3 ()))))
 
 let test_mutation_dropped_install () =
   let installs =
@@ -219,7 +219,7 @@ let test_mutation_dropped_install () =
     | _ -> assert false
   in
   Alcotest.(check bool) "missing install caught" true
-    (degraded (Checker.check view (obs installs Paper_example.v3)))
+    (degraded (Checker.check view (obs installs (Paper_example.v3 ()))))
 
 (* Degenerate inputs: the checker must classify trivial runs correctly
    rather than crash or misgrade them — empty initial database, runs with
@@ -244,7 +244,7 @@ let test_degenerate_zero_updates () =
   let r =
     Checker.check view
       { Checker.initial_sources = Paper_example.initial (); deliveries = [];
-        installs = []; final_view = Paper_example.v0 }
+        installs = []; final_view = (Paper_example.v0 ()) }
   in
   Alcotest.check Rig.verdict "no-update run is complete" Checker.Complete
     r.Checker.verdict;
@@ -269,24 +269,24 @@ let test_degenerate_all_noop_deltas () =
   in
   Array.iter
     (fun s -> Alcotest.check Rig.bag "every state is the initial view"
-        Paper_example.v0 s)
+        (Paper_example.v0 ()) s)
     states;
   let txn k = (List.nth deliveries k).Message.txn in
   let r =
     Checker.check view
       { Checker.initial_sources = Paper_example.initial (); deliveries;
         installs =
-          [ ([ txn 0 ], Paper_example.v0); ([ txn 1 ], Paper_example.v0);
-            ([ txn 2 ], Paper_example.v0) ];
-        final_view = Paper_example.v0 }
+          [ ([ txn 0 ], (Paper_example.v0 ())); ([ txn 1 ], (Paper_example.v0 ()));
+            ([ txn 2 ], (Paper_example.v0 ())) ];
+        final_view = (Paper_example.v0 ()) }
   in
   Alcotest.check Rig.verdict "per-update no-op installs are complete"
     Checker.Complete r.Checker.verdict;
   let r =
     Checker.check view
       { Checker.initial_sources = Paper_example.initial (); deliveries;
-        installs = [ ([ txn 0; txn 1; txn 2 ], Paper_example.v0) ];
-        final_view = Paper_example.v0 }
+        installs = [ ([ txn 0; txn 1; txn 2 ], (Paper_example.v0 ())) ];
+        final_view = (Paper_example.v0 ()) }
   in
   Alcotest.(check bool) "batched no-op install at least strong" true
     (Checker.compare_verdict r.Checker.verdict Checker.Strong <= 0)
@@ -303,7 +303,7 @@ let test_degraded_zero_updates () =
   let r =
     Checker.check ~degraded:true view
       { Checker.initial_sources = Paper_example.initial (); deliveries = [];
-        installs = []; final_view = Paper_example.v0 }
+        installs = []; final_view = (Paper_example.v0 ()) }
   in
   Alcotest.check Rig.verdict "zero-update degraded run is complete"
     Checker.Complete r.Checker.verdict
@@ -315,7 +315,7 @@ let test_degraded_read_only_with_parked_updates () =
   let r =
     Checker.check ~degraded:true view
       { Checker.initial_sources = Paper_example.initial (); deliveries;
-        installs = []; final_view = Paper_example.v0 }
+        installs = []; final_view = (Paper_example.v0 ()) }
   in
   Alcotest.check Rig.verdict "parked deliveries grade degraded"
     Checker.Degraded r.Checker.verdict;
@@ -325,7 +325,7 @@ let test_degraded_read_only_with_parked_updates () =
   let r =
     Checker.check view
       { Checker.initial_sources = Paper_example.initial (); deliveries;
-        installs = []; final_view = Paper_example.v0 }
+        installs = []; final_view = (Paper_example.v0 ()) }
   in
   Alcotest.check Rig.verdict "same history without the flag is inconsistent"
     Checker.Inconsistent r.Checker.verdict

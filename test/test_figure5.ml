@@ -11,20 +11,20 @@ let updates_concurrent =
      flight 1→2; ΔR3 (t=1.4) and ΔR1 (t=1.5) are applied before that query
      is evaluated and delivered (2.4, 2.5) before its answer (3.0) — the
      precise interleaving narrated in §5.2. *)
-  let s2, d2 = Paper_example.d_r2 in
-  let s3, d3 = Paper_example.d_r3 in
-  let s1, d1 = Paper_example.d_r1 in
+  let s2, d2 = (Paper_example.d_r2 ()) in
+  let s3, d3 = (Paper_example.d_r3 ()) in
+  let s1, d1 = (Paper_example.d_r1 ()) in
   [ (0.0, s2, d2); (1.4, s3, d3); (1.5, s1, d1) ]
 
 let run algorithm =
-  Rig.scripted ~algorithm ~view:Paper_example.view
+  Rig.scripted ~algorithm ~view:(Paper_example.view ())
     ~initial:(Paper_example.initial ()) ~updates:updates_concurrent ()
 
 let test_initial_view () =
   let v =
-    Algebra.eval Paper_example.view (fun i -> (Paper_example.initial ()).(i))
+    Algebra.eval (Paper_example.view ()) (fun i -> (Paper_example.initial ()).(i))
   in
-  Alcotest.check Rig.bag "initial view is {(7,8)[2]}" Paper_example.v0
+  Alcotest.check Rig.bag "initial view is {(7,8)[2]}" (Paper_example.v0 ())
     (Relation.as_bag v)
 
 let test_sweep_state_sequence () =
@@ -34,9 +34,9 @@ let test_sweep_state_sequence () =
   let snaps = List.map (fun (r : Node.install_record) -> r.view_after) installs in
   (match snaps with
   | [ s1; s2; s3 ] ->
-      Alcotest.check Rig.bag "after ΔR2" Paper_example.v1 s1;
-      Alcotest.check Rig.bag "after ΔR3" Paper_example.v2 s2;
-      Alcotest.check Rig.bag "after ΔR1" Paper_example.v3 s3
+      Alcotest.check Rig.bag "after ΔR2" (Paper_example.v1 ()) s1;
+      Alcotest.check Rig.bag "after ΔR3" (Paper_example.v2 ()) s2;
+      Alcotest.check Rig.bag "after ΔR1" (Paper_example.v3 ()) s3
   | _ -> Alcotest.fail "expected exactly three snapshots");
   Alcotest.check Rig.verdict "complete consistency" Checker.Complete
     (Rig.check outcome).Checker.verdict
@@ -55,22 +55,22 @@ let test_sweep_compensated () =
 
 let test_sequential_matches_figure5 () =
   (* Far-apart updates: the trivial regime; same final states. *)
-  let s2, d2 = Paper_example.d_r2 in
-  let s3, d3 = Paper_example.d_r3 in
-  let s1, d1 = Paper_example.d_r1 in
+  let s2, d2 = (Paper_example.d_r2 ()) in
+  let s3, d3 = (Paper_example.d_r3 ()) in
+  let s1, d1 = (Paper_example.d_r1 ()) in
   let outcome =
-    Rig.scripted ~view:Paper_example.view ~initial:(Paper_example.initial ())
+    Rig.scripted ~view:(Paper_example.view ()) ~initial:(Paper_example.initial ())
       ~updates:[ (0.0, s2, d2); (100.0, s3, d3); (200.0, s1, d1) ]
       ()
   in
-  Alcotest.check Rig.bag "final view {(5,6)[1]}" Paper_example.v3
+  Alcotest.check Rig.bag "final view {(5,6)[1]}" (Paper_example.v3 ())
     (Rig.final_view outcome);
   Alcotest.check Rig.verdict "complete" Checker.Complete
     (Rig.check outcome).Checker.verdict
 
 let test_nested_sweep_same_final_state () =
   let outcome = run (module Nested_sweep : Algorithm.S) in
-  Alcotest.check Rig.bag "final view {(5,6)[1]}" Paper_example.v3
+  Alcotest.check Rig.bag "final view {(5,6)[1]}" (Paper_example.v3 ())
     (Rig.final_view outcome);
   let v = (Rig.check outcome).Checker.verdict in
   Alcotest.(check bool) "at least strong"

@@ -41,7 +41,7 @@ let check_findings name expected actual =
 
 let test_l1 () =
   check_findings "l1_pos fires per call"
-    [ ("L1", 2); ("L1", 3); ("L1", 4) ]
+    [ ("L1", 2); ("L1", 3); ("L1", 4); ("L1", 5); ("L1", 6) ]
     (lint "l1_pos.ml");
   check_findings "l1_neg silent" [] (lint "l1_neg.ml")
 
@@ -104,6 +104,108 @@ let test_l6 () =
         f.Finding.rule
   | _ -> Alcotest.fail "expected exactly one suppression"
 
+(* ————— L7–L9: the cross-module rules ————— *)
+
+let test_l7 () =
+  let r = lint_as ~file:"lib/workload/l7_pos.ml" "l7_pos.ml" in
+  check_findings "l7_pos flags every mutable toplevel"
+    [ ("L7", 3); ("L7", 4); ("L7", 5); ("L7", 6); ("L7", 8) ]
+    r;
+  (match r.findings with
+  | f :: _ ->
+      Alcotest.(check string) "mutable toplevels are errors" "error"
+        (Finding.severity_label f.Finding.severity)
+  | [] -> Alcotest.fail "expected findings");
+  check_findings "same source is silent outside lib/" []
+    (lint_as ~file:"test/l7_pos.ml" "l7_pos.ml");
+  let neg = lint_as ~file:"lib/workload/l7_neg.ml" "l7_neg.ml" in
+  check_findings "l7_neg: factories and partials silent" [] neg;
+  match neg.Driver.suppressed with
+  | [ (f, p) ] ->
+      Alcotest.(check string) "write-once registry rode its pragma" "L7"
+        f.Finding.rule;
+      Alcotest.(check bool) "with a reason" true
+        (String.length p.Repro_lint.Pragma.reason > 0)
+  | _ -> Alcotest.fail "expected exactly one L7 suppression"
+
+(* Cross-module L7: the mutability fixpoint sees through a constructor
+   defined in another unit. *)
+let test_l7_cross_module () =
+  let r =
+    Driver.lint_sources
+      [ ("lib/warehouse/reg.ml", "let table = Mk.fresh ()\n");
+        ("lib/warehouse/mk.ml", "let fresh () = Hashtbl.create 16\n") ]
+  in
+  let reg =
+    List.find (fun (fr : Driver.file_report) ->
+        fr.file = "lib/warehouse/reg.ml")
+      r.Driver.reports
+  in
+  check_findings "the alias of the foreign constructor is flagged"
+    [ ("L7", 1) ] reg;
+  let mk =
+    List.find (fun (fr : Driver.file_report) ->
+        fr.file = "lib/warehouse/mk.ml")
+      r.Driver.reports
+  in
+  check_findings "the factory itself is fine" [] mk
+
+let test_l8 () =
+  check_findings "l8_pos flags each effect site"
+    [ ("L8", 3); ("L8", 10) ]
+    (lint_as ~file:"lib/warehouse/l8_pos.ml" "l8_pos.ml");
+  check_findings "l8_neg: I/O off the handler paths is silent" []
+    (lint_as ~file:"lib/warehouse/l8_neg.ml" "l8_neg.ml")
+
+(* Cross-module L8: the reachability walk follows calls into other
+   units but never enters lib/observability. *)
+let test_l8_cross_module () =
+  let io = ("lib/sim/helper_io.ml", "let emit x = print_endline x\n") in
+  let r =
+    Driver.lint_sources
+      [ ("lib/warehouse/wh.ml", "let on_update x = Helper_io.emit x\n"); io ]
+  in
+  let helper =
+    List.find (fun (fr : Driver.file_report) ->
+        fr.file = "lib/sim/helper_io.ml")
+      r.Driver.reports
+  in
+  check_findings "the effect site in the callee unit is flagged"
+    [ ("L8", 1) ] helper;
+  (match helper.findings with
+  | [ f ] ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message carries the call chain" true
+        (contains f.Finding.message "Wh.on_update")
+  | _ -> Alcotest.fail "expected one finding");
+  let obs =
+    Driver.lint_sources
+      [ ("lib/warehouse/wh.ml", "let on_update x = Obs.emit x\n");
+        ("lib/observability/obs.ml", "let emit x = print_endline x\n") ]
+  in
+  Alcotest.(check int) "effects behind Obs are exempt" 0
+    (List.length
+       (List.concat_map
+          (fun (fr : Driver.file_report) -> fr.findings)
+          obs.Driver.reports))
+
+let test_l9 () =
+  let r = lint_as ~file:"lib/warehouse/l9_pos.ml" "l9_pos.ml" in
+  check_findings "l9_pos flags each mutation-after-send"
+    [ ("L9", 5); ("L9", 10) ]
+    r;
+  (match r.findings with
+  | f :: _ ->
+      Alcotest.(check string) "send-aliasing is an error" "error"
+        (Finding.severity_label f.Finding.severity)
+  | [] -> Alcotest.fail "expected findings");
+  check_findings "l9_neg: copy-on-send and disjoint fields silent" []
+    (lint_as ~file:"lib/warehouse/l9_neg.ml" "l9_neg.ml")
+
 (* ————— pragmas ————— *)
 
 let test_pragma_suppression () =
@@ -124,7 +226,42 @@ let test_pragma_suppression () =
   Alcotest.(check bool) "malformed pragmas are error severity" true
     (List.for_all
        (fun (f : Finding.t) -> f.severity = Finding.Error)
-       bad.findings)
+       bad.findings);
+  (* an unused pragma for a path-scoped rule warns even where the rule
+     applies *)
+  check_findings "unused L6 pragma warns inside the warehouse"
+    [ ("pragma", 1) ]
+    (lint_as ~file:"lib/warehouse/pragma_unused_l6.ml" "pragma_unused_l6.ml")
+
+(* Suppression audit: the pragma count the driver reports per file must
+   equal the raw occurrences of the marker in the source — so a pragma
+   the scanner silently dropped (neither honored nor reported malformed)
+   cannot hide. *)
+let test_suppression_audit () =
+  let marker = "(* " ^ "lint: allow" in
+  let occurrences hay =
+    let n = String.length marker and h = String.length hay in
+    let count = ref 0 in
+    for i = 0 to h - n do
+      if String.sub hay i n = marker then incr count
+    done;
+    !count
+  in
+  let fixtures =
+    Sys.readdir "lint_fixtures" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "fixture directory is populated" true
+    (List.length fixtures > 10);
+  List.iter
+    (fun name ->
+      let source = read_fixture name in
+      let r = Driver.lint_source ~has_mli:false ~file:name source in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: pragma_count matches raw markers" name)
+        (occurrences source) r.Driver.pragma_count)
+    fixtures
 
 (* ————— JSON report ————— *)
 
@@ -167,6 +304,109 @@ let test_json_report () =
         | Jsonw.String r -> String.length r > 0
         | _ -> false)
   | _ -> Alcotest.fail "expected one suppression in the report"
+
+(* ————— SARIF round trip ————— *)
+
+(* The SARIF document must survive the repo's own JSON reader with the
+   2.1.0 shape intact: schema/version header, the full rule table, one
+   result per active finding, and the invocation verdict. *)
+let test_sarif_round_trip () =
+  let reports =
+    [ lint "l3_pos.ml"; lint_as ~file:"lib/workload/l7_pos.ml" "l7_pos.ml";
+      lint "pragma_ok.ml" ]
+  in
+  let report = { Driver.files = 3; reports } in
+  let n_findings =
+    List.length
+      (List.concat_map (fun (r : Driver.file_report) -> r.findings) reports)
+  in
+  let doc = Jsonr.parse_exn (Driver.render_sarif report) in
+  let field k = function
+    | Jsonw.Obj kvs -> List.assoc k kvs
+    | _ -> Alcotest.fail "expected an object"
+  in
+  Alcotest.(check bool) "schema" true
+    (field "$schema" doc
+    = Jsonw.String "https://json.schemastore.org/sarif-2.1.0.json");
+  Alcotest.(check bool) "version" true
+    (field "version" doc = Jsonw.String "2.1.0");
+  let run =
+    match field "runs" doc with
+    | Jsonw.List [ r ] -> r
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver = field "driver" (field "tool" run) in
+  Alcotest.(check bool) "tool name" true
+    (field "name" driver = Jsonw.String "repro-lint");
+  (match field "rules" driver with
+  | Jsonw.List rules ->
+      Alcotest.(check int) "rule table covers L1–L9" 9 (List.length rules);
+      List.iter
+        (fun r ->
+          match (field "id" r, field "shortDescription" r) with
+          | Jsonw.String _, Jsonw.Obj _ -> ()
+          | _ -> Alcotest.fail "rule lacks id or shortDescription")
+        rules
+  | _ -> Alcotest.fail "rules is not a list");
+  (match field "results" run with
+  | Jsonw.List results ->
+      Alcotest.(check int) "one result per active finding" n_findings
+        (List.length results);
+      List.iter
+        (fun r ->
+          match (field "ruleId" r, field "level" r, field "locations" r) with
+          | Jsonw.String _, Jsonw.String _, Jsonw.List [ loc ] -> (
+              let region =
+                field "region" (field "physicalLocation" loc)
+              in
+              match field "startLine" region with
+              | Jsonw.Int l when l >= 1 -> ()
+              | _ -> Alcotest.fail "startLine missing or < 1")
+          | _ -> Alcotest.fail "result lacks ruleId/level/locations")
+        results
+  | _ -> Alcotest.fail "results is not a list");
+  (match field "invocations" run with
+  | Jsonw.List [ inv ] ->
+      Alcotest.(check bool) "errors make the invocation unsuccessful" true
+        (field "executionSuccessful" inv = Jsonw.Bool false)
+  | _ -> Alcotest.fail "expected one invocation");
+  match field "properties" run with
+  | Jsonw.Obj _ as props ->
+      Alcotest.(check bool) "properties count suppressions" true
+        (field "suppressions" props = Jsonw.Int 1)
+  | _ -> Alcotest.fail "properties is not an object"
+
+(* ————— incremental planning (--changed) ————— *)
+
+let test_incremental_plan () =
+  let units =
+    [ ("lib/a.ml", "let one = 1\n");
+      ("lib/b.ml", "let two = A.one + 1\n");
+      ("lib/c.ml", "let three = 3\n") ]
+  in
+  let graph = Driver.graph_of_sources units in
+  let all_files = List.map fst units in
+  let plan changed = Driver.incremental_plan ~graph ~all_files ~changed in
+  (match plan [ "lib/c.ml" ] with
+  | `Subset [ "lib/c.ml" ] -> ()
+  | `Subset _ -> Alcotest.fail "leaf change selected the wrong subset"
+  | `Full r -> Alcotest.fail ("leaf change forced a full run: " ^ r));
+  (match plan [ "lib/a.ml" ] with
+  | `Full _ -> ()
+  | `Subset _ ->
+      Alcotest.fail "a change to a referenced unit must force a full run");
+  (match plan [ "lib/b.mli" ] with
+  | `Full _ -> ()
+  | `Subset _ ->
+      Alcotest.fail "an interface change must force a full run");
+  (match plan [ "README.md" ] with
+  | `Subset [] -> ()
+  | `Subset _ | `Full _ ->
+      Alcotest.fail "a non-OCaml change should lint nothing");
+  match plan [ "lib/other.mli" ] with
+  | `Subset [] -> ()
+  | `Subset _ | `Full _ ->
+      Alcotest.fail "an interface outside the graph should not force a run"
 
 (* ————— checkpoint determinism (the invariant behind L2) ————— *)
 
@@ -219,9 +459,22 @@ let suite =
     Alcotest.test_case "L5: snapshot-completeness fixtures" `Quick test_l5;
     Alcotest.test_case "L6: warehouse probe-less-extend fixtures" `Quick
       test_l6;
+    Alcotest.test_case "L7: toplevel-mutable-state fixtures" `Quick test_l7;
+    Alcotest.test_case "L7: cross-module mutability fixpoint" `Quick
+      test_l7_cross_module;
+    Alcotest.test_case "L8: hot-path-effects fixtures" `Quick test_l8;
+    Alcotest.test_case "L8: cross-module reachability and Obs exemption"
+      `Quick test_l8_cross_module;
+    Alcotest.test_case "L9: send-aliasing fixtures" `Quick test_l9;
     Alcotest.test_case "pragmas: suppression, unused, malformed" `Quick
       test_pragma_suppression;
+    Alcotest.test_case "pragma audit: driver count equals raw markers"
+      `Quick test_suppression_audit;
     Alcotest.test_case "JSON report decodes with expected shape" `Quick
       test_json_report;
+    Alcotest.test_case "SARIF 2.1.0 document round-trips through Jsonr"
+      `Quick test_sarif_round_trip;
+    Alcotest.test_case "incremental --changed planning" `Quick
+      test_incremental_plan;
     Alcotest.test_case "checkpoints are byte-identical across runs" `Quick
       test_checkpoints_byte_identical ]

@@ -134,14 +134,14 @@ let figure5_expected =
       "  [11.000..13.000] query source=2 qid=3"; "" ]
 
 let figure5_updates () =
-  let s2, d2 = Repro_workload.Paper_example.d_r2 in
-  let s3, d3 = Repro_workload.Paper_example.d_r3 in
-  let s1, d1 = Repro_workload.Paper_example.d_r1 in
+  let s2, d2 = Repro_workload.(Paper_example.d_r2 ()) in
+  let s3, d3 = Repro_workload.(Paper_example.d_r3 ()) in
+  let s1, d1 = Repro_workload.(Paper_example.d_r1 ()) in
   [ (0.0, s2, d2); (1.4, s3, d3); (1.5, s1, d1) ]
 
 let run_figure5 obs =
   Experiment.run_scripted ~obs ~algorithm:(module Sweep : Algorithm.S)
-    ~view:Repro_workload.Paper_example.view
+    ~view:Repro_workload.(Paper_example.view ())
     ~initial:(Repro_workload.Paper_example.initial ())
     ~updates:(figure5_updates ()) ()
 

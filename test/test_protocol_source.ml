@@ -51,7 +51,7 @@ let test_base_table_log () =
 (* A lone source node answering a sweep query must compute ΔV ⋈ R
    (Fig. 3) against its *current* relation. *)
 let test_source_node_query () =
-  let view = Paper_example.view in
+  let view = (Paper_example.view ()) in
   let engine = Engine.create () in
   let outbox = ref [] in
   let src =
@@ -82,7 +82,7 @@ let test_source_node_query () =
     | _ -> false)
 
 let test_source_node_fetch_snapshot_isolated () =
-  let view = Paper_example.view in
+  let view = (Paper_example.view ()) in
   let engine = Engine.create () in
   let outbox = ref [] in
   let src =
@@ -102,7 +102,7 @@ let test_source_node_fetch_snapshot_isolated () =
   Alcotest.(check int) "snapshot is isolated" 2 (Relation.cardinal snap)
 
 let test_eca_site_terms () =
-  let view = Paper_example.view in
+  let view = (Paper_example.view ()) in
   let engine = Engine.create () in
   let outbox = ref [] in
   let site =

@@ -102,8 +102,8 @@ let test_wal_roundtrip_and_tail () =
             Message.Answer
               { qid = 4; source = 1;
                 partial =
-                  Partial.of_source_delta Paper_example.view 1
-                    (snd Paper_example.d_r2) } };
+                  Partial.of_source_delta (Paper_example.view ()) 1
+                    (snd (Paper_example.d_r2 ())) } };
       Wal.Installed
         { delta = Delta.insertion (Tuple.ints [ 7; 8 ]);
           txns = [ { Message.source = 0; seq = 3 } ] } ]

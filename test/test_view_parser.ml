@@ -19,7 +19,7 @@ let test_paper_query () =
   (* must evaluate identically to the hand-built paper example *)
   let fetch i = (Repro_workload.Paper_example.initial ()).(i) in
   Alcotest.check Rig.relation "same initial view"
-    (Algebra.eval Repro_workload.Paper_example.view fetch)
+    (Algebra.eval Repro_workload.(Paper_example.view ()) fetch)
     (Algebra.eval v fetch)
 
 let test_select_star () =
@@ -121,7 +121,7 @@ let test_errors () =
 let test_roundtrip_through_simulation () =
   (* a parsed view drives the full stack end to end *)
   let v = View_parser.parse_exn paper_query in
-  let s2, d2 = Repro_workload.Paper_example.d_r2 in
+  let s2, d2 = Repro_workload.(Paper_example.d_r2 ()) in
   let outcome =
     Repro_harness.Experiment.run_scripted
       ~algorithm:(module Repro_warehouse.Sweep : Repro_warehouse.Algorithm.S)
